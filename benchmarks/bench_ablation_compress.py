@@ -1,0 +1,74 @@
+"""Ablation: wavelet-packet compression (the paper's §4.3 deferred idea).
+
+Measures the best-basis search and compares storage against dense and COO
+representations on two data regimes: piecewise-constant (where Haar
+compression wins) and scattered-sparse (where it degenerates to COO,
+honestly reported).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compress import CompressedCube, best_compression_basis
+from repro.core.element import CubeShape
+from repro.cube import SparseCube
+
+
+def _piecewise_constant(shape: CubeShape, rng: np.random.Generator) -> np.ndarray:
+    data = np.zeros(shape.sizes)
+    for p in range(shape.sizes[0]):
+        level = float(rng.integers(10, 100))
+        start = 0
+        for day in sorted(
+            rng.choice(shape.sizes[1], size=2, replace=False)
+        ) + [shape.sizes[1]]:
+            data[p, start:day] = level
+            level = float(rng.integers(10, 100))
+            start = int(day)
+    return data
+
+
+@pytest.fixture(scope="module")
+def piecewise():
+    shape = CubeShape((32, 64))
+    return shape, _piecewise_constant(shape, np.random.default_rng(31))
+
+
+def test_best_basis_search(benchmark, piecewise):
+    shape, data = piecewise
+    basis, cost = benchmark(best_compression_basis, data, shape)
+    assert cost <= np.count_nonzero(data)
+
+
+def test_compress_and_reconstruct(benchmark, piecewise):
+    shape, data = piecewise
+
+    def round_trip():
+        compressed = CompressedCube.compress(data, shape)
+        return compressed, compressed.reconstruct()
+
+    compressed, recon = benchmark(round_trip)
+    np.testing.assert_allclose(recon, data)
+    # Piecewise-constant structure compresses well below dense storage.
+    assert compressed.memory_cells() < shape.volume
+    print(
+        f"\npiecewise-constant: {compressed.stored_coefficients} coefficients "
+        f"({compressed.memory_cells()} cell-equivalents) vs {shape.volume} "
+        f"dense cells ({shape.volume / compressed.memory_cells():.2f}x)"
+    )
+
+
+def test_scattered_sparse_degenerates_to_coo(benchmark):
+    """Honest negative result: scattered nonzeros gain nothing from Haar."""
+    shape = CubeShape((32, 32))
+    rng = np.random.default_rng(33)
+    data = np.zeros(shape.sizes)
+    cells = rng.choice(shape.volume, size=40, replace=False)
+    data.flat[cells] = rng.integers(1, 100, size=40)
+
+    compressed = benchmark(CompressedCube.compress, data, shape)
+    sparse = SparseCube.from_dense(data, shape)
+    assert compressed.stored_coefficients >= sparse.nnz
+    np.testing.assert_allclose(compressed.reconstruct(), data)

@@ -1,0 +1,50 @@
+"""Ablation: general element-level DP vs the reduced-state DP.
+
+DESIGN.md calls out the reduced-state collapse (per-dimension ``(level,
+index == 0)`` states) as the implementation choice that makes the paper's
+Experiment 1 feasible.  This bench quantifies it: both DPs compute the
+*identical* optimum, but the reduced DP visits thousands of states where the
+general DP visits every view element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.element import CubeShape
+from repro.core.population import QueryPopulation
+from repro.core.select_basis import select_minimum_cost_basis
+from repro.core.select_fast import select_minimum_cost_basis_fast
+
+
+@pytest.fixture(scope="module")
+def setting():
+    shape = CubeShape((8, 8, 8))  # 3,375 elements; both DPs feasible
+    population = QueryPopulation.random_over_views(
+        shape, np.random.default_rng(5)
+    )
+    return shape, population
+
+
+def test_general_dp(benchmark, setting):
+    shape, population = setting
+    selection = benchmark(select_minimum_cost_basis, shape, population)
+    fast = select_minimum_cost_basis_fast(shape, population)
+    assert selection.cost == pytest.approx(fast.cost)
+
+
+def test_reduced_dp(benchmark, setting):
+    shape, population = setting
+    result = benchmark(select_minimum_cost_basis_fast, shape, population)
+    assert result.storage == shape.volume
+
+
+def test_reduced_dp_at_experiment1_scale(benchmark):
+    """The general DP cannot touch this shape; the reduced DP is instant."""
+    shape = CubeShape((16,) * 4)
+    population = QueryPopulation.random_over_views(
+        shape, np.random.default_rng(6)
+    )
+    result = benchmark(select_minimum_cost_basis_fast, shape, population)
+    assert result.storage == shape.volume

@@ -1,0 +1,27 @@
+"""Benchmark + regeneration of the paper's Table 1 (view element counts)."""
+
+from __future__ import annotations
+
+from repro.core.element import CubeShape
+from repro.experiments import table1
+
+
+def test_table1_closed_forms(benchmark):
+    """Closed-form counts for all five (d, n) rows; must match the paper."""
+    rows = benchmark(table1.run)
+    assert all(row.matches_paper for row in rows)
+    print()
+    print(table1.main())
+
+
+def test_table1_enumeration_cross_check(benchmark):
+    """Brute-force enumeration of the (4, 4) graph agrees with formulas."""
+    shape = CubeShape((4,) * 4)
+
+    counts = benchmark(table1.enumerate_counts, shape)
+    assert counts == (
+        shape.num_aggregated_views(),
+        shape.num_intermediate_elements(),
+        shape.num_residual_elements(),
+        shape.num_view_elements(),
+    )

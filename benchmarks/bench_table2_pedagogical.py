@@ -1,0 +1,21 @@
+"""Benchmark + regeneration of the paper's Table 2 (pedagogical example)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2_rows(benchmark):
+    """All ten element-set rows must match the paper exactly."""
+    rows = benchmark(table2.run)
+    assert all(row.matches_paper for row in rows)
+    print()
+    print(table2.main())
+
+
+def test_table2_algorithm1_optimum(benchmark):
+    """Algorithm 1 finds the paper's optimum cost of 3 on the example."""
+    cost = benchmark(table2.optimal_cost)
+    assert cost == pytest.approx(3.0)

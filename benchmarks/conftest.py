@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper (or an
+ablation) and asserts the qualitative shape the paper reports.  Heavy
+experiment drivers run with ``benchmark.pedantic(rounds=1)`` — the point is
+regeneration plus a wall-clock record, not micro-benchmark statistics.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

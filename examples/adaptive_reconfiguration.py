@@ -1,0 +1,133 @@
+"""Dynamic assembly under a drifting workload (the paper's title in action).
+
+The paper notes that access frequencies "can be observed on-line, allowing
+the system to dynamically recon[f]igure".  This example runs a three-phase
+workload against a sales cube — each phase hammers different views — and
+compares:
+
+- a static server that keeps only the raw cube;
+- a static server configured optimally for phase 1 only;
+- the :class:`DynamicViewAssembler`, which tracks accesses with exponential
+  decay and re-runs Algorithm 1 periodically.
+
+Run::
+
+    python examples/adaptive_reconfiguration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DynamicViewAssembler,
+    MaterializedSet,
+    OpCounter,
+    QueryPopulation,
+    select_minimum_cost_basis,
+)
+from repro.workloads import SalesConfig, sales_cube
+from repro.reporting import ascii_table
+
+
+PHASES = [
+    # (hot retained-dimension tuples, queries in the phase)
+    ([("product",), ()], 120),
+    ([("day",), ("store", "day")], 120),
+    ([("customer",), ("product", "customer")], 120),
+]
+
+
+def main() -> None:
+    cube = sales_cube(SalesConfig(num_transactions=3000, seed=13))
+    shape = cube.shape_id
+    names = cube.dimensions.names
+
+    def element_for(retained):
+        aggregated = [
+            cube.dimensions.axis_of(n) for n in names if n not in retained
+        ]
+        return shape.aggregated_view(aggregated)
+
+    # Build the full query sequence.
+    rng = np.random.default_rng(3)
+    sequence = []
+    for hot_views, count in PHASES:
+        elements = [element_for(r) for r in hot_views]
+        for _ in range(count):
+            sequence.append(elements[int(rng.integers(len(elements)))])
+
+    # --- static: cube only ---------------------------------------------
+    static_cube = MaterializedSet(shape)
+    static_cube.store(shape.root(), cube.values)
+    cube_ops = OpCounter()
+    for view in sequence:
+        static_cube.assemble(view, counter=cube_ops)
+
+    # --- static: tuned for phase 1 --------------------------------------
+    phase1 = QueryPopulation.point_mass(
+        [element_for(r) for r in PHASES[0][0]]
+    )
+    phase1_basis = select_minimum_cost_basis(shape, phase1)
+    static_tuned = MaterializedSet.from_cube(
+        cube.values, phase1_basis.elements
+    )
+    tuned_ops = OpCounter()
+    for view in sequence:
+        static_tuned.assemble(view, counter=tuned_ops)
+
+    # --- adaptive --------------------------------------------------------
+    assembler = DynamicViewAssembler(
+        cube.values, shape, reconfigure_every=40, decay=0.9
+    )
+    for view in sequence:
+        assembler.query(view)
+
+    n = len(sequence)
+    print(
+        ascii_table(
+            ["server", "scalar ops", "per query"],
+            [
+                ["static: cube only", cube_ops.total, cube_ops.total / n],
+                [
+                    "static: tuned for phase 1",
+                    tuned_ops.total,
+                    tuned_ops.total / n,
+                ],
+                [
+                    "dynamic view assembler",
+                    assembler.stats.operations,
+                    assembler.average_operations_per_query,
+                ],
+            ],
+            title=f"Three-phase drifting workload ({n} queries)",
+        )
+    )
+
+    print("\nreconfiguration history:")
+    rows = []
+    for record in assembler.history:
+        rows.append(
+            [
+                record.at_access,
+                len(record.elements),
+                record.storage,
+                record.expected_cost,
+                record.migration_operations,
+            ]
+        )
+    print(
+        ascii_table(
+            ["at access", "elements", "storage", "expected cost", "migration ops"],
+            rows,
+        )
+    )
+    print(
+        "\nthe dynamic assembler follows the drift: after each phase shift "
+        "it re-selects, and its per-query work stays near the per-phase "
+        "optimum instead of degrading like the statically tuned server."
+    )
+
+
+if __name__ == "__main__":
+    main()

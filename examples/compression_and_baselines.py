@@ -1,0 +1,168 @@
+"""Wavelet-packet compression of sparse cubes + HRU baseline comparison.
+
+Two shorter studies rounding out the reproduction:
+
+1. **Compression** (paper §4.3, deferred there): a sparse sales cube —
+   most product/customer combinations never trade — is stored as
+   thresholded wavelet-packet coefficients in the basis that best isolates
+   its non-zero regions.
+2. **Baselines**: the classic HRU greedy view selection [8] under its own
+   linear cost model, side by side with Algorithm 1 under the paper's
+   addition-count model, on the same workload.
+
+Run::
+
+    python examples/compression_and_baselines.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CompressedCube,
+    QueryPopulation,
+    select_minimum_cost_basis,
+)
+from repro.baselines import ViewLattice, hru_greedy
+from repro.core.costs import element_population_cost
+from repro.cube import SparseCube, view_element_of
+from repro.reporting import ascii_table
+from repro.workloads import SalesConfig, sales_cube
+
+
+def compression_study() -> None:
+    """Compress a piecewise-constant price cube losslessly.
+
+    Haar residuals vanish exactly where neighbouring cells are equal, so
+    the best wavelet-packet basis shines on piecewise-constant structure —
+    here a product x day list-price table where prices change on a handful
+    of dates (the usual shape of reference/price data), with a sparse
+    promotional-discount overlay.
+    """
+    from repro.core.element import CubeShape
+
+    rng = np.random.default_rng(23)
+    num_products, num_days = 32, 64
+    shape = CubeShape((num_products, num_days))
+    prices = np.zeros(shape.sizes)
+    for p in range(num_products):
+        # 1-3 price changes over the period, at random dates.
+        change_days = np.sort(
+            rng.choice(num_days, size=int(rng.integers(1, 4)), replace=False)
+        )
+        level = float(rng.integers(10, 100))
+        start = 0
+        for day in list(change_days) + [num_days]:
+            prices[p, start:day] = level
+            level = float(rng.integers(10, 100))
+            start = day
+    # Sparse promotional discounts on individual (product, day) cells.
+    for _ in range(20):
+        prices[rng.integers(num_products), rng.integers(num_days)] -= 5.0
+
+    sparse = SparseCube.from_dense(prices, shape)
+    compressed = CompressedCube.compress(prices, shape, threshold=0.0)
+    assert np.allclose(compressed.reconstruct(), prices)
+    print(
+        ascii_table(
+            ["representation", "cell-equivalents", "ratio vs dense"],
+            [
+                ["dense cube", shape.volume, 1.0],
+                [
+                    "COO sparse",
+                    sparse.memory_cells(),
+                    shape.volume / sparse.memory_cells(),
+                ],
+                [
+                    "wavelet-packet best basis (lossless)",
+                    compressed.memory_cells(),
+                    shape.volume / compressed.memory_cells(),
+                ],
+            ],
+            title=(
+                f"Compressing a {shape.sizes} piecewise-constant price "
+                "cube (paper §4.3's deferred idea)"
+            ),
+        )
+    )
+    print(
+        f"best basis uses {len(compressed.basis)} bands, "
+        f"{compressed.stored_coefficients} surviving coefficients; "
+        "reconstruction is exact.  (On scattered-sparse measures the "
+        "best basis degenerates to the identity, matching COO — Haar "
+        "compression needs block or piecewise-constant structure.)\n"
+    )
+
+
+def baseline_study() -> None:
+    cube = sales_cube(SalesConfig(num_transactions=2000, seed=29))
+    shape = cube.shape_id
+    names = cube.dimensions.names
+
+    workload = [
+        (("product",), 0.4),
+        (("store", "day"), 0.3),
+        (("customer",), 0.2),
+        ((), 0.1),
+    ]
+    population = QueryPopulation.from_pairs(
+        [(view_element_of(cube, retained), f) for retained, f in workload]
+    )
+
+    # HRU under its own linear cost model.
+    lattice = ViewLattice({d.name: d.size for d in cube.dimensions})
+    frequencies = {
+        frozenset(retained): f for retained, f in workload
+    }
+    hru = hru_greedy(lattice, k=3, frequencies=frequencies)
+    hru_cost = sum(
+        f * lattice.query_cost(list(hru.selected), frozenset(retained))
+        for retained, f in workload
+    )
+
+    # Algorithm 1 under the paper's addition-count model.
+    selection = select_minimum_cost_basis(shape, population)
+    cube_only = element_population_cost(shape.root(), population)
+
+    print(
+        ascii_table(
+            ["method", "cost model", "expected cost", "storage (cells)"],
+            [
+                [
+                    "HRU greedy (top + 3 views)",
+                    "rows scanned",
+                    hru_cost,
+                    hru.total_space,
+                ],
+                [
+                    "cube only",
+                    "adds/subs",
+                    cube_only,
+                    shape.volume,
+                ],
+                [
+                    "Algorithm 1 basis",
+                    "adds/subs",
+                    selection.cost,
+                    selection.storage,
+                ],
+            ],
+            title="Baseline comparison on one dashboard workload",
+        )
+    )
+    print(
+        "\nHRU must spend storage beyond the cube "
+        f"({hru.total_space} vs {shape.volume} cells) because views are "
+        "one-way dependent; the Algorithm 1 basis re-uses its elements in "
+        "both directions and never exceeds the cube volume."
+    )
+
+
+def main() -> None:
+    compression_study()
+    baseline_study()
+
+
+if __name__ == "__main__":
+    main()

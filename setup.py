@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to the legacy setup.py path (via
+--no-use-pep517 or automatically) when PEP 517 wheels cannot be built
+offline; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — reproduction of *Dynamic Assembly of Views in Data Cubes*.
+
+Smith, Castelli, Jhingran, Li (IBM T.J. Watson). ACM PODS, 1998.
+
+The package decomposes MOLAP data cubes into *view elements* — partial and
+residual Haar aggregations — and dynamically selects which elements to
+materialize for a given query workload.  Sub-packages:
+
+- :mod:`repro.core` — operators, element algebra, view element graph, cost
+  model, Algorithm 1 and 2, materialization, range queries, adaptation.
+- :mod:`repro.cube` — MOLAP substrate (dense/sparse cubes, dimensions,
+  builders).
+- :mod:`repro.relational` — minimal relational substrate (tables, GROUP BY,
+  the Gray et al. CUBE operator).
+- :mod:`repro.baselines` — view-materialization baselines (HRU greedy and
+  the paper's [D] strategy).
+- :mod:`repro.workloads` — synthetic workload and data generators.
+- :mod:`repro.experiments` — drivers regenerating every table and figure of
+  the paper's evaluation.
+"""
+
+from .core import (
+    AccessTracker,
+    BasisSelection,
+    CompressedCube,
+    CubeShape,
+    DynamicViewAssembler,
+    ElementId,
+    FastBasisResult,
+    GreedyResult,
+    MaterializedSet,
+    OpCounter,
+    QueryPopulation,
+    RangeQueryEngine,
+    SelectionEngine,
+    ViewElementGraph,
+    compute_element,
+    gaussian_pyramid,
+    greedy_redundant_selection,
+    is_complete,
+    is_non_redundant,
+    is_non_redundant_basis,
+    select_minimum_cost_basis,
+    select_minimum_cost_basis_fast,
+    total_processing_cost,
+    view_hierarchy,
+    wavelet_basis,
+)
+from .server import OLAPServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessTracker",
+    "BasisSelection",
+    "CompressedCube",
+    "CubeShape",
+    "OLAPServer",
+    "DynamicViewAssembler",
+    "ElementId",
+    "FastBasisResult",
+    "GreedyResult",
+    "MaterializedSet",
+    "OpCounter",
+    "QueryPopulation",
+    "RangeQueryEngine",
+    "SelectionEngine",
+    "ViewElementGraph",
+    "compute_element",
+    "gaussian_pyramid",
+    "greedy_redundant_selection",
+    "is_complete",
+    "is_non_redundant",
+    "is_non_redundant_basis",
+    "select_minimum_cost_basis",
+    "select_minimum_cost_basis_fast",
+    "total_processing_cost",
+    "view_hierarchy",
+    "wavelet_basis",
+    "__version__",
+]

@@ -1,0 +1,95 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2
+    python -m repro figure8 [--trials N]
+    python -m repro figure9 [--trials N] [--budgets N]
+    python -m repro all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _run_table1() -> str:
+    from .experiments import table1
+
+    return table1.main()
+
+
+def _run_table2() -> str:
+    from .experiments import table2
+
+    return table2.main()
+
+
+def _run_figure8(trials: int) -> str:
+    from .experiments import figure8
+
+    return figure8.main(figure8.Figure8Config(num_trials=trials))
+
+
+def _run_figure9(trials: int, budgets: int) -> str:
+    from .experiments import figure9
+
+    return figure9.main(
+        figure9.Figure9Config(num_trials=trials, budget_points=budgets)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and regenerate the requested experiments."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate the tables and figures of 'Dynamic Assembly of "
+            "Views in Data Cubes' (PODS 1998)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "figure8", "figure9", "all"],
+        help="which experiment to regenerate",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="number of random-workload trials (figure8/figure9)",
+    )
+    parser.add_argument(
+        "--budgets",
+        type=int,
+        default=13,
+        help="number of storage budget points (figure9)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="with 'all': use reduced trial counts",
+    )
+    args = parser.parse_args(argv)
+
+    outputs: list[str] = []
+    if args.experiment in ("table1", "all"):
+        outputs.append(_run_table1())
+    if args.experiment in ("table2", "all"):
+        outputs.append(_run_table2())
+    if args.experiment in ("figure8", "all"):
+        trials = args.trials or (10 if args.quick else 100)
+        outputs.append(_run_figure8(trials))
+    if args.experiment in ("figure9", "all"):
+        trials = args.trials or (2 if args.quick else 10)
+        budgets = 7 if args.quick else args.budgets
+        outputs.append(_run_figure9(trials, budgets))
+
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Baseline view-materialization strategies the paper compares against."""
+
+from .hru import HRUSelection, ViewLattice, hru_greedy
+from .view_greedy import greedy_view_element_selection, greedy_view_selection
+
+__all__ = [
+    "HRUSelection",
+    "ViewLattice",
+    "greedy_view_element_selection",
+    "greedy_view_selection",
+    "hru_greedy",
+]

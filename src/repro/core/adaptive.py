@@ -1,0 +1,207 @@
+"""Dynamic adaptation of the materialized element set (the paper's title).
+
+Section 5 of the paper notes that the view-access frequencies "can be
+observed on-line, allowing the system to dynamically reconfigure".  This
+module supplies that closed loop:
+
+- :class:`AccessTracker` maintains exponentially decayed access counts per
+  view, yielding a :class:`~repro.core.population.QueryPopulation` estimate.
+- :class:`DynamicViewAssembler` serves aggregated views from a
+  :class:`~repro.core.materialize.MaterializedSet`, records each access, and
+  periodically re-runs the selection algorithms (Algorithm 1, optionally
+  followed by Algorithm 2 under a storage budget) to re-materialize the set
+  that is optimal for the *observed* workload.
+
+Reconfiguration reuses the current materialized set to compute the new
+elements (via :meth:`MaterializedSet.assemble`), so migration cost is itself
+governed by the view-element machinery rather than a fresh cube scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .element import CubeShape, ElementId
+from .engine import SelectionEngine
+from .materialize import MaterializedSet
+from .operators import OpCounter
+from .population import QueryPopulation
+from .select_basis import select_minimum_cost_basis
+
+__all__ = ["AccessTracker", "ReconfigurationRecord", "DynamicViewAssembler"]
+
+
+class AccessTracker:
+    """Exponentially decayed view-access frequencies.
+
+    Each recorded access adds one unit of weight to the accessed view after
+    multiplying all existing weights by ``decay`` — recent accesses dominate,
+    so workload drift shows up quickly.
+    """
+
+    def __init__(self, decay: float = 0.99):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = decay
+        self._weights: dict[ElementId, float] = {}
+        self.total_accesses = 0
+
+    def record(self, view: ElementId) -> None:
+        """Record one access to ``view``."""
+        for key in self._weights:
+            self._weights[key] *= self.decay
+        self._weights[view] = self._weights.get(view, 0.0) + 1.0
+        self.total_accesses += 1
+
+    def population(
+        self, smoothing: float = 0.0, universe: list[ElementId] | None = None
+    ) -> QueryPopulation:
+        """Current frequency estimate as a :class:`QueryPopulation`.
+
+        ``smoothing`` adds a uniform pseudo-weight to every view in
+        ``universe`` (defaults to the observed views), so never-observed
+        views keep a small positive frequency.
+        """
+        if not self._weights and not universe:
+            raise ValueError("no accesses recorded and no universe given")
+        views = list(universe) if universe else list(self._weights)
+        pairs = [
+            (v, self._weights.get(v, 0.0) + smoothing) for v in views
+        ]
+        positive = [(v, w) for v, w in pairs if w > 0]
+        if not positive:
+            raise ValueError("all frequencies are zero; record accesses first")
+        return QueryPopulation.from_pairs(positive)
+
+
+@dataclass(frozen=True)
+class ReconfigurationRecord:
+    """One reconfiguration event of :class:`DynamicViewAssembler`."""
+
+    at_access: int
+    elements: tuple[ElementId, ...]
+    expected_cost: float
+    migration_operations: int
+    storage: int
+
+
+@dataclass
+class _ServiceStats:
+    queries_served: int = 0
+    operations: int = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        """``(queries served, total operations)`` so far."""
+        return self.queries_served, self.operations
+
+
+class DynamicViewAssembler:
+    """Serves views from an adaptively re-selected view element set.
+
+    Parameters
+    ----------
+    cube_values:
+        The raw data cube (kept only for initial materialization; later
+        reconfigurations assemble from the current set).
+    shape:
+        Cube shape.
+    storage_budget:
+        Optional cell budget; when larger than ``Vol(A)``, Algorithm 2 adds
+        redundant elements after Algorithm 1 picks the basis.
+    reconfigure_every:
+        Re-run selection after this many recorded accesses.
+    decay:
+        Forgetting factor of the access tracker.
+    """
+
+    def __init__(
+        self,
+        cube_values: np.ndarray,
+        shape: CubeShape,
+        storage_budget: int | None = None,
+        reconfigure_every: int = 64,
+        decay: float = 0.98,
+        use_fast_engine: bool = True,
+    ):
+        cube_values = np.asarray(cube_values, dtype=np.float64)
+        if cube_values.shape != shape.sizes:
+            raise ValueError(
+                f"cube data shape {cube_values.shape} does not match {shape.sizes}"
+            )
+        self.shape = shape
+        self.storage_budget = storage_budget
+        self.reconfigure_every = reconfigure_every
+        self.tracker = AccessTracker(decay=decay)
+        self.stats = _ServiceStats()
+        self.history: list[ReconfigurationRecord] = []
+        self._engine = SelectionEngine(shape) if use_fast_engine else None
+        # Start from the trivial basis: the cube itself.
+        self.materialized = MaterializedSet(shape)
+        self.materialized.store(shape.root(), cube_values)
+        self._since_reconfigure = 0
+
+    # ------------------------------------------------------------------
+
+    def query(self, view: ElementId) -> np.ndarray:
+        """Serve one aggregated view (or any element), tracking the access."""
+        counter = OpCounter()
+        values = self.materialized.assemble(view, counter=counter)
+        self.stats.queries_served += 1
+        self.stats.operations += counter.total
+        self.tracker.record(view)
+        self._since_reconfigure += 1
+        if self._since_reconfigure >= self.reconfigure_every:
+            self.reconfigure()
+        return values
+
+    def query_view(self, aggregated_dims) -> np.ndarray:
+        """Serve the aggregated view over ``aggregated_dims``."""
+        return self.query(self.shape.aggregated_view(aggregated_dims))
+
+    # ------------------------------------------------------------------
+
+    def reconfigure(self) -> ReconfigurationRecord:
+        """Re-select and re-materialize for the observed workload."""
+        population = self.tracker.population()
+        selection = select_minimum_cost_basis(self.shape, population)
+        elements = list(selection.elements)
+        expected = selection.cost
+        if (
+            self.storage_budget is not None
+            and self.storage_budget > self.shape.volume
+            and self._engine is not None
+        ):
+            result = self._engine.greedy_redundant_selection(
+                elements, population, storage_budget=self.storage_budget
+            )
+            elements = list(result.selected)
+            expected = result.final_cost
+
+        migration = OpCounter()
+        new_set = MaterializedSet(self.shape)
+        for element in sorted(set(elements), key=lambda e: e.depth):
+            new_set.store(
+                element, self.materialized.assemble(element, counter=migration)
+            )
+        self.materialized = new_set
+        self._since_reconfigure = 0
+        record = ReconfigurationRecord(
+            at_access=self.tracker.total_accesses,
+            elements=tuple(new_set.elements),
+            expected_cost=float(expected),
+            migration_operations=migration.total,
+            storage=new_set.storage,
+        )
+        self.history.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+
+    @property
+    def average_operations_per_query(self) -> float:
+        """Mean assembly operations per served query so far."""
+        if not self.stats.queries_served:
+            return 0.0
+        return self.stats.operations / self.stats.queries_served

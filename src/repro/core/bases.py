@@ -1,0 +1,134 @@
+"""Canonical view element sets from Section 4.3 of the paper.
+
+The view element graph is a multi-dimensional filter bank, so several classic
+signal-processing decompositions appear as particular view element sets:
+
+- :func:`wavelet_basis` — non-redundant; joint decomposition of the
+  intermediate element at every scale, keeping all residual subbands plus the
+  final total aggregation (Figure 5a).  Volume ``n**d``.
+- :func:`gaussian_pyramid` — redundant; all intermediate elements produced by
+  joint partial aggregation, i.e. every scale of the low-pass pyramid
+  (Figure 5b).
+- :func:`view_hierarchy` — redundant; the classic view lattice of
+  Harinarayan et al. [8]: every total aggregation over every subset of
+  dimensions, including the cube itself (Figure 6a).
+  Volume ``(n + 1)**d`` for square cubes.
+- :func:`wavelet_packet_basis` — any complete, non-redundant set
+  (Figure 6b); here a deterministic example generator plus a random sampler
+  over all wavelet-packet bases.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .element import CubeShape, ElementId
+
+__all__ = [
+    "wavelet_basis",
+    "gaussian_pyramid",
+    "view_hierarchy",
+    "wavelet_packet_basis",
+    "random_wavelet_packet_basis",
+]
+
+
+def wavelet_basis(shape: CubeShape) -> list[ElementId]:
+    """The multi-dimensional Haar wavelet basis (Figure 5a).
+
+    At each joint scale ``s = 1..min_depth`` the all-partial element of scale
+    ``s - 1`` is decomposed along *all* dimensions at once, producing ``2**d``
+    subbands; every subband containing at least one residual branch is a
+    basis member, and the all-partial subband is decomposed further.  After
+    the deepest joint scale, remaining dimensions (of non-square cubes) are
+    decomposed dimension-by-dimension the same way; the final all-partial
+    element (the total aggregation for square cubes) completes the basis.
+    """
+    members: list[ElementId] = []
+    current = shape.root()
+    while True:
+        dims = current.splittable_dims()
+        if not dims:
+            members.append(current)
+            return members
+        combos = list(itertools.product((0, 1), repeat=len(dims)))
+        for combo in combos:
+            if not any(combo):
+                continue
+            node = current
+            for dim, bit in zip(dims, combo):
+                node = node.residual_child(dim) if bit else node.partial_child(dim)
+            members.append(node)
+        for dim in dims:
+            current = current.partial_child(dim)
+
+
+def gaussian_pyramid(shape: CubeShape) -> list[ElementId]:
+    """The (redundant) Gaussian pyramid (Figure 5b).
+
+    All jointly partially-aggregated elements, from the cube itself down to
+    the total aggregation.  For square cubes the volume is
+    ``sum_s (n / 2**s)**d``.
+    """
+    members: list[ElementId] = []
+    current = shape.root()
+    while True:
+        members.append(current)
+        dims = current.splittable_dims()
+        if not dims:
+            return members
+        for dim in dims:
+            current = current.partial_child(dim)
+
+
+def view_hierarchy(shape: CubeShape) -> list[ElementId]:
+    """The classic materialize-all-views hierarchy of [8] (Figure 6a).
+
+    All ``2**d`` aggregated views, including the root cube.  Redundant and
+    complete; total volume ``(n + 1)**d`` for square cubes.
+    """
+    return list(shape.aggregated_views())
+
+
+def wavelet_packet_basis(shape: CubeShape, max_depth: int | None = None) -> list[ElementId]:
+    """A deterministic example wavelet-packet basis (Figure 6b).
+
+    Fully decomposes along dimension 0 first (splitting both the partial and
+    the residual branch, unlike the wavelet basis), down to ``max_depth``
+    levels (default: full depth), then leaves other dimensions untouched.
+    The result is complete and non-redundant by construction.
+    """
+    depth0 = shape.depths[0] if max_depth is None else min(max_depth, shape.depths[0])
+    members = []
+    for j in range(1 << depth0):
+        nodes = ((depth0, j),) + ((0, 0),) * (shape.ndim - 1)
+        members.append(ElementId(shape, nodes))
+    return members
+
+
+def random_wavelet_packet_basis(
+    shape: CubeShape,
+    rng: np.random.Generator | None = None,
+    split_probability: float = 0.6,
+) -> list[ElementId]:
+    """Sample a random complete, non-redundant basis.
+
+    Mirrors Procedure 2 of the paper: starting at the root, repeatedly either
+    stop (keeping the element) or pick a random splittable dimension and
+    recurse into both children.  Every wavelet-packet basis is reachable.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    members: list[ElementId] = []
+    stack = [shape.root()]
+    while stack:
+        node = stack.pop()
+        dims = node.splittable_dims()
+        if not dims or rng.random() > split_probability:
+            members.append(node)
+            continue
+        dim = int(rng.choice(dims))
+        stack.append(node.partial_child(dim))
+        stack.append(node.residual_child(dim))
+    return members

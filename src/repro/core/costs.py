@@ -1,0 +1,81 @@
+"""The paper's processing-cost model (Section 5.2, Eqs 26-29).
+
+Costs are measured in scalar additions/subtractions performed during
+partial-aggregation cascades:
+
+- *Aggregation*: cascading an element of volume ``v`` down to a descendant of
+  volume ``l`` performs ``v/2 + v/4 + ... + l = v - l`` operations.  This is
+  Eq 28 telescoped: ``F = sum_{j=log2 l}^{log2 v - 1} 2**j = v - l``.
+- *Support*: for element ``V_a`` to help answer query ``Z_b`` both are
+  brought to their largest common descendant ``V_l`` (the frequency-plane
+  intersection, Eq 25), giving ``C_ab = F(a->l) + F(b->l)`` when the
+  rectangles intersect and 0 otherwise (Eqs 26-27).
+- *Population support cost* of an element: ``C_n(V) = sum_k f_k C_{V,Z_k}``
+  (Eq 29).  The total cost of a complete non-redundant basis is the sum of
+  its members' support costs — the additive objective minimized exactly by
+  Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .element import ElementId
+from .population import QueryPopulation
+
+__all__ = [
+    "aggregation_cost",
+    "support_cost",
+    "element_population_cost",
+    "basis_population_cost",
+]
+
+
+def aggregation_cost(from_volume: int, to_volume: int) -> int:
+    """Operations to cascade a volume ``from_volume`` element down to
+    ``to_volume`` (Eq 28): ``from_volume - to_volume``.
+
+    Both volumes must be powers of two with ``to_volume`` dividing
+    ``from_volume`` — true for any element/descendant pair.
+    """
+    if to_volume > from_volume:
+        raise ValueError(
+            f"cannot aggregate volume {from_volume} down to larger volume {to_volume}"
+        )
+    return from_volume - to_volume
+
+
+def support_cost(element: ElementId, query: ElementId) -> int:
+    """``C_{a,b}`` — cost for ``element`` to support ``query`` (Eqs 26-27).
+
+    Zero when the frequency rectangles are disjoint; otherwise both sides are
+    aggregated to the largest common descendant and the costs add.
+    """
+    common = element.intersection(query)
+    if common is None:
+        return 0
+    vol_l = common.volume
+    return aggregation_cost(element.volume, vol_l) + aggregation_cost(
+        query.volume, vol_l
+    )
+
+
+def element_population_cost(element: ElementId, population: QueryPopulation) -> float:
+    """``C_n(V) = sum_k f_k C_{V, Z_k}`` (Eq 29)."""
+    return sum(f * support_cost(element, q) for q, f in population if f > 0)
+
+
+def basis_population_cost(
+    elements: Iterable[ElementId], population: QueryPopulation
+) -> float:
+    """Total processing cost of a materialized element set under the additive
+    model: the sum of each member's population support cost.
+
+    This is the objective of Algorithm 1 and the metric plotted for the
+    fixed strategies ([D] cube-only, [W] wavelet basis) in the paper's
+    Experiment 1 (Figure 8).  For *redundant* sets prefer
+    :func:`repro.core.select_redundant.total_processing_cost`, which takes
+    the cheapest generation route per query (Procedure 3) instead of summing
+    over every member.
+    """
+    return sum(element_population_cost(e, population) for e in elements)

@@ -1,0 +1,213 @@
+"""Generalized two-tap filter pairs (paper §3.1: "Many other filter pairs,
+which we do not investigate here, satisfy this property").
+
+The paper fixes the unnormalized Haar pair ``P = a + b``, ``R = a - b`` and
+justifies it by its two-tap length and by SUM semantics.  This module
+implements the general two-tap family so the claim is executable: any pair
+
+    p = h0*a + h1*b
+    r = g0*a + g1*b
+
+with an invertible matrix ``[[h0, h1], [g0, g1]]`` satisfies perfect
+reconstruction (Property 1) and non-expansiveness (Property 3); the
+synthesis taps are simply the matrix inverse.  Distributivity and
+separability (Properties 2 and 4) hold for every pair because they are
+structural, not tap-dependent.
+
+Provided instances:
+
+- :data:`HAAR` — the paper's pair; cascades compute SUM aggregations.
+- :data:`MEAN` — the averaging pair ``p = (a + b) / 2``; cascades compute
+  the *mean over cells* (note: the mean of cell values, not the mean over
+  underlying records — record-level AVG needs the SUM/COUNT pair of
+  :class:`repro.cube.measures.MeasureSetCube`).
+- :data:`ORTHONORMAL_HAAR` — taps scaled by ``1/sqrt(2)``; preserves energy
+  exactly, which makes the Coifman-Wickerhauser entropy functional of
+  :mod:`repro.core.compress` exact rather than heuristic.
+
+The selection machinery (costs, Algorithms 1-2) is tap-independent — it
+counts operations and volumes only — so everything in :mod:`repro.core`
+composes with any pair defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .element import ElementId
+from .operators import OpCounter
+
+__all__ = [
+    "FilterPair",
+    "HAAR",
+    "MEAN",
+    "ORTHONORMAL_HAAR",
+    "analyze_pair",
+    "synthesize_pair",
+    "compute_element_with_pair",
+]
+
+
+@dataclass(frozen=True)
+class FilterPair:
+    """A two-tap analysis pair with exact synthesis taps.
+
+    ``lowpass = (h0, h1)`` and ``highpass = (g0, g1)`` define the analysis;
+    the synthesis taps come from inverting the 2x2 tap matrix at
+    construction time, so reconstruction is exact by construction.
+    """
+
+    name: str
+    lowpass: tuple[float, float]
+    highpass: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if abs(self.determinant) < 1e-12:
+            raise ValueError(
+                f"filter pair {self.name!r} is singular; no perfect "
+                "reconstruction exists"
+            )
+
+    @property
+    def determinant(self) -> float:
+        """Determinant of the 2x2 tap matrix (non-zero = invertible)."""
+        h0, h1 = self.lowpass
+        g0, g1 = self.highpass
+        return h0 * g1 - h1 * g0
+
+    @property
+    def synthesis_matrix(self) -> tuple[tuple[float, float], tuple[float, float]]:
+        """Rows ``(even from (p, r), odd from (p, r))`` of the inverse."""
+        h0, h1 = self.lowpass
+        g0, g1 = self.highpass
+        det = self.determinant
+        return ((g1 / det, -h1 / det), (-g0 / det, h0 / det))
+
+    @property
+    def is_sum_preserving(self) -> bool:
+        """Whether the low-pass output is the plain pairwise SUM."""
+        return self.lowpass == (1.0, 1.0)
+
+    @property
+    def is_energy_preserving(self) -> bool:
+        """Whether the tap matrix is orthonormal (exact Parseval)."""
+        h0, h1 = self.lowpass
+        g0, g1 = self.highpass
+        return (
+            abs(h0**2 + h1**2 - 1.0) < 1e-12
+            and abs(g0**2 + g1**2 - 1.0) < 1e-12
+            and abs(h0 * g0 + h1 * g1) < 1e-12
+        )
+
+
+#: The paper's pair (Eqs 1-2): SUM semantics.
+HAAR = FilterPair("haar", (1.0, 1.0), (1.0, -1.0))
+
+#: Averaging pair: low-pass outputs are pairwise means.
+MEAN = FilterPair("mean", (0.5, 0.5), (0.5, -0.5))
+
+#: Energy-preserving Haar (taps / sqrt(2)).
+ORTHONORMAL_HAAR = FilterPair(
+    "orthonormal-haar",
+    (2**-0.5, 2**-0.5),
+    (2**-0.5, -(2**-0.5)),
+)
+
+
+def _pairs(a: np.ndarray, axis: int) -> tuple[np.ndarray, np.ndarray]:
+    axis = axis % a.ndim
+    if a.shape[axis] < 2 or a.shape[axis] % 2:
+        raise ValueError(
+            f"axis {axis} has extent {a.shape[axis]}; need an even extent"
+        )
+    shape = a.shape[:axis] + (a.shape[axis] // 2, 2) + a.shape[axis + 1 :]
+    pairs = a.reshape(shape)
+    return np.take(pairs, 0, axis=axis + 1), np.take(pairs, 1, axis=axis + 1)
+
+
+def analyze_pair(
+    a: np.ndarray,
+    axis: int,
+    pair: FilterPair = HAAR,
+    counter: OpCounter | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply an arbitrary two-tap analysis pair along ``axis``."""
+    a = np.asarray(a, dtype=np.float64)
+    even, odd = _pairs(a, axis)
+    h0, h1 = pair.lowpass
+    g0, g1 = pair.highpass
+    p = h0 * even + h1 * odd
+    r = g0 * even + g1 * odd
+    if counter is not None:
+        counter.add(additions=p.size, subtractions=r.size, label=f"{pair.name} analyze")
+    return p, r
+
+
+def synthesize_pair(
+    p: np.ndarray,
+    r: np.ndarray,
+    axis: int,
+    pair: FilterPair = HAAR,
+    counter: OpCounter | None = None,
+) -> np.ndarray:
+    """Invert :func:`analyze_pair` exactly."""
+    p = np.asarray(p, dtype=np.float64)
+    r = np.asarray(r, dtype=np.float64)
+    if p.shape != r.shape:
+        raise ValueError(f"partial {p.shape} and residual {r.shape} differ")
+    (se_p, se_r), (so_p, so_r) = pair.synthesis_matrix
+    even = se_p * p + se_r * r
+    odd = so_p * p + so_r * r
+    axis = axis % p.ndim
+    out = np.empty(
+        p.shape[:axis] + (p.shape[axis], 2) + p.shape[axis + 1 :],
+        dtype=np.float64,
+    )
+    out[(slice(None),) * (axis + 1) + (0,)] = even
+    out[(slice(None),) * (axis + 1) + (1,)] = odd
+    if counter is not None:
+        counter.add(
+            additions=even.size,
+            subtractions=odd.size,
+            label=f"{pair.name} synthesize",
+        )
+    return out.reshape(p.shape[:axis] + (p.shape[axis] * 2,) + p.shape[axis + 1 :])
+
+
+def compute_element_with_pair(
+    cube_values: np.ndarray,
+    element: ElementId,
+    pair: FilterPair = HAAR,
+    counter: OpCounter | None = None,
+) -> np.ndarray:
+    """Materialize a view element under an arbitrary filter pair.
+
+    With :data:`HAAR` this matches
+    :func:`repro.core.materialize.compute_element`; with :data:`MEAN` the
+    all-partial elements hold block means instead of block sums.
+    """
+    cube_values = np.asarray(cube_values, dtype=np.float64)
+    if cube_values.shape != element.shape.sizes:
+        raise ValueError(
+            f"cube data shape {cube_values.shape} does not match "
+            f"{element.shape.sizes}"
+        )
+    out = cube_values
+    for dim in range(element.shape.ndim):
+        level, index = element.nodes[dim]
+        for step in range(level):
+            bit = (index >> (level - 1 - step)) & 1
+            even, odd = _pairs(out, dim)
+            if bit:
+                g0, g1 = pair.highpass
+                out = g0 * even + g1 * odd
+                if counter is not None:
+                    counter.add(subtractions=out.size, label=f"{pair.name} R")
+            else:
+                h0, h1 = pair.lowpass
+                out = h0 * even + h1 * odd
+                if counter is not None:
+                    counter.add(additions=out.size, label=f"{pair.name} P")
+    return out

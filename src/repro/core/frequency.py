@@ -1,0 +1,139 @@
+"""Frequency-plane geometry for view element *sets* (Section 4.2).
+
+The paper determines completeness and non-redundancy of a view element set by
+its coverage of the d-dimensional frequency plane: each element owns a dyadic
+rectangle (Eqs 21-23); a set is
+
+- *non-redundant* iff no two rectangles overlap (Eq 24), and
+- *complete* (a basis, Definitions 6-9) iff the rectangles cover ``[0,1)^d``.
+
+Two complete-cover tests are provided:
+
+- :func:`is_complete` — the paper's recursive Procedure 1.  It is exact for
+  non-redundant sets (dyadic partitions always admit a guillotine first cut:
+  two disjoint elements cannot both span a full, distinct dimension) and for
+  redundant sets it additionally falls back to checking each child cover
+  against the subset of elements intersecting that child, which keeps it
+  exact as well because dyadic rectangles never straddle a dyadic cut.
+- :func:`covered_measure` — exact Lebesgue measure of the union on the finest
+  dyadic grid, used by the test-suite to cross-check Procedure 1 on small
+  shapes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .element import CubeShape, ElementId
+
+__all__ = [
+    "is_non_redundant",
+    "is_complete",
+    "is_basis",
+    "is_non_redundant_basis",
+    "covered_measure",
+    "total_frequency_volume",
+    "storage_volume",
+]
+
+
+def _check_shape(elements: Sequence[ElementId], shape: CubeShape) -> None:
+    for e in elements:
+        if e.shape != shape:
+            raise ValueError("element does not belong to the given cube shape")
+
+
+def is_non_redundant(elements: Iterable[ElementId]) -> bool:
+    """True iff no two elements overlap in the frequency plane (Def 7).
+
+    Dyadic rectangles overlap iff one contains the other per dimension, so a
+    pairwise :meth:`ElementId.intersects` scan decides it.  Duplicate
+    elements count as redundant.
+    """
+    elems = list(elements)
+    for i, a in enumerate(elems):
+        for b in elems[i + 1 :]:
+            if a.intersects(b):
+                return False
+    return True
+
+
+def is_complete(elements: Iterable[ElementId], target: ElementId | None = None) -> bool:
+    """Procedure 1: completeness of a set with respect to ``target``.
+
+    ``target`` defaults to the root cube ``A``.  The set is complete iff its
+    members can perfectly reconstruct ``target`` — geometrically, iff the
+    rectangles of members intersecting ``target`` cover ``target``'s
+    rectangle.
+    """
+    elems = list(elements)
+    if not elems:
+        return False
+    if target is None:
+        target = elems[0].shape.root()
+    relevant = [e for e in elems if e.intersects(target)]
+    return _covers(relevant, target)
+
+
+def _covers(elements: list[ElementId], target: ElementId) -> bool:
+    """Whether the union of ``elements`` covers ``target``'s rectangle.
+
+    Recursive dyadic splitting: if any element contains ``target`` we are
+    done; otherwise try each splittable dimension and require both children
+    to be covered by the elements intersecting them (Procedure 1, step 2).
+    """
+    for e in elements:
+        if e.contains(target):
+            return True
+    for dim in target.splittable_dims():
+        p_child, r_child = target.children(dim)
+        p_set = [e for e in elements if e.intersects(p_child)]
+        r_set = [e for e in elements if e.intersects(r_child)]
+        if not p_set or not r_set:
+            continue
+        if _covers(p_set, p_child) and _covers(r_set, r_child):
+            return True
+    return False
+
+
+def is_basis(elements: Iterable[ElementId]) -> bool:
+    """Whether the set is complete with respect to the cube (Definition 8)."""
+    return is_complete(elements)
+
+
+def is_non_redundant_basis(elements: Iterable[ElementId]) -> bool:
+    """Whether the set is a complete, non-overlapping basis (Definition 9)."""
+    elems = list(elements)
+    return is_non_redundant(elems) and is_complete(elems)
+
+
+def covered_measure(elements: Sequence[ElementId], shape: CubeShape) -> float:
+    """Exact measure of the union of frequency rectangles.
+
+    Rasterizes on the finest dyadic grid (``n_m`` cells per dimension) —
+    every element rectangle is a union of whole grid cells, so the result is
+    exact.  Intended for verification at small shapes; memory is
+    ``prod(n_m)`` booleans.
+    """
+    elems = list(elements)
+    _check_shape(elems, shape)
+    grid = np.zeros(shape.sizes, dtype=bool)
+    for e in elems:
+        slices = []
+        for (k, j), n in zip(e.nodes, shape.sizes):
+            cell_width = n >> k
+            slices.append(slice(j * cell_width, (j + 1) * cell_width))
+        grid[tuple(slices)] = True
+    return float(grid.sum()) / shape.volume
+
+
+def total_frequency_volume(elements: Iterable[ElementId]) -> float:
+    """Sum of individual frequency volumes (1.0 for a non-redundant basis)."""
+    return float(sum(e.frequency_volume() for e in elements))
+
+
+def storage_volume(elements: Iterable[ElementId]) -> int:
+    """Total cells needed to store the set (the paper's storage cost)."""
+    return sum(e.volume for e in elements)

@@ -1,0 +1,239 @@
+"""The view element graph (Section 4 of the paper).
+
+The view element graph organizes all ``N_ve = prod(2 n_m - 1)`` view elements
+of a cube into a two-way dependency structure: each element is connected to
+its ``(P1, R1)`` children along every splittable dimension, and — by perfect
+reconstruction — each parent is recoverable from any such child pair.
+
+The graph is *virtual*: nodes are :class:`~repro.core.element.ElementId`
+values generated on demand, never stored wholesale (the 4-D, n=16 graph of
+the paper's Experiment 1 has 923,521 nodes).  Explicit enumeration helpers
+are provided for small shapes and for the vectorized selection engine, which
+indexes nodes with a per-dimension heap numbering:
+
+    heap index ``t`` of a dimension node ``(k, j)`` is ``2**k - 1 + j``
+
+so per-dimension parents/children are ``(t - 1) // 2`` and ``2t + 1 / 2t + 2``
+exactly as in a binary heap, and a full element index is the mixed-radix
+combination of its per-dimension heap indices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+import numpy as np
+
+from .element import CubeShape, ElementId
+
+__all__ = ["ViewElementGraph", "dim_node_to_heap", "heap_to_dim_node"]
+
+
+def dim_node_to_heap(level: int, index: int) -> int:
+    """Map a per-dimension node ``(k, j)`` to its heap index ``2**k - 1 + j``."""
+    return (1 << level) - 1 + index
+
+
+def heap_to_dim_node(t: int) -> tuple[int, int]:
+    """Inverse of :func:`dim_node_to_heap`."""
+    level = (t + 1).bit_length() - 1
+    return level, t - ((1 << level) - 1)
+
+
+class ViewElementGraph:
+    """Virtual graph over all view elements of a cube of ``shape``.
+
+    Provides counting (Table 1), traversal, block structure, and the flat
+    index arrays used by :mod:`repro.core.engine`.
+    """
+
+    def __init__(self, shape: CubeShape):
+        self.shape = shape
+
+    # ------------------------------------------------------------------
+    # Counting (Section 4.1 / Table 1)
+
+    @property
+    def num_elements(self) -> int:
+        """``N_ve`` (Eq 17)."""
+        return self.shape.num_view_elements()
+
+    @property
+    def num_aggregated_views(self) -> int:
+        """``N_av`` (Eq 18)."""
+        return self.shape.num_aggregated_views()
+
+    @property
+    def num_intermediate(self) -> int:
+        """``N_iv`` (Eq 19)."""
+        return self.shape.num_intermediate_elements()
+
+    @property
+    def num_residual(self) -> int:
+        """``N_rv`` (Eq 20)."""
+        return self.shape.num_residual_elements()
+
+    @property
+    def num_blocks(self) -> int:
+        """``N_b = prod(log2 n_m + 1)`` blocks (Section 4.1)."""
+        return self.shape.num_blocks()
+
+    def generation_cost(self) -> int:
+        """Additions/subtractions to generate the entire graph.
+
+        Section 4.1: ``O((N_b - 1) * Vol(A))`` — each block after the root is
+        produced with ``Vol(A)`` operations.
+        """
+        return (self.num_blocks - 1) * self.shape.volume
+
+    def full_storage_cost(self) -> int:
+        """Cells required to store the whole graph: ``N_b * Vol(A)``."""
+        return self.num_blocks * self.shape.volume
+
+    # ------------------------------------------------------------------
+    # Traversal
+
+    def root(self) -> ElementId:
+        """The root node — the data cube ``A``."""
+        return self.shape.root()
+
+    def elements(self) -> Iterator[ElementId]:
+        """Every view element (use only for small shapes)."""
+        per_dim = [
+            [heap_to_dim_node(t) for t in range(2 * n - 1)] for n in self.shape.sizes
+        ]
+        for nodes in itertools.product(*per_dim):
+            yield ElementId(self.shape, nodes)
+
+    def elements_at_level(self, levels: tuple[int, ...]) -> Iterator[ElementId]:
+        """All elements of one block (a fixed level vector)."""
+        if len(levels) != self.shape.ndim:
+            raise ValueError("level vector length must equal cube dimensionality")
+        per_dim = [
+            [(k, j) for j in range(1 << k)] for k in levels
+        ]
+        for nodes in itertools.product(*per_dim):
+            yield ElementId(self.shape, nodes)
+
+    def blocks(self) -> Iterator[tuple[int, ...]]:
+        """All level vectors, in ascending total-depth order."""
+        ranges = [range(k + 1) for k in self.shape.depths]
+        for levels in sorted(itertools.product(*ranges), key=sum):
+            yield levels
+
+    def aggregated_views(self) -> Iterator[ElementId]:
+        """The ``2**d`` aggregated views."""
+        return self.shape.aggregated_views()
+
+    def intermediate_elements(self) -> Iterator[ElementId]:
+        """All intermediate (pure partial-sum) elements — one per block."""
+        for levels in self.blocks():
+            yield ElementId(self.shape, tuple((k, 0) for k in levels))
+
+    def descendants(self, element: ElementId) -> Iterator[ElementId]:
+        """All strict descendants of ``element`` (small shapes only)."""
+        per_dim = []
+        for (k, j), depth in zip(element.nodes, self.shape.depths):
+            nodes = []
+            for kk in range(k, depth + 1):
+                shift = kk - k
+                for jj in range(j << shift, (j + 1) << shift):
+                    nodes.append((kk, jj))
+            per_dim.append(nodes)
+        for nodes in itertools.product(*per_dim):
+            candidate = ElementId(self.shape, nodes)
+            if candidate != element:
+                yield candidate
+
+    # ------------------------------------------------------------------
+    # Flat indexing for the vectorized engine
+
+    def index_radices(self) -> tuple[int, ...]:
+        """Per-dimension radix ``2 n_m - 1`` of the mixed-radix node index."""
+        return tuple(2 * n - 1 for n in self.shape.sizes)
+
+    def element_to_index(self, element: ElementId) -> int:
+        """Flat index of an element (mixed-radix over per-dim heap indices)."""
+        idx = 0
+        for (k, j), radix in zip(element.nodes, self.index_radices()):
+            idx = idx * radix + dim_node_to_heap(k, j)
+        return idx
+
+    def index_to_element(self, index: int) -> ElementId:
+        """Inverse of :meth:`element_to_index`."""
+        radices = self.index_radices()
+        digits = []
+        for radix in reversed(radices):
+            digits.append(index % radix)
+            index //= radix
+        digits.reverse()
+        return ElementId(
+            self.shape, tuple(heap_to_dim_node(t) for t in digits)
+        )
+
+    def index_arrays(self) -> dict[str, np.ndarray]:
+        """Vectorized node tables for the whole graph.
+
+        Returns a dict with, for ``N = N_ve`` nodes in flat-index order:
+
+        - ``levels`` — ``(N, d)`` per-dimension levels;
+        - ``indices`` — ``(N, d)`` per-dimension dyadic indices;
+        - ``volume`` — ``(N,)`` element volumes;
+        - ``depth`` — ``(N,)`` total depths (sum of levels);
+        - ``parent`` — ``(N, d)`` flat index of the parent along each
+          dimension, or ``-1`` where the dimension is undecomposed;
+        - ``p_child``/``r_child`` — ``(N, d)`` flat child indices or ``-1``.
+
+        Memory is ``O(N * d)``; intended for shapes up to a few hundred
+        thousand nodes.
+        """
+        radices = np.array(self.index_radices(), dtype=np.int64)
+        d = self.shape.ndim
+        n_nodes = int(np.prod(radices))
+        flat = np.arange(n_nodes, dtype=np.int64)
+        digits = np.empty((n_nodes, d), dtype=np.int64)
+        rem = flat.copy()
+        for m in range(d - 1, -1, -1):
+            digits[:, m] = rem % radices[m]
+            rem //= radices[m]
+
+        levels = np.frompyfunc(lambda t: (int(t) + 1).bit_length() - 1, 1, 1)(
+            digits
+        ).astype(np.int64)
+        indices = digits - ((1 << levels) - 1)
+        sizes = np.array(self.shape.sizes, dtype=np.int64)
+        volume = np.prod(sizes[None, :] >> levels, axis=1)
+        depth = levels.sum(axis=1)
+
+        weights = np.ones(d, dtype=np.int64)
+        for m in range(d - 2, -1, -1):
+            weights[m] = weights[m + 1] * radices[m + 1]
+
+        parent = np.full((n_nodes, d), -1, dtype=np.int64)
+        p_child = np.full((n_nodes, d), -1, dtype=np.int64)
+        r_child = np.full((n_nodes, d), -1, dtype=np.int64)
+        depths = np.array(self.shape.depths, dtype=np.int64)
+        for m in range(d):
+            t = digits[:, m]
+            has_parent = t > 0
+            parent[has_parent, m] = (
+                flat[has_parent] + ((t[has_parent] - 1) // 2 - t[has_parent]) * weights[m]
+            )
+            can_split = levels[:, m] < depths[m]
+            p_child[can_split, m] = (
+                flat[can_split] + (2 * t[can_split] + 1 - t[can_split]) * weights[m]
+            )
+            r_child[can_split, m] = (
+                flat[can_split] + (2 * t[can_split] + 2 - t[can_split]) * weights[m]
+            )
+
+        return {
+            "levels": levels,
+            "indices": indices,
+            "volume": volume,
+            "depth": depth,
+            "parent": parent,
+            "p_child": p_child,
+            "r_child": r_child,
+        }

@@ -1,0 +1,339 @@
+"""Materialization of view elements and assembly of views from them.
+
+This module turns the identifier algebra of :mod:`repro.core.element` into
+actual numpy arrays:
+
+- :func:`compute_element` runs the operator cascade that defines an element
+  directly on the cube data.
+- :class:`MaterializedSet` stores the arrays of a selected element set and
+  *assembles* any requested view element from them, choosing — exactly as
+  Procedure 3 prices it — between aggregating a stored ancestor down and
+  synthesizing from children via perfect reconstruction (Property 1).
+
+Every code path threads an :class:`~repro.core.operators.OpCounter`, so the
+number of scalar operations actually performed can be compared against the
+analytic cost model (the test-suite and an ablation benchmark do exactly
+that).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from .element import CubeShape, ElementId
+from .operators import OpCounter, partial_residual, partial_sum, synthesize
+from .select_redundant import generation_cost
+
+__all__ = ["compute_element", "MaterializedSet"]
+
+
+def _descend(
+    values: np.ndarray,
+    source: ElementId,
+    target: ElementId,
+    counter: OpCounter | None,
+) -> np.ndarray:
+    """Cascade ``values`` (the data of ``source``) down to ``target``.
+
+    ``target`` must be a descendant of ``source`` in the view element graph
+    (equivalently: its frequency rectangle is contained in ``source``'s).
+    The cascade applies, per dimension, the operators named by the extra
+    bits of the target's dyadic index — ``P1`` for 0, ``R1`` for 1 — which
+    costs ``Vol(source) - Vol(target)`` scalar operations in total.
+    """
+    if not source.contains(target):
+        raise ValueError("target is not a descendant of source")
+    out = values
+    for dim in range(source.shape.ndim):
+        k0, j0 = source.nodes[dim]
+        k1, j1 = target.nodes[dim]
+        for step in range(k1 - k0):
+            bit = (j1 >> (k1 - k0 - 1 - step)) & 1
+            if bit:
+                out = partial_residual(out, dim, counter=counter)
+            else:
+                out = partial_sum(out, dim, counter=counter)
+    return out
+
+
+def compute_element(
+    cube_values: np.ndarray,
+    element: ElementId,
+    counter: OpCounter | None = None,
+) -> np.ndarray:
+    """Materialize ``element`` directly from the cube's data.
+
+    Runs the defining operator cascade; costs
+    ``Vol(A) - Vol(element)`` operations.
+    """
+    cube_values = np.asarray(cube_values, dtype=np.float64)
+    if cube_values.shape != element.shape.sizes:
+        raise ValueError(
+            f"cube data shape {cube_values.shape} does not match "
+            f"element shape {element.shape.sizes}"
+        )
+    return _descend(cube_values, element.shape.root(), element, counter)
+
+
+class MaterializedSet:
+    """A stored set of view elements able to assemble further elements.
+
+    This is the runtime object behind the paper's "dynamic assembly": a
+    selection algorithm picks the element set, :meth:`from_cube` computes and
+    stores it, and :meth:`assemble` serves arbitrary view elements (in
+    particular aggregated views) on demand.
+    """
+
+    def __init__(self, shape: CubeShape):
+        self.shape = shape
+        self._arrays: dict[ElementId, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def from_cube(
+        cls,
+        cube_values: np.ndarray,
+        elements: Iterable[ElementId],
+        counter: OpCounter | None = None,
+    ) -> "MaterializedSet":
+        """Compute and store ``elements`` from raw cube data.
+
+        Elements are computed in ascending depth order and each is derived
+        from the deepest already-stored ancestor (falling back to the cube),
+        so shared cascade prefixes are not recomputed.
+        """
+        elements = sorted(set(elements), key=lambda e: e.depth)
+        if not elements:
+            raise ValueError("at least one element is required")
+        shape = elements[0].shape
+        cube_values = np.asarray(cube_values, dtype=np.float64)
+        if cube_values.shape != shape.sizes:
+            raise ValueError(
+                f"cube data shape {cube_values.shape} does not match {shape.sizes}"
+            )
+        out = cls(shape)
+        root = shape.root()
+        for element in elements:
+            source, source_values = root, cube_values
+            candidates = [
+                (stored, values)
+                for stored, values in out._arrays.items()
+                if stored.contains(element)
+            ]
+            if candidates:
+                source, source_values = min(candidates, key=lambda sv: sv[0].volume)
+            values = _descend(source_values, source, element, counter)
+            if values is source_values:
+                # Zero-step descent aliases the source; stored arrays must
+                # be owned so apply_update never mutates caller data.
+                values = values.copy()
+            out._arrays[element] = values
+        return out
+
+    def store(self, element: ElementId, values: np.ndarray) -> None:
+        """Store a precomputed element array (copied; the set owns it)."""
+        values = np.array(values, dtype=np.float64, copy=True)
+        if values.shape != element.data_shape:
+            raise ValueError(
+                f"array shape {values.shape} does not match element "
+                f"data shape {element.data_shape}"
+            )
+        if element.shape != self.shape:
+            raise ValueError("element belongs to a different cube shape")
+        self._arrays[element] = values
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def elements(self) -> tuple[ElementId, ...]:
+        """The stored elements."""
+        return tuple(self._arrays)
+
+    @property
+    def storage(self) -> int:
+        """Total stored cells (the paper's storage cost)."""
+        return sum(a.size for a in self._arrays.values())
+
+    def __contains__(self, element: ElementId) -> bool:
+        return element in self._arrays
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def array(self, element: ElementId) -> np.ndarray:
+        """The stored array of ``element`` (KeyError when absent)."""
+        return self._arrays[element]
+
+    # ------------------------------------------------------------------
+    # Assembly
+
+    def can_assemble(self, target: ElementId) -> bool:
+        """Whether the stored set is complete with respect to ``target``."""
+        return generation_cost(target, self.elements) != float("inf")
+
+    def assemble(
+        self, target: ElementId, counter: OpCounter | None = None
+    ) -> np.ndarray:
+        """Produce the data of ``target`` from the stored elements.
+
+        Recursively chooses, per element, the cheaper of the two Procedure 3
+        options — aggregation from the smallest stored ancestor
+        (``Vol(ancestor) - Vol(target)`` ops) or perfect-reconstruction
+        synthesis from the cheapest child pair (``Vol(target)`` ops plus the
+        children's own assembly costs).  Raises :class:`ValueError` when the
+        stored set cannot produce ``target``.
+
+        A stored target is returned by reference (the zero-cost read the
+        cost model promises); treat the result as read-only.
+        """
+        if target.shape != self.shape:
+            raise ValueError("target belongs to a different cube shape")
+        cost_memo: dict = {}
+        cost = generation_cost(target, self.elements, _memo=cost_memo)
+        if cost == float("inf"):
+            raise ValueError(
+                f"stored set is not complete with respect to {target!r}"
+            )
+        return self._assemble(target, cost_memo, counter)
+
+    def _assemble(
+        self,
+        target: ElementId,
+        cost_memo: dict,
+        counter: OpCounter | None,
+    ) -> np.ndarray:
+        if target in self._arrays:
+            return self._arrays[target]
+
+        stored = self.elements
+        agg_cost = float("inf")
+        agg_source: ElementId | None = None
+        for s in stored:
+            if s.contains(target) and s.volume - target.volume < agg_cost:
+                agg_cost = s.volume - target.volume
+                agg_source = s
+
+        synth_cost = float("inf")
+        synth_dim = -1
+        for dim in target.splittable_dims():
+            p_cost = generation_cost(target.partial_child(dim), stored, _memo=cost_memo)
+            r_cost = generation_cost(target.residual_child(dim), stored, _memo=cost_memo)
+            candidate = target.volume + p_cost + r_cost
+            if candidate < synth_cost:
+                synth_cost = candidate
+                synth_dim = dim
+
+        if agg_source is not None and agg_cost <= synth_cost:
+            return _descend(self._arrays[agg_source], agg_source, target, counter)
+        if synth_dim < 0:
+            raise ValueError(f"cannot assemble {target!r} from the stored set")
+        p_values = self._assemble(target.partial_child(synth_dim), cost_memo, counter)
+        r_values = self._assemble(target.residual_child(synth_dim), cost_memo, counter)
+        return synthesize(p_values, r_values, synth_dim, counter=counter)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+
+    def apply_update(
+        self,
+        coordinates: tuple[int, ...],
+        delta: float,
+        counter: OpCounter | None = None,
+    ) -> None:
+        """Propagate a single-cell cube update into every stored element.
+
+        Because every view element is a linear functional of the cube, a
+        change of ``delta`` at cube cell ``coordinates`` touches exactly one
+        coefficient per stored element: the cell whose dyadic block contains
+        the coordinate, with sign ``(-1)**bit`` for each residual step whose
+        split put the coordinate in the odd half.  The cost is O(d) per
+        stored element — no recomputation from the cube.
+        """
+        if len(coordinates) != self.shape.ndim:
+            raise ValueError(
+                f"{len(coordinates)} coordinates for a "
+                f"{self.shape.ndim}-dimensional cube"
+            )
+        for coord, size in zip(coordinates, self.shape.sizes):
+            if not 0 <= coord < size:
+                raise ValueError(f"coordinate {coord} outside [0, {size})")
+        for element, values in self._arrays.items():
+            cell = []
+            sign = 1.0
+            for (level, index), coord in zip(element.nodes, coordinates):
+                position = coord
+                for step in range(level):
+                    bit = (index >> (level - 1 - step)) & 1
+                    if bit and (position & 1):
+                        # Residual step with the coordinate in the odd
+                        # half: out[p] = in[2p] - in[2p+1] flips the sign.
+                        sign = -sign
+                    position >>= 1
+                cell.append(position)
+            values[tuple(cell)] += sign * delta
+            if counter is not None:
+                counter.add(additions=1, label="incremental update")
+
+    def apply_updates(
+        self,
+        coordinates: np.ndarray,
+        deltas: np.ndarray,
+        counter: OpCounter | None = None,
+    ) -> None:
+        """Vectorized :meth:`apply_update` for a batch of cell deltas.
+
+        ``coordinates`` is ``(n, d)`` int, ``deltas`` is ``(n,)``.  The
+        per-element work is O(n * d) with numpy bit arithmetic — suitable
+        for refreshing a materialized set from a day's worth of new fact
+        rows without recomputation.
+        """
+        coordinates = np.asarray(coordinates, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if coordinates.ndim != 2 or coordinates.shape[1] != self.shape.ndim:
+            raise ValueError(
+                f"coordinates must be (n, {self.shape.ndim}); "
+                f"got {coordinates.shape}"
+            )
+        if deltas.shape != (coordinates.shape[0],):
+            raise ValueError("deltas length must match coordinate rows")
+        sizes = np.array(self.shape.sizes, dtype=np.int64)
+        if coordinates.size and (
+            (coordinates < 0).any() or (coordinates >= sizes[None, :]).any()
+        ):
+            raise ValueError("coordinates outside the cube extents")
+        if not coordinates.size:
+            return
+
+        for element, values in self._arrays.items():
+            signs = np.ones(coordinates.shape[0], dtype=np.float64)
+            cells = np.empty_like(coordinates)
+            for m, (level, index) in enumerate(element.nodes):
+                position = coordinates[:, m].copy()
+                for step in range(level):
+                    bit = (index >> (level - 1 - step)) & 1
+                    if bit:
+                        signs = np.where(position & 1, -signs, signs)
+                    position >>= 1
+                cells[:, m] = position
+            np.add.at(values, tuple(cells.T), signs * deltas)
+            if counter is not None:
+                counter.add(
+                    additions=coordinates.shape[0], label="batch update"
+                )
+
+    def assemble_view(
+        self, aggregated_dims, counter: OpCounter | None = None
+    ) -> np.ndarray:
+        """Assemble the aggregated view over ``aggregated_dims``."""
+        return self.assemble(
+            self.shape.aggregated_view(aggregated_dims), counter=counter
+        )
+
+    def reconstruct_cube(self, counter: OpCounter | None = None) -> np.ndarray:
+        """Perfectly reconstruct the original cube (root element)."""
+        return self.assemble(self.shape.root(), counter=counter)

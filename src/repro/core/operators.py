@@ -1,0 +1,200 @@
+"""Partial aggregation operator pairs (Section 3 of the paper).
+
+The paper builds every view element out of a single pair of operators per
+dimension, the two-tap Haar filter bank:
+
+- :func:`partial_sum` (``P1``, Eq 1) sums neighbouring pairs of cells along one
+  dimension and subsamples by two (the low-pass branch).
+- :func:`partial_residual` (``R1``, Eq 2) takes the differences of the same
+  pairs (the high-pass branch).
+
+Together the pair satisfies the four properties the paper relies on:
+
+- *Perfect reconstruction* (Property 1, Eqs 3-4): :func:`synthesize` rebuilds
+  the input exactly from the two outputs.
+- *Distributivity* (Property 2, Eqs 5-8): cascading ``P1`` ``k`` times yields
+  the k-th partial aggregation ``Pk`` (:func:`partial_sum_k`).
+- *Non-expansiveness* (Property 3, Eqs 11-13): the two outputs together have
+  exactly the volume of the input.
+- *Separability* (Property 4, Eq 14): operators on different dimensions
+  commute, so multi-dimensional cascades may be applied in any order.
+
+All functions accept an optional :class:`OpCounter` that accumulates the
+number of scalar additions/subtractions actually performed.  This is the
+empirical counterpart of the paper's analytic cost model (Eqs 26-28) and lets
+the test-suite check that the model prices real work correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "OpCounter",
+    "partial_sum",
+    "partial_residual",
+    "analyze",
+    "synthesize",
+    "partial_sum_k",
+    "total_sum",
+    "total_aggregate",
+]
+
+
+@dataclass
+class OpCounter:
+    """Accumulates counts of scalar additions/subtractions.
+
+    The paper measures processing cost in additions and subtractions performed
+    during partial-aggregation cascades (Section 4.1).  Synthesis steps count
+    the same way: rebuilding a parent of volume ``v`` performs ``v/2``
+    additions and ``v/2`` subtractions.
+    """
+
+    additions: int = 0
+    subtractions: int = 0
+    events: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Total scalar operations counted so far."""
+        return self.additions + self.subtractions
+
+    def add(self, additions: int = 0, subtractions: int = 0, label: str = "") -> None:
+        """Record ``additions`` and ``subtractions`` scalar operations."""
+        self.additions += int(additions)
+        self.subtractions += int(subtractions)
+        if label:
+            self.events.append((label, int(additions), int(subtractions)))
+
+    def reset(self) -> None:
+        """Zero all counters and drop the event log."""
+        self.additions = 0
+        self.subtractions = 0
+        self.events.clear()
+
+
+def _require_even(a: np.ndarray, axis: int) -> None:
+    if a.shape[axis] < 2 or a.shape[axis] % 2 != 0:
+        raise ValueError(
+            f"axis {axis} has extent {a.shape[axis]}; partial aggregation "
+            "requires an even extent of at least 2"
+        )
+
+
+def _pair_view(a: np.ndarray, axis: int) -> np.ndarray:
+    """Reshape ``a`` so that ``axis`` is split into (pairs, 2)."""
+    axis = axis % a.ndim
+    _require_even(a, axis)
+    new_shape = a.shape[:axis] + (a.shape[axis] // 2, 2) + a.shape[axis + 1 :]
+    return a.reshape(new_shape)
+
+
+def partial_sum(a: np.ndarray, axis: int, counter: OpCounter | None = None) -> np.ndarray:
+    """First partial sum ``P1`` along ``axis`` (Eq 1).
+
+    Sums neighbouring pairs of cells along ``axis`` and subsamples by two.
+    The result has half the extent along ``axis``.
+    """
+    pairs = _pair_view(np.asarray(a), axis)
+    out = pairs.sum(axis=(axis % a.ndim) + 1)
+    if counter is not None:
+        counter.add(additions=out.size, label=f"P1 axis={axis}")
+    return out
+
+
+def partial_residual(a: np.ndarray, axis: int, counter: OpCounter | None = None) -> np.ndarray:
+    """First partial residual ``R1`` along ``axis`` (Eq 2).
+
+    Takes the differences (even minus odd) of neighbouring pairs along
+    ``axis`` and subsamples by two.
+    """
+    pairs = _pair_view(np.asarray(a), axis)
+    ax = (axis % a.ndim) + 1
+    even = np.take(pairs, 0, axis=ax)
+    odd = np.take(pairs, 1, axis=ax)
+    out = even - odd
+    if counter is not None:
+        counter.add(subtractions=out.size, label=f"R1 axis={axis}")
+    return out
+
+
+def analyze(
+    a: np.ndarray, axis: int, counter: OpCounter | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the analysis pair ``(P1, R1)`` along ``axis``.
+
+    Returns ``(partial, residual)``.  By Property 3 the two outputs together
+    occupy exactly the volume of the input.
+    """
+    return (
+        partial_sum(a, axis, counter=counter),
+        partial_residual(a, axis, counter=counter),
+    )
+
+
+def synthesize(
+    p: np.ndarray, r: np.ndarray, axis: int, counter: OpCounter | None = None
+) -> np.ndarray:
+    """Perfectly reconstruct the parent from ``(P1, R1)`` outputs (Eqs 3-4).
+
+    ``parent[..., 2i, ...] = (p + r) / 2`` and
+    ``parent[..., 2i + 1, ...] = (p - r) / 2``.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    r = np.asarray(r, dtype=np.float64)
+    if p.shape != r.shape:
+        raise ValueError(f"partial {p.shape} and residual {r.shape} shapes differ")
+    axis = axis % p.ndim
+    out_shape = p.shape[:axis] + (p.shape[axis] * 2,) + p.shape[axis + 1 :]
+    pairs = np.empty(p.shape[:axis] + (p.shape[axis], 2) + p.shape[axis + 1 :], dtype=np.float64)
+    even = (p + r) / 2.0
+    odd = (p - r) / 2.0
+    idx_even = (slice(None),) * (axis + 1) + (0,)
+    idx_odd = (slice(None),) * (axis + 1) + (1,)
+    pairs[idx_even] = even
+    pairs[idx_odd] = odd
+    if counter is not None:
+        counter.add(additions=even.size, subtractions=odd.size, label=f"synth axis={axis}")
+    return pairs.reshape(out_shape)
+
+
+def partial_sum_k(
+    a: np.ndarray, axis: int, k: int, counter: OpCounter | None = None
+) -> np.ndarray:
+    """k-th partial aggregation ``Pk`` via the telescopic cascade (Eq 8)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    out = np.asarray(a)
+    for _ in range(k):
+        out = partial_sum(out, axis, counter=counter)
+    return out
+
+
+def total_sum(a: np.ndarray, axis: int, counter: OpCounter | None = None) -> np.ndarray:
+    """Total aggregation ``S^m`` along ``axis`` (Eq 15).
+
+    Cascades ``P1`` ``log2(n)`` times, leaving extent 1 along ``axis``.
+    """
+    a = np.asarray(a)
+    n = a.shape[axis % a.ndim]
+    k = int(n).bit_length() - 1
+    if 2**k != n:
+        raise ValueError(f"axis {axis} extent {n} is not a power of two")
+    return partial_sum_k(a, axis, k, counter=counter)
+
+
+def total_aggregate(
+    a: np.ndarray, axes: tuple[int, ...], counter: OpCounter | None = None
+) -> np.ndarray:
+    """Total aggregation over several dimensions (Eq 16).
+
+    By separability (Property 4) the per-dimension cascades may be applied in
+    any order; we apply them in ascending axis order.
+    """
+    out = np.asarray(a)
+    for axis in sorted(ax % a.ndim for ax in axes):
+        out = total_sum(out, axis, counter=counter)
+    return out

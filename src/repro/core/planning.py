@@ -1,0 +1,130 @@
+"""EXPLAIN-style assembly plans for view element generation (Procedure 3).
+
+The cost numbers of the selection algorithms answer "how much"; this module
+answers "how": given a stored element set and a target, :func:`explain`
+produces the cheapest generation plan as an explicit tree —
+
+- ``stored`` leaves (zero cost),
+- ``aggregate`` nodes (cascade down from a stored ancestor, Eq 28),
+- ``synthesize`` nodes (perfect reconstruction from two child plans,
+  Eq 32) —
+
+mirroring exactly the routes Procedure 3 prices and
+:meth:`~repro.core.materialize.MaterializedSet.assemble` executes.  The
+rendered plan is the debugging/observability surface a production system
+would expose as ``EXPLAIN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from .element import ElementId
+from .select_redundant import generation_cost
+
+__all__ = ["AssemblyPlan", "explain", "render_plan"]
+
+
+@dataclass(frozen=True)
+class AssemblyPlan:
+    """One node of an assembly plan tree."""
+
+    target: ElementId
+    kind: str  # "stored" | "aggregate" | "synthesize"
+    cost: float
+    source: ElementId | None = None  # for "aggregate"
+    dim: int | None = None  # for "synthesize"
+    children: tuple["AssemblyPlan", ...] = ()
+
+    @cached_property
+    def total_cost(self) -> float:
+        """Cost of this node plus all descendants."""
+        return self.cost + sum(child.total_cost for child in self.children)
+
+    def walk(self):
+        """Yield every plan node, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def explain(
+    target: ElementId, selected: tuple[ElementId, ...] | list[ElementId]
+) -> AssemblyPlan:
+    """Build the cheapest generation plan for ``target`` from ``selected``.
+
+    Raises :class:`ValueError` when the selection cannot produce the target
+    (i.e. Procedure 3 prices it at infinity).
+    """
+    selected = tuple(selected)
+    memo: dict = {}
+    total = generation_cost(target, selected, _memo=memo)
+    if total == float("inf"):
+        raise ValueError(f"selection cannot generate {target!r}")
+    return _plan(target, selected, memo)
+
+
+def _plan(
+    target: ElementId, selected: tuple[ElementId, ...], memo: dict
+) -> AssemblyPlan:
+    if target in selected:
+        return AssemblyPlan(target=target, kind="stored", cost=0.0)
+
+    best_agg = float("inf")
+    best_source: ElementId | None = None
+    for s in selected:
+        if s.contains(target) and s.volume - target.volume < best_agg:
+            best_agg = s.volume - target.volume
+            best_source = s
+
+    best_synth = float("inf")
+    best_dim = -1
+    for dim in target.splittable_dims():
+        p_cost = generation_cost(target.partial_child(dim), selected, _memo=memo)
+        r_cost = generation_cost(target.residual_child(dim), selected, _memo=memo)
+        candidate = target.volume + p_cost + r_cost
+        if candidate < best_synth:
+            best_synth = candidate
+            best_dim = dim
+
+    if best_source is not None and best_agg <= best_synth:
+        return AssemblyPlan(
+            target=target,
+            kind="aggregate",
+            cost=float(best_agg),
+            source=best_source,
+        )
+    if best_dim < 0:
+        raise ValueError(f"selection cannot generate {target!r}")
+    p_plan = _plan(target.partial_child(best_dim), selected, memo)
+    r_plan = _plan(target.residual_child(best_dim), selected, memo)
+    return AssemblyPlan(
+        target=target,
+        kind="synthesize",
+        cost=float(target.volume),
+        dim=best_dim,
+        children=(p_plan, r_plan),
+    )
+
+
+def render_plan(plan: AssemblyPlan, indent: str = "") -> str:
+    """Pretty-print a plan tree, EXPLAIN style."""
+    target = plan.target.describe() or "."
+    if plan.kind == "stored":
+        line = f"{indent}read {target}  [stored, 0 ops]"
+    elif plan.kind == "aggregate":
+        source = plan.source.describe() or "."
+        line = (
+            f"{indent}aggregate {target} from {source}  "
+            f"[{plan.cost:.0f} ops]"
+        )
+    else:
+        line = (
+            f"{indent}synthesize {target} along dim {plan.dim}  "
+            f"[{plan.cost:.0f} ops + children]"
+        )
+    lines = [line]
+    for child in plan.children:
+        lines.append(render_plan(child, indent + "  "))
+    return "\n".join(lines)

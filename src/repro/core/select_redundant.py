@@ -1,0 +1,235 @@
+"""Procedure 3 and Algorithm 2 — redundant view element selection (§5.3).
+
+When storage beyond ``Vol(A)`` is available, adding *redundant* view elements
+can cut processing cost further.  The paper evaluates a candidate set with
+Procedure 3: every element can be generated either
+
+- *by aggregation* from some selected ancestor ``V_s`` at cost
+  ``Vol(s) - Vol(V)`` (Eq 28), or
+- *by synthesis* from its two children along some dimension at cost
+  ``Vol(V)`` plus the cost of obtaining both children (Eq 32),
+
+and the cheapest option wins (Eq 33).  The total cost of the selection is the
+frequency-weighted sum over the query population (Eq 34).
+
+Algorithm 2 greedily adds, at each stage, the candidate element that most
+reduces the total cost, until the storage budget ``S_T`` is exhausted.
+
+This module is the clear, reference implementation (explicit
+:class:`ElementId` recursion).  The vectorized engine in
+:mod:`repro.core.engine` computes identical numbers with numpy level sweeps
+and is what the Figure 9 experiment uses; the test-suite checks they agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from .element import CubeShape, ElementId
+from .graph import ViewElementGraph
+from .population import QueryPopulation
+
+__all__ = [
+    "generation_cost",
+    "total_processing_cost",
+    "GreedyStage",
+    "GreedyResult",
+    "greedy_redundant_selection",
+]
+
+_INF = float("inf")
+
+
+def _min_selected_ancestor_volume(
+    element: ElementId, selected: Sequence[ElementId]
+) -> float:
+    """Volume of the smallest selected element containing ``element``."""
+    best = _INF
+    for s in selected:
+        if s.volume < best and s.contains(element):
+            best = s.volume
+    return best
+
+
+def generation_cost(
+    element: ElementId,
+    selected: Sequence[ElementId],
+    _memo: dict | None = None,
+) -> float:
+    """``T_j`` — cheapest way to produce ``element`` from ``selected``.
+
+    ``min(0 if selected, aggregation from a selected ancestor, synthesis
+    from children)`` per Eqs 32-33.  Returns ``inf`` when the selection
+    cannot produce the element at all (i.e. it is not complete with respect
+    to it).
+    """
+    memo = _memo if _memo is not None else {}
+    return _generation_cost(element, tuple(selected), memo)
+
+
+def _generation_cost(
+    element: ElementId, selected: tuple[ElementId, ...], memo: dict
+) -> float:
+    cached = memo.get(element)
+    if cached is not None:
+        return cached
+    if element in selected:
+        memo[element] = 0.0
+        return 0.0
+    best = _INF
+    ancestor_vol = _min_selected_ancestor_volume(element, selected)
+    if ancestor_vol < _INF:
+        best = ancestor_vol - element.volume
+    # Synthesis from children (strictly deeper, so the recursion terminates).
+    for dim in element.splittable_dims():
+        p_cost = _generation_cost(element.partial_child(dim), selected, memo)
+        r_cost = _generation_cost(element.residual_child(dim), selected, memo)
+        candidate = element.volume + p_cost + r_cost
+        if candidate < best:
+            best = candidate
+    memo[element] = best
+    return best
+
+
+def total_processing_cost(
+    selected: Sequence[ElementId],
+    population: QueryPopulation,
+) -> float:
+    """Procedure 3: ``T = sum_k f_k T(Z_k)`` (Eq 34)."""
+    selected = tuple(selected)
+    memo: dict = {}
+    total = 0.0
+    for query, f in population:
+        if f <= 0:
+            continue
+        cost = _generation_cost(query, selected, memo)
+        total += f * cost
+    return total
+
+
+@dataclass(frozen=True)
+class GreedyStage:
+    """One point of the storage/processing trade-off curve."""
+
+    added: ElementId | None
+    storage: int
+    cost: float
+
+    def normalized(self, cube_volume: int) -> tuple[float, float]:
+        """``(storage / Vol(A), cost)`` as plotted in the paper's Figure 9."""
+        return self.storage / cube_volume, self.cost
+
+
+@dataclass(frozen=True)
+class GreedyResult:
+    """Full trajectory of Algorithm 2 (stage 0 is the initial selection)."""
+
+    stages: tuple[GreedyStage, ...]
+    selected: tuple[ElementId, ...]
+
+    @property
+    def final_cost(self) -> float:
+        """Total processing cost after the last stage."""
+        return self.stages[-1].cost
+
+    @property
+    def final_storage(self) -> int:
+        """Storage cells after the last stage."""
+        return self.stages[-1].storage
+
+
+def greedy_redundant_selection(
+    initial: Sequence[ElementId],
+    population: QueryPopulation,
+    storage_budget: float,
+    candidates: Iterable[ElementId] | None = None,
+    stop_at_zero: bool = True,
+    remove_obsolete: bool = False,
+) -> GreedyResult:
+    """Algorithm 2: greedily add redundant elements under a storage budget.
+
+    Parameters
+    ----------
+    initial:
+        Starting selection — typically the Algorithm 1 basis (the paper's
+        [V] strategy) or just the data cube (the [D] strategy).
+    population:
+        Query population defining the total cost (Procedure 3).
+    storage_budget:
+        Maximum total cells ``S_T``; candidates that would exceed it are
+        not considered (Algorithm 2, step 2).
+    candidates:
+        Pool of addable elements.  Defaults to every view element of the
+        graph (feasible for small shapes only); pass the aggregated views to
+        emulate the view-only [D] strategy.
+    stop_at_zero:
+        Stop early once the total cost reaches zero.
+    remove_obsolete:
+        The Section 7.2.2 refinement: after each addition, drop selected
+        elements whose removal leaves the total cost unchanged (largest
+        volume first), freeing storage for later stages.
+
+    Returns
+    -------
+    GreedyResult
+        The stage-by-stage storage/cost trajectory and final selection.
+    """
+    selected = list(initial)
+    shape = population.shape
+    if candidates is None:
+        candidates = ViewElementGraph(shape).elements()
+    pool = [c for c in candidates if c not in set(selected)]
+
+    storage = sum(e.volume for e in selected)
+    cost = total_processing_cost(selected, population)
+    stages = [GreedyStage(added=None, storage=storage, cost=cost)]
+
+    while pool:
+        if stop_at_zero and cost <= 0.0:
+            break
+        best_cost = cost
+        best_idx = -1
+        for idx, candidate in enumerate(pool):
+            if storage + candidate.volume > storage_budget:
+                continue
+            trial_cost = total_processing_cost(selected + [candidate], population)
+            if trial_cost < best_cost - 1e-12:
+                best_cost = trial_cost
+                best_idx = idx
+        if best_idx < 0:
+            break
+        chosen = pool.pop(best_idx)
+        selected.append(chosen)
+        storage += chosen.volume
+        cost = best_cost
+        if remove_obsolete:
+            storage = _drop_obsolete(selected, population, cost, storage)
+        stages.append(GreedyStage(added=chosen, storage=storage, cost=cost))
+
+    return GreedyResult(stages=tuple(stages), selected=tuple(selected))
+
+
+def _drop_obsolete(
+    selected: list[ElementId],
+    population: QueryPopulation,
+    cost: float,
+    storage: int,
+) -> int:
+    """Drop selected elements whose removal keeps the total cost unchanged.
+
+    Largest volume first; repeats until no element is obsolete.  Mutates
+    ``selected``; returns the updated storage.
+    """
+    while len(selected) > 1:
+        removable = []
+        for element in selected:
+            remaining = [e for e in selected if e != element]
+            if total_processing_cost(remaining, population) <= cost + 1e-9:
+                removable.append(element)
+        if not removable:
+            return storage
+        victim = max(removable, key=lambda e: e.volume)
+        selected.remove(victim)
+        storage -= victim.volume
+    return storage

@@ -1,0 +1,107 @@
+"""Consistency validation for materialized element sets.
+
+Operations tooling: before trusting a (possibly long-lived, incrementally
+updated, reloaded-from-disk) :class:`MaterializedSet`, verify it against
+ground truth.  :func:`validate_materialized_set` recomputes every stored
+element from the cube and reports mismatches;
+:func:`validate_selection` checks the structural invariants a selection
+should satisfy (shape agreement, completeness when claimed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .element import ElementId
+from .frequency import is_complete, is_non_redundant
+from .materialize import MaterializedSet, compute_element
+
+__all__ = ["ValidationReport", "validate_materialized_set", "validate_selection"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of a validation pass."""
+
+    ok: bool
+    checked: int
+    errors: tuple[str, ...]
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`AssertionError` with all findings when not ok."""
+        if not self.ok:
+            raise AssertionError(
+                f"validation failed with {len(self.errors)} error(s):\n"
+                + "\n".join(self.errors)
+            )
+
+
+def validate_materialized_set(
+    ms: MaterializedSet,
+    cube_values: np.ndarray,
+    atol: float = 1e-6,
+) -> ValidationReport:
+    """Recompute every stored element and compare against the stored array.
+
+    Catches silent corruption from missed updates, bad loads, or external
+    mutation of returned arrays.
+    """
+    cube_values = np.asarray(cube_values, dtype=np.float64)
+    errors: list[str] = []
+    if cube_values.shape != ms.shape.sizes:
+        errors.append(
+            f"cube data shape {cube_values.shape} does not match the set's "
+            f"shape {ms.shape.sizes}"
+        )
+        return ValidationReport(ok=False, checked=0, errors=tuple(errors))
+
+    checked = 0
+    for element in ms.elements:
+        checked += 1
+        expected = compute_element(cube_values, element)
+        stored = ms.array(element)
+        if stored.shape != expected.shape:
+            errors.append(
+                f"{element.describe()}: stored shape {stored.shape} != "
+                f"expected {expected.shape}"
+            )
+            continue
+        diff = np.abs(stored - expected)
+        worst = float(diff.max()) if diff.size else 0.0
+        if worst > atol:
+            where = np.unravel_index(int(diff.argmax()), diff.shape)
+            errors.append(
+                f"{element.describe()}: max deviation {worst:g} at cell "
+                f"{tuple(int(i) for i in where)}"
+            )
+    return ValidationReport(ok=not errors, checked=checked, errors=tuple(errors))
+
+
+def validate_selection(
+    elements: list[ElementId] | tuple[ElementId, ...],
+    expect_complete: bool = True,
+    expect_non_redundant: bool = False,
+) -> ValidationReport:
+    """Structural checks on a selected element set."""
+    elements = list(elements)
+    errors: list[str] = []
+    if not elements:
+        errors.append("selection is empty")
+        return ValidationReport(ok=False, checked=0, errors=tuple(errors))
+    shape = elements[0].shape
+    for element in elements:
+        if element.shape != shape:
+            errors.append(
+                f"{element.describe()}: belongs to a different cube shape"
+            )
+    if len(set(elements)) != len(elements):
+        errors.append("selection contains duplicate elements")
+    if expect_complete and not is_complete(elements):
+        errors.append("selection is not complete with respect to the cube")
+    if expect_non_redundant and not is_non_redundant(elements):
+        errors.append("selection has overlapping (redundant) elements")
+    return ValidationReport(
+        ok=not errors, checked=len(elements), errors=tuple(errors)
+    )

@@ -1,0 +1,34 @@
+"""MOLAP substrate: dense and sparse data cubes with named dimensions."""
+
+from .aggregate import all_views, view_element_of, view_sizes
+from .builder import build_cube, cube_from_columns
+from .chunked import ChunkedCube
+from .datacube import DataCube
+from .dimensions import Dimension, DimensionSet, next_power_of_two
+from .hierarchy import (
+    BinaryHierarchy,
+    HierarchicalDimension,
+    rollup,
+    rollup_element,
+)
+from .measures import MeasureSetCube
+from .sparse import SparseCube
+
+__all__ = [
+    "BinaryHierarchy",
+    "ChunkedCube",
+    "DataCube",
+    "Dimension",
+    "DimensionSet",
+    "HierarchicalDimension",
+    "MeasureSetCube",
+    "SparseCube",
+    "all_views",
+    "build_cube",
+    "cube_from_columns",
+    "next_power_of_two",
+    "rollup",
+    "rollup_element",
+    "view_element_of",
+    "view_sizes",
+]

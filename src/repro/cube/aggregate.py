@@ -1,0 +1,81 @@
+"""Whole-lattice aggregation helpers over :class:`DataCube`.
+
+These are the MOLAP counterparts of the relational CUBE operator: compute
+every aggregated view of the cube lattice (all ``2**d`` group-bys) directly
+with partial-sum cascades, and name views by the dimensions they *retain*
+(the OLAP convention) or aggregate (the paper's convention).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..core.element import ElementId
+from ..core.operators import OpCounter, total_sum
+from .datacube import DataCube
+
+__all__ = ["all_views", "view_element_of", "view_sizes"]
+
+
+def all_views(
+    cube: DataCube, counter: OpCounter | None = None
+) -> dict[frozenset[str], np.ndarray]:
+    """Every aggregated view of the cube, keyed by *retained* dimensions.
+
+    The full cube appears under the key of all dimension names, the grand
+    total under ``frozenset()``.  Views are computed top-down so each reuses
+    its cheapest already-computed parent (one extra total aggregation),
+    mirroring the cube-lattice pipelining of Agrawal et al. [2].
+    """
+    names = cube.dimensions.names
+    views: dict[frozenset[str], np.ndarray] = {frozenset(names): cube.values}
+    # Process by decreasing number of retained dimensions.
+    for r in range(len(names) - 1, -1, -1):
+        for retained in itertools.combinations(names, r):
+            key = frozenset(retained)
+            # Choose the smallest parent view with one extra dimension.
+            best_parent = None
+            for extra in names:
+                if extra in key:
+                    continue
+                parent_key = key | {extra}
+                if parent_key in views:
+                    parent = views[parent_key]
+                    if best_parent is None or parent.size < best_parent[1].size:
+                        best_parent = (extra, parent)
+            if best_parent is None:
+                raise RuntimeError("lattice traversal missed a parent view")
+            extra, parent = best_parent
+            axis = cube.dimensions.axis_of(extra)
+            views[key] = total_sum(parent, axis, counter=counter)
+    return views
+
+
+def view_element_of(cube: DataCube, retained_dims: Iterable[str]) -> ElementId:
+    """The :class:`ElementId` of the view retaining ``retained_dims``."""
+    retained = set(retained_dims)
+    unknown = retained - set(cube.dimensions.names)
+    if unknown:
+        raise KeyError(f"unknown dimensions {sorted(unknown)}")
+    aggregated_axes = [
+        cube.dimensions.axis_of(name)
+        for name in cube.dimensions.names
+        if name not in retained
+    ]
+    return cube.shape_id.aggregated_view(aggregated_axes)
+
+
+def view_sizes(cube: DataCube) -> dict[frozenset[str], int]:
+    """Cell counts of every aggregated view (no data touched)."""
+    names = cube.dimensions.names
+    sizes = {}
+    for r in range(len(names) + 1):
+        for retained in itertools.combinations(names, r):
+            size = 1
+            for name in retained:
+                size *= cube.dimensions[name].size
+            sizes[frozenset(retained)] = size
+    return sizes

@@ -1,0 +1,107 @@
+"""Building data cubes from relational data (Section 2 of the paper).
+
+The paper generates the d-dimensional cube ``A`` from a relation ``R`` with
+``d`` functional attributes and a measure attribute: each cell aggregates
+the measure over all records mapping to it.  :func:`build_cube` performs
+that mapping from plain records or from a :class:`repro.relational.Table`,
+inferring dimension domains, padding extents to powers of two, and scattering
+measures with ``np.add.at`` (duplicate coordinates accumulate, i.e. SUM).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .datacube import DataCube
+from .dimensions import Dimension
+
+__all__ = ["build_cube", "cube_from_columns"]
+
+
+def _domain_in_order(values: Iterable) -> list:
+    """Unique values in order of first appearance (sorted when sortable)."""
+    seen: dict = {}
+    for v in values:
+        if v not in seen:
+            seen[v] = None
+    domain = list(seen)
+    try:
+        return sorted(domain)
+    except TypeError:
+        return domain
+
+
+def cube_from_columns(
+    dimension_columns: Mapping[str, Sequence],
+    measure_values: Sequence[float],
+    measure: str = "measure",
+    domains: Mapping[str, Sequence] | None = None,
+) -> DataCube:
+    """Build a cube from parallel columns.
+
+    Parameters
+    ----------
+    dimension_columns:
+        ``{attribute name: column of values}``; columns must share a length.
+    measure_values:
+        The measure column (same length).
+    measure:
+        Name of the measure attribute.
+    domains:
+        Optional explicit domains per dimension (values outside a given
+        domain raise); by default domains are inferred from the data.
+    """
+    if not dimension_columns:
+        raise ValueError("at least one dimension column is required")
+    n_rows = len(measure_values)
+    for name, column in dimension_columns.items():
+        if len(column) != n_rows:
+            raise ValueError(
+                f"column {name!r} has {len(column)} rows; expected {n_rows}"
+            )
+
+    dims: list[Dimension] = []
+    codes: list[np.ndarray] = []
+    for name, column in dimension_columns.items():
+        domain = (
+            list(domains[name])
+            if domains is not None and name in domains
+            else _domain_in_order(column)
+        )
+        dim = Dimension(name, domain)
+        dims.append(dim)
+        codes.append(dim.encode_many(column))
+
+    values = np.zeros(tuple(d.size for d in dims), dtype=np.float64)
+    measure_array = np.asarray(measure_values, dtype=np.float64)
+    np.add.at(values, tuple(codes), measure_array)
+    return DataCube(values, dims, measure=measure)
+
+
+def build_cube(
+    records: Iterable[Mapping],
+    dimension_names: Sequence[str],
+    measure: str,
+    domains: Mapping[str, Sequence] | None = None,
+) -> DataCube:
+    """Build a cube from an iterable of record mappings.
+
+    Each record must carry every dimension attribute and the measure;
+    records mapping to the same cell are SUM-accumulated.
+    """
+    records = list(records)
+    if not records:
+        raise ValueError("at least one record is required")
+    columns: dict[str, list] = {name: [] for name in dimension_names}
+    measures: list[float] = []
+    for i, record in enumerate(records):
+        for name in dimension_names:
+            if name not in record:
+                raise KeyError(f"record {i} is missing dimension {name!r}")
+            columns[name].append(record[name])
+        if measure not in record:
+            raise KeyError(f"record {i} is missing measure {measure!r}")
+        measures.append(float(record[measure]))
+    return cube_from_columns(columns, measures, measure=measure, domains=domains)

@@ -1,0 +1,142 @@
+"""Dimension metadata for MOLAP cubes.
+
+The paper's Section 2 maps each functional attribute of a relation to one
+dimension of the data cube and requires every domain size to be a power of
+two.  :class:`Dimension` owns that mapping: it encodes attribute values to
+dense integer coordinates, optionally pads the domain up to the next power
+of two, and decodes coordinates back to values.  :class:`DimensionSet`
+bundles the dimensions of one cube.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Dimension", "DimensionSet", "next_power_of_two"]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is >= ``n`` (and >= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+class Dimension:
+    """One functional attribute mapped to a cube axis.
+
+    Parameters
+    ----------
+    name:
+        Attribute name.
+    values:
+        The attribute's domain, in coordinate order.  Values must be unique
+        and hashable.
+    pad_to_power_of_two:
+        When True (default) the axis extent is padded up to the next power
+        of two with synthetic ``None`` slots; padded cells hold zero measure
+        and never affect SUM aggregations.
+    """
+
+    def __init__(self, name: str, values: Sequence, pad_to_power_of_two: bool = True):
+        self.name = str(name)
+        values = list(values)
+        if not values:
+            raise ValueError(f"dimension {name!r} has an empty domain")
+        if len(set(values)) != len(values):
+            raise ValueError(f"dimension {name!r} has duplicate domain values")
+        self._values = values
+        self.cardinality = len(values)
+        self.size = (
+            next_power_of_two(len(values)) if pad_to_power_of_two else len(values)
+        )
+        if self.size & (self.size - 1):
+            raise ValueError(
+                f"dimension {name!r} extent {self.size} is not a power of two; "
+                "enable pad_to_power_of_two"
+            )
+        self._codes = {value: i for i, value in enumerate(values)}
+
+    @property
+    def values(self) -> list:
+        """Domain values in coordinate order (padding slots excluded)."""
+        return list(self._values)
+
+    @property
+    def padded_slots(self) -> int:
+        """Number of synthetic padding coordinates."""
+        return self.size - self.cardinality
+
+    def encode(self, value) -> int:
+        """Coordinate of ``value``; KeyError for unknown values."""
+        return self._codes[value]
+
+    def encode_many(self, values: Iterable) -> np.ndarray:
+        """Vector of coordinates for many values."""
+        return np.array([self._codes[v] for v in values], dtype=np.int64)
+
+    def decode(self, code: int) -> object:
+        """Value at coordinate ``code`` (``None`` for padding slots)."""
+        if not 0 <= code < self.size:
+            raise IndexError(f"coordinate {code} outside [0, {self.size})")
+        if code >= self.cardinality:
+            return None
+        return self._values[code]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dimension({self.name!r}, cardinality={self.cardinality}, "
+            f"size={self.size})"
+        )
+
+
+class DimensionSet:
+    """The ordered dimensions of one cube."""
+
+    def __init__(self, dimensions: Sequence[Dimension]):
+        dimensions = list(dimensions)
+        if not dimensions:
+            raise ValueError("a cube needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names in {names}")
+        self._dimensions = dimensions
+        self._by_name = {d.name: i for i, d in enumerate(dimensions)}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Dimension names in axis order."""
+        return tuple(d.name for d in self._dimensions)
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Padded axis extents in axis order."""
+        return tuple(d.size for d in self._dimensions)
+
+    def axis_of(self, name: str) -> int:
+        """Axis index of the dimension called ``name``."""
+        if name not in self._by_name:
+            raise KeyError(
+                f"unknown dimension {name!r}; have {list(self._by_name)}"
+            )
+        return self._by_name[name]
+
+    def axes_of(self, names: Iterable[str]) -> tuple[int, ...]:
+        """Axis indices for several dimension names."""
+        return tuple(self.axis_of(n) for n in names)
+
+    def __getitem__(self, key) -> Dimension:
+        if isinstance(key, str):
+            return self._dimensions[self.axis_of(key)]
+        return self._dimensions[key]
+
+    def __iter__(self):
+        return iter(self._dimensions)
+
+    def __len__(self) -> int:
+        return len(self._dimensions)

@@ -1,0 +1,138 @@
+"""Multiple measures over one cube: SUM, COUNT and derived AVG.
+
+The paper develops partial/residual operator pairs for SUM only (§3).  Two
+standard OLAP measures come along for free:
+
+- COUNT is SUM over an indicator measure (1 per record), so the whole view
+  element machinery applies verbatim;
+- AVG is *algebraic*: it is not itself distributive, but it is the ratio of
+  two distributive measures.  :class:`MeasureSetCube` keeps one cube per
+  base measure and derives AVG per query.
+
+MIN and MAX are *holistic* with respect to the Haar pair: no linear,
+non-expansive two-tap operator pair satisfies perfect reconstruction for
+them, so they are deliberately not supported (constructing ``MeasureSetCube``
+with them raises).  This mirrors the paper's scope.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.element import ElementId
+from ..core.materialize import MaterializedSet, compute_element
+from ..core.operators import OpCounter
+from .builder import build_cube
+from .datacube import DataCube
+
+__all__ = ["MeasureSetCube"]
+
+_SUPPORTED = ("sum", "count")
+
+
+class MeasureSetCube:
+    """Aligned SUM/COUNT cubes with derived AVG views.
+
+    All measure cubes share dimensions and encodings, so any view element
+    computed on one aligns cell-for-cell with the others.
+    """
+
+    def __init__(self, sum_cube: DataCube, count_cube: DataCube):
+        if sum_cube.dimensions.sizes != count_cube.dimensions.sizes:
+            raise ValueError("sum and count cubes must share dimensions")
+        if sum_cube.dimensions.names != count_cube.dimensions.names:
+            raise ValueError("sum and count cubes must share dimension names")
+        self.sum_cube = sum_cube
+        self.count_cube = count_cube
+        self._materialized: dict[str, MaterializedSet] = {}
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Mapping],
+        dimension_names: Sequence[str],
+        measure: str,
+        domains: Mapping[str, Sequence] | None = None,
+    ) -> "MeasureSetCube":
+        """Build aligned SUM and COUNT cubes from one pass over records."""
+        records = list(records)
+        sum_cube = build_cube(records, dimension_names, measure, domains=domains)
+        counted = [
+            {**{n: r[n] for n in dimension_names}, "__count": 1.0}
+            for r in records
+        ]
+        count_domains = {
+            dim.name: dim.values for dim in sum_cube.dimensions
+        }
+        count_cube = build_cube(
+            counted, dimension_names, "__count", domains=count_domains
+        )
+        return cls(sum_cube, count_cube)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dimensions(self):
+        """The shared :class:`DimensionSet` of both base cubes."""
+        return self.sum_cube.dimensions
+
+    def materialize(self, elements: Iterable[ElementId]) -> None:
+        """Materialize the same element set for both base measures."""
+        elements = list(elements)
+        self._materialized["sum"] = MaterializedSet.from_cube(
+            self.sum_cube.values, elements
+        )
+        self._materialized["count"] = MaterializedSet.from_cube(
+            self.count_cube.values, elements
+        )
+
+    def _base_view(
+        self, measure: str, element: ElementId, counter: OpCounter | None
+    ) -> np.ndarray:
+        if measure not in _SUPPORTED:
+            raise ValueError(
+                f"measure {measure!r} is not distributive under the Haar "
+                f"pair; supported: {_SUPPORTED} (+ derived 'avg')"
+            )
+        cube = self.sum_cube if measure == "sum" else self.count_cube
+        materialized = self._materialized.get(measure)
+        if materialized is not None and materialized.can_assemble(element):
+            return materialized.assemble(element, counter=counter)
+        return compute_element(cube.values, element, counter=counter)
+
+    def view(
+        self,
+        measure: str,
+        aggregated_dims: Iterable[str],
+        counter: OpCounter | None = None,
+    ) -> np.ndarray:
+        """An aggregated view of ``measure`` ('sum', 'count', or 'avg').
+
+        AVG divides the SUM view by the COUNT view, with empty cells
+        returned as NaN.
+        """
+        axes = self.dimensions.axes_of(aggregated_dims)
+        element = self.sum_cube.shape_id.aggregated_view(axes)
+        if measure == "avg":
+            sums = self._base_view("sum", element, counter)
+            counts = self._base_view("count", element, counter)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                out = sums / counts
+            return np.where(counts > 0, out, np.nan)
+        return self._base_view(measure, element, counter)
+
+    def cell(self, measure: str, **coordinates) -> float:
+        """One cell of the requested measure at leaf granularity."""
+        if measure == "avg":
+            total = self.sum_cube.cell(**coordinates)
+            count = self.count_cube.cell(**coordinates)
+            return total / count if count else float("nan")
+        if measure == "sum":
+            return self.sum_cube.cell(**coordinates)
+        if measure == "count":
+            return self.count_cube.cell(**coordinates)
+        raise ValueError(f"unknown measure {measure!r}")

@@ -1,0 +1,15 @@
+"""Drivers that regenerate every table and figure of the paper's evaluation.
+
+Run any of them as modules::
+
+    python -m repro.experiments.table1
+    python -m repro.experiments.table2
+    python -m repro.experiments.figure8
+    python -m repro.experiments.figure9
+
+Submodules are intentionally not imported here so ``python -m`` execution
+stays warning-free; import them explicitly
+(``from repro.experiments import table1``).
+"""
+
+__all__ = ["figure8", "figure9", "table1", "table2"]

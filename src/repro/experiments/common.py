@@ -1,0 +1,51 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["step_function_samples", "average_curves", "trial_rngs"]
+
+
+def trial_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Independent per-trial generators spawned from one seed."""
+    return [np.random.default_rng([seed, i]) for i in range(count)]
+
+
+def step_function_samples(
+    points: Sequence[tuple[float, float]], grid: Sequence[float]
+) -> list[float]:
+    """Sample a right-continuous step curve on a grid.
+
+    ``points`` are ``(x, y)`` knots with non-decreasing ``x`` (a greedy
+    trajectory: at storage ``x`` the cost drops to ``y``).  For each grid
+    value the last knot with ``x <= g`` wins; grid values before the first
+    knot take the first knot's ``y``.
+    """
+    if not points:
+        raise ValueError("need at least one knot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    samples = []
+    for g in grid:
+        value = ys[0]
+        for x, y in zip(xs, ys):
+            if x <= g:
+                value = y
+            else:
+                break
+        samples.append(value)
+    return samples
+
+
+def average_curves(
+    curves: Sequence[Sequence[tuple[float, float]]], grid: Sequence[float]
+) -> list[tuple[float, float]]:
+    """Average several step curves on a common grid."""
+    sampled = np.array(
+        [step_function_samples(curve, grid) for curve in curves]
+    )
+    means = sampled.mean(axis=0)
+    return list(zip(list(grid), means.tolist()))

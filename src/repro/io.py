@@ -1,0 +1,121 @@
+"""Persistence for cubes and materialized element sets (.npz archives).
+
+A downstream deployment wants to select and materialize once, then reload
+the element set on restart without touching the base data.  These helpers
+round-trip :class:`~repro.cube.datacube.DataCube` and
+:class:`~repro.core.materialize.MaterializedSet` through single-file numpy
+archives with a small JSON header.
+
+Formats are versioned; loading rejects unknown versions rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .core.element import CubeShape, ElementId
+from .core.materialize import MaterializedSet
+from .cube.datacube import DataCube
+from .cube.dimensions import Dimension
+
+__all__ = [
+    "save_cube",
+    "load_cube",
+    "save_materialized_set",
+    "load_materialized_set",
+]
+
+_CUBE_FORMAT = 1
+_SET_FORMAT = 1
+
+
+def save_cube(cube: DataCube, path: str | Path) -> None:
+    """Write a :class:`DataCube` (values + dimension metadata) to ``path``."""
+    header = {
+        "format": _CUBE_FORMAT,
+        "measure": cube.measure,
+        "dimensions": [
+            {
+                "name": dim.name,
+                "values": list(dim.values),
+                "size": dim.size,
+            }
+            for dim in cube.dimensions
+        ],
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        values=cube.values,
+    )
+
+
+def _read_header(archive) -> dict:
+    return json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+
+
+def load_cube(path: str | Path) -> DataCube:
+    """Load a cube written by :func:`save_cube`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        header = _read_header(archive)
+        if header.get("format") != _CUBE_FORMAT:
+            raise ValueError(
+                f"unsupported cube format {header.get('format')!r}"
+            )
+        values = archive["values"]
+    dims = []
+    for spec in header["dimensions"]:
+        dim = Dimension(spec["name"], spec["values"])
+        if dim.size != spec["size"]:
+            raise ValueError(
+                f"dimension {spec['name']!r}: stored size {spec['size']} "
+                f"does not match rebuilt size {dim.size}"
+            )
+        dims.append(dim)
+    return DataCube(values, dims, measure=header["measure"])
+
+
+def save_materialized_set(ms: MaterializedSet, path: str | Path) -> None:
+    """Write a :class:`MaterializedSet` (elements + arrays) to ``path``."""
+    header = {
+        "format": _SET_FORMAT,
+        "sizes": list(ms.shape.sizes),
+        "elements": [
+            [list(node) for node in element.nodes] for element in ms.elements
+        ],
+    }
+    arrays = {
+        f"element_{i}": ms.array(element)
+        for i, element in enumerate(ms.elements)
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        **arrays,
+    )
+
+
+def load_materialized_set(path: str | Path) -> MaterializedSet:
+    """Load a set written by :func:`save_materialized_set`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        header = _read_header(archive)
+        if header.get("format") != _SET_FORMAT:
+            raise ValueError(
+                f"unsupported element-set format {header.get('format')!r}"
+            )
+        shape = CubeShape(tuple(header["sizes"]))
+        ms = MaterializedSet(shape)
+        for i, nodes in enumerate(header["elements"]):
+            element = ElementId(
+                shape, tuple((int(k), int(j)) for k, j in nodes)
+            )
+            ms.store(element, archive[f"element_{i}"])
+    return ms

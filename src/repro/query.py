@@ -1,0 +1,258 @@
+"""A tiny textual OLAP query language over :class:`~repro.server.OLAPServer`.
+
+Grammar (case-insensitive keywords)::
+
+    query     := "SUM" measure? ("BY" dim ("," dim)*)? ("WHERE" pred ("AND" pred)*)?
+    pred      := dim "=" value
+               | dim "IN" "[" int "," int ")"        # half-open coordinate range
+    dim       := identifier
+    value     := quoted string | bare token | integer
+
+Examples::
+
+    SUM BY product, store
+    SUM WHERE day IN [0, 8)
+    SUM sales BY store WHERE product = 'pen' AND day IN [4, 12)
+
+Semantics: equality and range predicates restrict coordinates; ``BY``
+dimensions are retained in the result; everything else is summed out.
+Queries with no ``WHERE`` map to aggregated views (served by assembly);
+queries with predicates map to range-aggregations per retained-cell, served
+through the range engine.  The point of the module is a realistic front
+door for examples and tests, not a SQL implementation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .server import OLAPServer
+
+__all__ = ["ParsedQuery", "parse_query", "execute"]
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<lbrack>\[) | (?P<rbrack>\)) | (?P<comma>,) | (?P<eq>=) |
+        (?P<string>'[^']*'|"[^"]*") |
+        (?P<word>[A-Za-z_][A-Za-z_0-9]*) |
+        (?P<number>-?\d+)
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ValueError(f"cannot tokenize query at: {text[pos:]!r}")
+            break
+        pos = match.end()
+        for kind, value in match.groupdict().items():
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The normalized form of one query."""
+
+    measure: str | None
+    group_by: tuple[str, ...]
+    equals: tuple[tuple[str, object], ...] = ()
+    ranges: tuple[tuple[str, int, int], ...] = field(default=())
+
+    @property
+    def has_predicates(self) -> bool:
+        """Whether any WHERE predicate restricts coordinates."""
+        return bool(self.equals or self.ranges)
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, kind: str | None = None, word: str | None = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise ValueError("unexpected end of query")
+        t_kind, t_value = token
+        if kind is not None and t_kind != kind:
+            raise ValueError(f"expected {kind}, got {t_value!r}")
+        if word is not None and t_value.upper() != word:
+            raise ValueError(f"expected {word}, got {t_value!r}")
+        self.pos += 1
+        return t_value
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token[0] == "word"
+            and token[1].upper() == word
+        )
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a query string into a :class:`ParsedQuery`."""
+    parser = _Parser(_tokenize(text))
+    parser.take(kind="word", word="SUM")
+
+    measure = None
+    token = parser.peek()
+    if (
+        token is not None
+        and token[0] == "word"
+        and token[1].upper() not in ("BY", "WHERE")
+    ):
+        measure = parser.take(kind="word")
+
+    group_by: list[str] = []
+    if parser.at_keyword("BY"):
+        parser.take(word="BY")
+        group_by.append(parser.take(kind="word"))
+        while parser.peek() is not None and parser.peek()[0] == "comma":
+            parser.take(kind="comma")
+            group_by.append(parser.take(kind="word"))
+
+    equals: list[tuple[str, object]] = []
+    ranges: list[tuple[str, int, int]] = []
+    if parser.at_keyword("WHERE"):
+        parser.take(word="WHERE")
+        while True:
+            dim = parser.take(kind="word")
+            token = parser.peek()
+            if token is None:
+                raise ValueError(f"dangling predicate on {dim!r}")
+            if token[0] == "eq":
+                parser.take(kind="eq")
+                kind, raw = parser.peek() or (None, None)
+                if kind == "string":
+                    equals.append((dim, parser.take(kind="string")[1:-1]))
+                elif kind == "number":
+                    equals.append((dim, int(parser.take(kind="number"))))
+                elif kind == "word":
+                    equals.append((dim, parser.take(kind="word")))
+                else:
+                    raise ValueError(f"bad value in predicate on {dim!r}")
+            elif token[0] == "word" and token[1].upper() == "IN":
+                parser.take(word="IN")
+                parser.take(kind="lbrack")
+                lo = int(parser.take(kind="number"))
+                parser.take(kind="comma")
+                hi = int(parser.take(kind="number"))
+                parser.take(kind="rbrack")
+                ranges.append((dim, lo, hi))
+            else:
+                raise ValueError(f"bad predicate on {dim!r}")
+            if parser.at_keyword("AND"):
+                parser.take(word="AND")
+                continue
+            break
+
+    if parser.peek() is not None:
+        raise ValueError(f"trailing tokens: {parser.tokens[parser.pos:]}")
+    return ParsedQuery(
+        measure=measure,
+        group_by=tuple(group_by),
+        equals=tuple(equals),
+        ranges=tuple(ranges),
+    )
+
+
+def execute(server: OLAPServer, text: str) -> dict[tuple, float]:
+    """Parse and run a query; returns ``{group key: SUM}``.
+
+    Group keys are tuples of decoded dimension values in ``BY`` order; the
+    grand-total query returns ``{(): total}``.  Zero-sum groups are kept
+    (they are real cells of the view), but groups addressing padding
+    coordinates are dropped.
+    """
+    query = parse_query(text)
+    dims = server.cube.dimensions
+    if query.measure is not None and query.measure != server.cube.measure:
+        raise KeyError(
+            f"unknown measure {query.measure!r}; cube has "
+            f"{server.cube.measure!r}"
+        )
+    for name in query.group_by:
+        dims.axis_of(name)  # raises on unknown dimensions
+
+    # Coordinate restrictions per dimension.
+    bounds: dict[str, tuple[int, int]] = {}
+    for name, value in query.equals:
+        code = dims[name].encode(value)
+        bounds[name] = (code, code + 1)
+    for name, lo, hi in query.ranges:
+        axis = dims.axis_of(name)
+        if name in bounds:
+            raise ValueError(f"multiple predicates on dimension {name!r}")
+        size = dims[name].size
+        if not 0 <= lo < hi <= size:
+            raise ValueError(
+                f"range [{lo}, {hi}) outside [0, {size}) for {name!r}"
+            )
+        bounds[name] = (lo, hi)
+
+    overlap = set(query.group_by) & set(bounds)
+    if overlap:
+        raise ValueError(
+            f"dimensions {sorted(overlap)} appear in both BY and WHERE"
+        )
+
+    if not query.has_predicates:
+        view = server.view(query.group_by)
+        return _explode(server, view, query.group_by)
+
+    # Predicated query: one range-aggregation per retained cell.
+    results: dict[tuple, float] = {}
+    group_dims = [dims[name] for name in query.group_by]
+    group_values = [
+        [(i, v) for i, v in enumerate(d.values)] for d in group_dims
+    ]
+    for combo in itertools.product(*group_values) if group_values else [()]:
+        ranges = []
+        for dim in dims:
+            if dim.name in bounds:
+                ranges.append(bounds[dim.name])
+            else:
+                ranges.append((0, dim.size))
+        for (code, _), dim in zip(combo, group_dims):
+            axis = dims.axis_of(dim.name)
+            ranges[axis] = (code, code + 1)
+        key = tuple(v for _, v in combo)
+        results[key] = server.range_sum(tuple(ranges))
+    return results
+
+
+def _explode(
+    server: OLAPServer, view: np.ndarray, group_by: tuple[str, ...]
+) -> dict[tuple, float]:
+    """Turn a retained-dims view array into a {values: total} mapping."""
+    dims = server.cube.dimensions
+    group_dims = [dims[name] for name in group_by]
+    if not group_dims:
+        return {(): float(view.reshape(()))}
+    results: dict[tuple, float] = {}
+    for combo in itertools.product(
+        *[range(d.cardinality) for d in group_dims]
+    ):
+        index = [0] * len(dims)
+        for code, dim in zip(combo, group_dims):
+            index[dims.axis_of(dim.name)] = code
+        key = tuple(d.decode(c) for d, c in zip(group_dims, combo))
+        results[key] = float(view[tuple(index)])
+    return results

@@ -1,0 +1,22 @@
+"""Minimal relational substrate (tables, GROUP BY, the CUBE operator)."""
+
+from .cube_operator import ALL, cube_by, cube_by_table, rollup_by
+from .groupby import group_by_sum, group_by_sum_dict
+from .schema import ColumnSpec, Schema
+from .sparse_cube import SparseCubeResult, naive_cube_work, sparse_cube
+from .table import Table
+
+__all__ = [
+    "ALL",
+    "ColumnSpec",
+    "Schema",
+    "Table",
+    "cube_by",
+    "cube_by_table",
+    "SparseCubeResult",
+    "group_by_sum",
+    "group_by_sum_dict",
+    "naive_cube_work",
+    "rollup_by",
+    "sparse_cube",
+]

@@ -1,0 +1,101 @@
+"""The CUBE operator of Gray et al. [6] — the ROLAP baseline.
+
+``CUBE BY`` computes the GROUP BY aggregation over *all* combinations of the
+grouping attributes, the union of ``2**d`` group-bys, with the symbolic
+``ALL`` value marking aggregated-out attributes.  The paper cites this as
+the standard relational route to the aggregated views; we implement it both
+as the dict-of-lattice form (handy for comparisons with the MOLAP views) and
+as the single flattened relation with ``ALL`` markers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from .groupby import group_by_sum_dict
+from .schema import ColumnSpec, Schema
+from .table import Table
+
+__all__ = ["ALL", "cube_by", "cube_by_table", "rollup_by"]
+
+
+class _AllValue:
+    """The symbolic ``ALL`` of Gray et al.; a singleton."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ALL"
+
+
+#: The ``ALL`` marker used in flattened CUBE output rows.
+ALL = _AllValue()
+
+
+def cube_by(
+    table: Table, dimensions: Sequence[str], measure: str
+) -> dict[frozenset[str], dict[tuple, float]]:
+    """All ``2**d`` group-bys, keyed by the retained attribute set.
+
+    ``result[frozenset({'a','b'})][(x, y)]`` is the SUM for group
+    ``a=x, b=y``; ``result[frozenset()][()]`` is the grand total.
+    """
+    dimensions = list(dimensions)
+    result: dict[frozenset[str], dict[tuple, float]] = {}
+    for r in range(len(dimensions) + 1):
+        for retained in itertools.combinations(dimensions, r):
+            result[frozenset(retained)] = group_by_sum_dict(
+                table, list(retained), measure
+            )
+    return result
+
+
+def rollup_by(
+    table: Table, dimensions: Sequence[str], measure: str
+) -> dict[tuple[str, ...], dict[tuple, float]]:
+    """The ROLLUP companion of CUBE: aggregate along attribute *prefixes*.
+
+    ``ROLLUP(a, b, c)`` produces the group-bys ``(a, b, c)``, ``(a, b)``,
+    ``(a,)`` and ``()`` — the drill-down path of a hierarchy, ``d + 1``
+    group-bys instead of CUBE's ``2**d``.  Keys of the result are the
+    retained prefixes (as tuples, order preserved).
+    """
+    dimensions = list(dimensions)
+    result: dict[tuple[str, ...], dict[tuple, float]] = {}
+    for cut in range(len(dimensions), -1, -1):
+        prefix = tuple(dimensions[:cut])
+        result[prefix] = group_by_sum_dict(table, list(prefix), measure)
+    return result
+
+
+def cube_by_table(
+    table: Table, dimensions: Sequence[str], measure: str
+) -> Table:
+    """The CUBE as a single relation with ``ALL`` markers.
+
+    Every output row carries a value (or ``ALL``) for each grouping
+    attribute plus the aggregated measure — the exact shape proposed by
+    Gray et al. for ``GROUP BY CUBE``.
+    """
+    dimensions = list(dimensions)
+    lattice = cube_by(table, dimensions, measure)
+    columns: dict[str, list] = {n: [] for n in dimensions}
+    columns[measure] = []
+    for retained, groups in lattice.items():
+        retained_order = [n for n in dimensions if n in retained]
+        for key, total in groups.items():
+            by_name = dict(zip(retained_order, key))
+            for name in dimensions:
+                columns[name].append(by_name.get(name, ALL))
+            columns[measure].append(total)
+    schema = Schema(
+        [ColumnSpec(n, "functional") for n in dimensions]
+        + [ColumnSpec(measure, "measure")]
+    )
+    return Table(schema, columns)

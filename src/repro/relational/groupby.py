@@ -1,0 +1,66 @@
+"""GROUP BY aggregation over :class:`~repro.relational.table.Table`.
+
+The relational counterpart of reading one aggregated view: group on a subset
+of the functional attributes and SUM a measure.  Used both as the ROLAP
+baseline and as the independent oracle the test-suite compares assembled
+MOLAP views against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .schema import ColumnSpec, Schema
+from .table import Table
+
+__all__ = ["group_by_sum", "group_by_sum_dict"]
+
+
+def group_by_sum_dict(
+    table: Table, group_columns: Sequence[str], measure: str
+) -> dict[tuple, float]:
+    """SUM ``measure`` grouped by ``group_columns``; dict keyed by the group.
+
+    Grouping by zero columns yields ``{(): grand total}``.
+    """
+    if measure not in table.schema or not table.schema[measure].is_measure:
+        raise ValueError(f"{measure!r} is not a measure column")
+    for name in group_columns:
+        if table.schema[name].is_measure:
+            raise ValueError(f"cannot group by measure column {name!r}")
+
+    values = table.column(measure)
+    if not group_columns:
+        return {(): float(values.sum())}
+
+    keys = list(zip(*(table.column(n) for n in group_columns)))
+    groups: dict[tuple, int] = {}
+    index = np.empty(len(keys), dtype=np.int64)
+    for i, key in enumerate(keys):
+        slot = groups.get(key)
+        if slot is None:
+            slot = len(groups)
+            groups[key] = slot
+        index[i] = slot
+    sums = np.zeros(len(groups), dtype=np.float64)
+    np.add.at(sums, index, values)
+    return {key: float(sums[slot]) for key, slot in groups.items()}
+
+
+def group_by_sum(
+    table: Table, group_columns: Sequence[str], measure: str
+) -> Table:
+    """GROUP BY as a relation: one row per group plus the SUM column."""
+    result = group_by_sum_dict(table, group_columns, measure)
+    schema = Schema(
+        [ColumnSpec(n, "functional") for n in group_columns]
+        + [ColumnSpec(measure, "measure")]
+    )
+    columns: dict[str, list] = {n: [] for n in schema.names}
+    for key, total in sorted(result.items(), key=lambda kv: repr(kv[0])):
+        for name, value in zip(group_columns, key):
+            columns[name].append(value)
+        columns[measure].append(total)
+    return Table(schema, columns)

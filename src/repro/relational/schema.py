@@ -1,0 +1,88 @@
+"""Relational schemas for the ROLAP substrate (paper Section 2).
+
+A :class:`Schema` names a table's columns and classifies each as a
+*functional* attribute (a candidate cube dimension) or a *measure*
+attribute (aggregated into cube cells).  Types are deliberately minimal:
+``"category"`` for functional attributes of any hashable value and
+``"number"`` for measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["ColumnSpec", "Schema"]
+
+_VALID_ROLES = ("functional", "measure")
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: its name and role."""
+
+    name: str
+    role: str = "functional"
+
+    def __post_init__(self) -> None:
+        if self.role not in _VALID_ROLES:
+            raise ValueError(
+                f"column {self.name!r}: role must be one of {_VALID_ROLES}, "
+                f"got {self.role!r}"
+            )
+
+    @property
+    def is_measure(self) -> bool:
+        """Whether this column holds the aggregated measure."""
+        return self.role == "measure"
+
+
+class Schema:
+    """An ordered set of column specifications."""
+
+    def __init__(self, columns: Sequence[ColumnSpec]):
+        columns = list(columns)
+        if not columns:
+            raise ValueError("a schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {names}")
+        self._columns = columns
+        self._by_name = {c.name: c for c in columns}
+
+    @classmethod
+    def star(cls, functional: Sequence[str], measures: Sequence[str]) -> "Schema":
+        """Star-style schema: functional attributes then measures."""
+        return cls(
+            [ColumnSpec(n, "functional") for n in functional]
+            + [ColumnSpec(n, "measure") for n in measures]
+        )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All column names, schema order."""
+        return tuple(c.name for c in self._columns)
+
+    @property
+    def functional_names(self) -> tuple[str, ...]:
+        """Names of the functional (dimension) columns."""
+        return tuple(c.name for c in self._columns if not c.is_measure)
+
+    @property
+    def measure_names(self) -> tuple[str, ...]:
+        """Names of the measure columns."""
+        return tuple(c.name for c in self._columns if c.is_measure)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        if name not in self._by_name:
+            raise KeyError(f"unknown column {name!r}; have {list(self._by_name)}")
+        return self._by_name[name]
+
+    def __iter__(self):
+        return iter(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)

@@ -1,0 +1,107 @@
+"""Sparse CUBE computation in the spirit of Ross & Srivastava [10].
+
+The paper's related work includes "fast computation of sparse datacubes":
+computing all ``2**d`` group-bys of a relation whose cube would be far too
+sparse to materialize densely.  This module implements the partition-style
+recursion at the heart of that line of work: walk the grouping attributes
+left to right and, at each step, either *keep* the attribute (recurse with
+it pinned in the group key) or *drop* it (collapse duplicates away and
+recurse on the strictly smaller relation).
+
+The two-way branch enumerates every attribute subset exactly once, and
+every group-by is computed from a relation already collapsed by its parent
+— never from the raw tuples — which is the structural saving [10]
+formalizes.  Results are identical to ``2**d`` independent GROUP BYs (the
+test-suite checks this); :class:`SparseCubeResult.tuples_touched` reports
+the work actually done so the saving is measurable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["SparseCubeResult", "sparse_cube", "naive_cube_work"]
+
+
+@dataclass
+class SparseCubeResult:
+    """All group-bys of the CUBE plus work accounting."""
+
+    #: ``{retained attributes (in input order): {group key: SUM}}``
+    groupbys: dict[tuple[str, ...], dict[tuple, float]] = field(
+        default_factory=dict
+    )
+    #: Collapsed tuples touched by the recursion ([10]'s efficiency metric).
+    tuples_touched: int = 0
+
+    def view(self, retained: Sequence[str]) -> dict[tuple, float]:
+        """The group-by retaining ``retained``, keys in the given order."""
+        retained = tuple(retained)
+        for key, groups in self.groupbys.items():
+            if set(key) != set(retained):
+                continue
+            if key == retained:
+                return groups
+            positions = [key.index(name) for name in retained]
+            return {
+                tuple(group[p] for p in positions): total
+                for group, total in groups.items()
+            }
+        raise KeyError(f"no group-by retaining {retained}")
+
+
+def _collapse(rows: list[tuple[tuple, float]]) -> list[tuple[tuple, float]]:
+    """Combine rows with equal keys (SUM)."""
+    combined: dict[tuple, float] = {}
+    for key, value in rows:
+        combined[key] = combined.get(key, 0.0) + value
+    return list(combined.items())
+
+
+def _cube(
+    rows: list[tuple[tuple, float]],
+    kept: tuple[str, ...],
+    remaining: tuple[str, ...],
+    result: SparseCubeResult,
+) -> None:
+    """Keep-or-drop recursion; ``rows`` are keyed by ``kept + remaining``."""
+    result.tuples_touched += len(rows)
+    if not remaining:
+        result.groupbys[kept] = dict(rows)
+        return
+    head, rest = remaining[0], remaining[1:]
+    # Keep `head`: its value stays in the key at position len(kept).
+    _cube(rows, kept + (head,), rest, result)
+    # Drop `head`: remove that key position and collapse duplicates.
+    cut = len(kept)
+    dropped = _collapse(
+        [(key[:cut] + key[cut + 1 :], value) for key, value in rows]
+    )
+    _cube(dropped, kept, rest, result)
+
+
+def sparse_cube(
+    records: Sequence[dict],
+    attributes: Sequence[str],
+    measure: str,
+) -> SparseCubeResult:
+    """Compute all ``2**d`` SUM group-bys of a sparse relation."""
+    attributes = tuple(attributes)
+    base_rows = _collapse(
+        [
+            (tuple(record[a] for a in attributes), float(record[measure]))
+            for record in records
+        ]
+    )
+    result = SparseCubeResult()
+    _cube(base_rows, (), attributes, result)
+    return result
+
+
+def naive_cube_work(num_records: int, num_attributes: int) -> int:
+    """Tuples touched by ``2**d`` independent GROUP BYs over raw records.
+
+    The baseline [10] improves on: every group-by scans the full relation.
+    """
+    return num_records * (2**num_attributes)

@@ -1,0 +1,125 @@
+"""A minimal column-oriented relational table.
+
+Just enough of a relational layer to play the ROLAP role from the paper's
+introduction: load records, project/filter, group-by aggregate, and feed the
+cube builder.  Functional columns are stored as Python object arrays (any
+hashable values); measure columns as float64 arrays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .schema import Schema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable columnar table conforming to a :class:`Schema`."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence]):
+        self.schema = schema
+        missing = [n for n in schema.names if n not in columns]
+        if missing:
+            raise ValueError(f"missing columns {missing}")
+        extra = [n for n in columns if n not in schema]
+        if extra:
+            raise ValueError(f"columns {extra} not in the schema")
+
+        lengths = {len(columns[n]) for n in schema.names}
+        if len(lengths) > 1:
+            raise ValueError(f"columns have differing lengths {sorted(lengths)}")
+
+        self._columns: dict[str, np.ndarray] = {}
+        for spec in schema:
+            data = columns[spec.name]
+            if spec.is_measure:
+                self._columns[spec.name] = np.asarray(data, dtype=np.float64)
+            else:
+                array = np.empty(len(data), dtype=object)
+                array[:] = list(data)
+                self._columns[spec.name] = array
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def from_records(cls, schema: Schema, records: Iterable[Mapping]) -> "Table":
+        """Build from an iterable of record mappings."""
+        records = list(records)
+        columns: dict[str, list] = {n: [] for n in schema.names}
+        for i, record in enumerate(records):
+            for name in schema.names:
+                if name not in record:
+                    raise KeyError(f"record {i} is missing column {name!r}")
+                columns[name].append(record[name])
+        return cls(schema, columns)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        if not self._columns:
+            return 0
+        first = next(iter(self._columns.values()))
+        return int(first.shape[0])
+
+    def column(self, name: str) -> np.ndarray:
+        """The column array called ``name``."""
+        if name not in self._columns:
+            raise KeyError(f"unknown column {name!r}")
+        return self._columns[name]
+
+    def records(self) -> list[dict]:
+        """Materialize all rows as dictionaries."""
+        names = self.schema.names
+        return [
+            {n: self._columns[n][i] for n in names} for i in range(self.num_rows)
+        ]
+
+    def head(self, n: int = 5) -> list[dict]:
+        """The first ``n`` rows as dictionaries."""
+        names = self.schema.names
+        return [
+            {name: self._columns[name][i] for name in names}
+            for i in range(min(n, self.num_rows))
+        ]
+
+    # ------------------------------------------------------------------
+    # Relational operators
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Keep only the named columns (schema order preserved)."""
+        specs = [self.schema[n] for n in names]
+        return Table(Schema(specs), {n: self._columns[n] for n in names})
+
+    def filter(self, predicate: Callable[[dict], bool]) -> "Table":
+        """Keep rows satisfying ``predicate`` (given the row as a dict)."""
+        names = self.schema.names
+        mask = np.array(
+            [
+                bool(predicate({n: self._columns[n][i] for n in names}))
+                for i in range(self.num_rows)
+            ],
+            dtype=bool,
+        )
+        return Table(
+            self.schema, {n: self._columns[n][mask] for n in names}
+        )
+
+    def where_equals(self, column: str, value) -> "Table":
+        """Fast equality filter on one column."""
+        col = self.column(column)
+        mask = np.array([v == value for v in col], dtype=bool)
+        return Table(self.schema, {n: self._columns[n][mask] for n in self.schema.names})
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table(rows={self.num_rows}, columns={list(self.schema.names)})"

@@ -1,0 +1,198 @@
+"""A high-level OLAP server facade over the whole reproduction.
+
+:class:`OLAPServer` is the "downstream user" entry point: it owns a data
+cube built from records, tracks the observed workload, selects and
+materializes view element sets (Algorithm 1, optionally Algorithm 2 under a
+storage budget), and serves aggregated views, roll-ups, and range queries —
+with per-query operation accounting throughout.
+
+It is a thin composition of the public pieces (``repro.cube``,
+``repro.core``), so everything it does can also be done directly; the value
+is a single object with sane defaults for applications and examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .core.adaptive import AccessTracker
+from .core.element import ElementId
+from .core.engine import SelectionEngine
+from .core.materialize import MaterializedSet
+from .core.operators import OpCounter
+from .core.population import QueryPopulation
+from .core.range_query import RangeQueryEngine
+from .core.select_basis import select_minimum_cost_basis
+from .cube.builder import build_cube
+from .cube.datacube import DataCube
+from .cube.hierarchy import rollup_element
+
+__all__ = ["OLAPServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Cumulative service statistics."""
+
+    queries: int = 0
+    operations: int = 0
+    reconfigurations: int = 0
+    last_expected_cost: float = float("nan")
+
+    @property
+    def operations_per_query(self) -> float:
+        """Mean scalar operations per served query."""
+        return self.operations / self.queries if self.queries else 0.0
+
+
+class OLAPServer:
+    """Serve OLAP queries from a dynamically selected view element set."""
+
+    def __init__(
+        self,
+        cube: DataCube,
+        storage_budget: int | None = None,
+        decay: float = 0.98,
+        smoothing: float = 0.01,
+    ):
+        """``storage_budget`` (cells) enables Algorithm 2 redundancy when it
+        exceeds the cube volume; ``decay``/``smoothing`` configure workload
+        tracking."""
+        self.cube = cube
+        self.shape = cube.shape_id
+        self.storage_budget = storage_budget
+        self.smoothing = smoothing
+        self.tracker = AccessTracker(decay=decay)
+        self.stats = ServerStats()
+        self._engine: SelectionEngine | None = None
+        # Start with the trivial selection: the cube itself.
+        self.materialized = MaterializedSet(self.shape)
+        self.materialized.store(self.shape.root(), cube.values)
+        self._range_engine = RangeQueryEngine(self.materialized)
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Mapping],
+        dimension_names: Sequence[str],
+        measure: str,
+        domains: Mapping[str, Sequence] | None = None,
+        **kwargs,
+    ) -> "OLAPServer":
+        """Build the cube from relational records and wrap it."""
+        cube = build_cube(records, dimension_names, measure, domains=domains)
+        return cls(cube, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Query surface
+
+    def _element_for(self, retained_dims: Iterable[str]) -> ElementId:
+        retained = set(retained_dims)
+        unknown = retained - set(self.cube.dimensions.names)
+        if unknown:
+            raise KeyError(f"unknown dimensions {sorted(unknown)}")
+        aggregated = [
+            self.cube.dimensions.axis_of(name)
+            for name in self.cube.dimensions.names
+            if name not in retained
+        ]
+        return self.shape.aggregated_view(aggregated)
+
+    def view(self, retained_dims: Iterable[str]) -> np.ndarray:
+        """Aggregated view retaining the named dimensions (SUM)."""
+        element = self._element_for(retained_dims)
+        counter = OpCounter()
+        values = self.materialized.assemble(element, counter=counter)
+        self._account(element, counter)
+        return values
+
+    def rollup(self, levels: Mapping[str, str | int]) -> np.ndarray:
+        """Roll-up to named or numeric hierarchy levels per dimension."""
+        element = rollup_element(self.cube, levels)
+        counter = OpCounter()
+        values = self.materialized.assemble(element, counter=counter)
+        self._account(element, counter)
+        return values
+
+    def range_sum(self, ranges) -> float:
+        """SUM over a multi-dimensional half-open coordinate range."""
+        counter = OpCounter()
+        answer = self._range_engine.range_sum(ranges, counter=counter)
+        self.stats.queries += 1
+        self.stats.operations += counter.total
+        return answer.value
+
+    def cell(self, **coordinates) -> float:
+        """One cube cell, addressed by dimension values."""
+        return self.cube.cell(**coordinates)
+
+    def _account(self, element: ElementId, counter: OpCounter) -> None:
+        self.stats.queries += 1
+        self.stats.operations += counter.total
+        self.tracker.record(element)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+
+    def observed_population(self) -> QueryPopulation:
+        """The tracked workload, smoothed over all aggregated views."""
+        return self.tracker.population(
+            smoothing=self.smoothing,
+            universe=list(self.shape.aggregated_views()),
+        )
+
+    def reconfigure(
+        self, population: QueryPopulation | None = None
+    ) -> tuple[int, float]:
+        """Re-select and re-materialize; returns ``(storage, expected cost)``.
+
+        Uses the observed workload by default.  The new set is computed
+        from the current one (assembly, not a cube rescan).
+        """
+        if population is None:
+            population = self.observed_population()
+        selection = select_minimum_cost_basis(self.shape, population)
+        elements = list(selection.elements)
+        expected = selection.cost
+        if (
+            self.storage_budget is not None
+            and self.storage_budget > self.shape.volume
+        ):
+            if self._engine is None:
+                self._engine = SelectionEngine(self.shape)
+            result = self._engine.greedy_redundant_selection(
+                elements, population, storage_budget=self.storage_budget
+            )
+            elements = list(result.selected)
+            expected = result.final_cost
+
+        new_set = MaterializedSet(self.shape)
+        for element in sorted(set(elements), key=lambda e: e.depth):
+            new_set.store(element, self.materialized.assemble(element))
+        self.materialized = new_set
+        self._range_engine = RangeQueryEngine(new_set)
+        self.stats.reconfigurations += 1
+        self.stats.last_expected_cost = float(expected)
+        return new_set.storage, float(expected)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def update(self, delta: float, **coordinates) -> None:
+        """Apply a single-record update incrementally.
+
+        Adjusts the base cube and propagates the delta into every stored
+        element in O(d) each (no recomputation).  Stored element arrays are
+        owned copies, so both updates are required and independent.
+        """
+        index = tuple(
+            dim.encode(coordinates[dim.name]) for dim in self.cube.dimensions
+        )
+        self.materialized.apply_update(index, delta)
+        self.cube.values[index] += delta

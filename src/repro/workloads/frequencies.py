@@ -1,0 +1,98 @@
+"""Query-frequency workload generators.
+
+The paper's experiments assign "a random probability of access to each of
+the aggregated views" (Section 7.2); richer generators (Zipf skew, hot
+subsets, drifting mixtures) exercise the adaptive machinery beyond the
+paper's setting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.element import CubeShape, ElementId
+from ..core.population import QueryPopulation
+
+__all__ = [
+    "random_view_population",
+    "zipf_view_population",
+    "hot_subset_population",
+    "drifting_populations",
+]
+
+
+def random_view_population(
+    shape: CubeShape, rng: np.random.Generator | None = None
+) -> QueryPopulation:
+    """The paper's workload: i.i.d. uniform weights over aggregated views."""
+    return QueryPopulation.random_over_views(shape, rng)
+
+
+def zipf_view_population(
+    shape: CubeShape,
+    exponent: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> QueryPopulation:
+    """Zipf-skewed frequencies over a random permutation of the views.
+
+    ``frequency(rank r) ∝ 1 / r**exponent``; the rank order is shuffled so
+    the hot view is not systematically the grand total.
+    """
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    rng = rng if rng is not None else np.random.default_rng()
+    views = list(shape.aggregated_views())
+    ranks = rng.permutation(len(views)) + 1
+    weights = 1.0 / ranks.astype(np.float64) ** exponent
+    return QueryPopulation(tuple(views), tuple(weights / weights.sum()))
+
+
+def hot_subset_population(
+    shape: CubeShape,
+    hot_views: Sequence[ElementId],
+    hot_mass: float = 0.9,
+) -> QueryPopulation:
+    """Concentrate ``hot_mass`` on ``hot_views``; spread the rest uniformly.
+
+    With ``hot_mass = 1.0`` this reproduces pedagogical settings like the
+    paper's Section 7.1 (two views with ``f = 0.5`` each).
+    """
+    if not 0.0 < hot_mass <= 1.0:
+        raise ValueError(f"hot_mass must be in (0, 1], got {hot_mass}")
+    hot = list(hot_views)
+    if not hot:
+        raise ValueError("at least one hot view is required")
+    views = list(shape.aggregated_views())
+    cold = [v for v in views if v not in set(hot)]
+    pairs = [(v, hot_mass / len(hot)) for v in hot]
+    if cold and hot_mass < 1.0:
+        pairs += [(v, (1.0 - hot_mass) / len(cold)) for v in cold]
+    return QueryPopulation.from_pairs(pairs)
+
+
+def drifting_populations(
+    shape: CubeShape,
+    num_phases: int,
+    rng: np.random.Generator | None = None,
+) -> list[QueryPopulation]:
+    """A sequence of phases, each hot on a different random view subset.
+
+    Drives the dynamic-reconfiguration demo: the optimal element set changes
+    phase to phase, so an adaptive system must follow.
+    """
+    if num_phases < 1:
+        raise ValueError(f"need at least one phase, got {num_phases}")
+    rng = rng if rng is not None else np.random.default_rng()
+    views = list(shape.aggregated_views())
+    phases = []
+    for _ in range(num_phases):
+        count = int(rng.integers(1, max(2, len(views) // 4 + 1)))
+        chosen = rng.choice(len(views), size=count, replace=False)
+        phases.append(
+            hot_subset_population(
+                shape, [views[i] for i in chosen], hot_mass=0.95
+            )
+        )
+    return phases

@@ -1,0 +1,80 @@
+"""Build query populations from logged query-language statements.
+
+Production systems don't hand you ``{(Z_k, f_k)}`` — they hand you a query
+log.  This module closes that loop: parse logged ``SUM ... BY ...``
+statements (see :mod:`repro.query`), map each to the view element it reads,
+and emit the frequency-weighted :class:`QueryPopulation` the selection
+algorithms consume.
+
+Predicated (``WHERE``) queries read range-aggregations rather than whole
+views; they are attributed to the aggregated view over the same retained
+dimensions, which is the element whose materialization serves them best
+(its intermediate ancestors answer the dyadic blocks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from ..core.population import QueryPopulation
+from ..cube.datacube import DataCube
+from ..query import parse_query
+
+__all__ = ["population_from_query_log"]
+
+
+def population_from_query_log(
+    cube: DataCube,
+    statements: Iterable[str],
+    smoothing: float = 0.0,
+) -> QueryPopulation:
+    """Parse a log of query statements into a workload population.
+
+    Parameters
+    ----------
+    cube:
+        The cube the statements run against (for dimension resolution).
+    statements:
+        Query-language strings; each counts one access.
+    smoothing:
+        Optional uniform pseudo-count added to *every* aggregated view of
+        the cube, keeping unseen views at a small positive frequency.
+
+    Raises
+    ------
+    ValueError
+        On unparsable statements (the offending text is included) or an
+        empty log with no smoothing.
+    """
+    names = cube.dimensions.names
+    shape = cube.shape_id
+    counts: Counter = Counter()
+    for statement in statements:
+        try:
+            parsed = parse_query(statement)
+        except ValueError as exc:
+            raise ValueError(f"bad logged query {statement!r}: {exc}") from exc
+        retained = set(parsed.group_by)
+        unknown = retained - set(names)
+        if unknown:
+            raise ValueError(
+                f"logged query {statement!r} names unknown dimensions "
+                f"{sorted(unknown)}"
+            )
+        aggregated = [
+            cube.dimensions.axis_of(name)
+            for name in names
+            if name not in retained
+        ]
+        counts[shape.aggregated_view(aggregated)] += 1
+
+    pairs = []
+    if smoothing > 0:
+        for view in shape.aggregated_views():
+            pairs.append((view, counts.get(view, 0) + smoothing))
+    else:
+        pairs = [(view, count) for view, count in counts.items()]
+    if not pairs:
+        raise ValueError("empty query log and no smoothing")
+    return QueryPopulation.from_pairs(pairs)

@@ -1,0 +1,64 @@
+"""Random range-query workloads (Section 6 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.element import CubeShape
+
+__all__ = ["random_range", "random_ranges", "aligned_range"]
+
+
+def random_range(
+    shape: CubeShape,
+    rng: np.random.Generator | None = None,
+    full_dim_probability: float = 0.3,
+) -> tuple[tuple[int, int], ...]:
+    """One random half-open multi-dimensional range.
+
+    Each dimension is either left whole (with ``full_dim_probability``) or
+    restricted to a uniformly random non-empty sub-interval.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    ranges = []
+    for n in shape.sizes:
+        if rng.random() < full_dim_probability:
+            ranges.append((0, n))
+            continue
+        lo = int(rng.integers(0, n))
+        hi = int(rng.integers(lo + 1, n + 1))
+        ranges.append((lo, hi))
+    return tuple(ranges)
+
+
+def random_ranges(
+    shape: CubeShape,
+    count: int,
+    rng: np.random.Generator | None = None,
+    full_dim_probability: float = 0.3,
+) -> list[tuple[tuple[int, int], ...]]:
+    """A batch of :func:`random_range` queries."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return [
+        random_range(shape, rng, full_dim_probability) for _ in range(count)
+    ]
+
+
+def aligned_range(
+    shape: CubeShape,
+    level: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[tuple[int, int], ...]:
+    """A range aligned to ``2**level`` blocks along every dimension.
+
+    Aligned ranges are the best case of Eq 40: each is a single cell of the
+    level-``level`` intermediate view element.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    ranges = []
+    for n in shape.sizes:
+        block = min(1 << level, n)
+        cells = n // block
+        cell = int(rng.integers(0, cells))
+        ranges.append((cell * block, (cell + 1) * block))
+    return tuple(ranges)

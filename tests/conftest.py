@@ -1,0 +1,42 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.element import CubeShape
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def shape_2x2() -> CubeShape:
+    """The paper's pedagogical 2x2 shape (Section 7.1)."""
+    return CubeShape((2, 2))
+
+
+@pytest.fixture
+def shape_4x4() -> CubeShape:
+    return CubeShape((4, 4))
+
+
+@pytest.fixture
+def shape_3d() -> CubeShape:
+    """A small non-square 3-D shape exercising unequal depths."""
+    return CubeShape((8, 4, 2))
+
+
+@pytest.fixture
+def cube_3d(rng, shape_3d) -> np.ndarray:
+    """Random integer-valued data for the 3-D shape."""
+    return rng.integers(0, 100, size=shape_3d.sizes).astype(np.float64)
+
+
+@pytest.fixture
+def cube_4x4(rng, shape_4x4) -> np.ndarray:
+    return rng.integers(0, 100, size=shape_4x4.sizes).astype(np.float64)

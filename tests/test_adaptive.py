@@ -1,0 +1,127 @@
+"""Tests for the dynamic adaptation layer (the paper's titular feature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AccessTracker, DynamicViewAssembler
+from repro.core.element import CubeShape
+
+
+@pytest.fixture
+def shape() -> CubeShape:
+    return CubeShape((4, 4, 4))
+
+
+@pytest.fixture
+def data(rng, shape) -> np.ndarray:
+    return rng.integers(0, 50, size=shape.sizes).astype(np.float64)
+
+
+class TestAccessTracker:
+    def test_decay_validation(self):
+        with pytest.raises(ValueError, match="decay"):
+            AccessTracker(decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            AccessTracker(decay=1.5)
+
+    def test_frequencies_reflect_counts(self, shape):
+        tracker = AccessTracker(decay=1.0)  # no forgetting
+        views = list(shape.aggregated_views())
+        for _ in range(3):
+            tracker.record(views[0])
+        tracker.record(views[1])
+        population = tracker.population()
+        assert population.frequency_of(views[0]) == pytest.approx(0.75)
+        assert population.frequency_of(views[1]) == pytest.approx(0.25)
+
+    def test_decay_forgets_old_accesses(self, shape):
+        tracker = AccessTracker(decay=0.5)
+        views = list(shape.aggregated_views())
+        tracker.record(views[0])
+        for _ in range(10):
+            tracker.record(views[1])
+        population = tracker.population()
+        assert population.frequency_of(views[1]) > 0.99
+
+    def test_smoothing_includes_universe(self, shape):
+        tracker = AccessTracker()
+        views = list(shape.aggregated_views())
+        tracker.record(views[0])
+        population = tracker.population(smoothing=0.1, universe=views)
+        assert len(population) == len(views)
+        assert population.frequency_of(views[-1]) > 0.0
+
+    def test_empty_tracker_raises(self):
+        with pytest.raises(ValueError, match="no accesses"):
+            AccessTracker().population()
+
+
+class TestDynamicViewAssembler:
+    def test_serves_correct_views(self, data, shape):
+        assembler = DynamicViewAssembler(data, shape, reconfigure_every=1000)
+        values = assembler.query_view([0, 1])
+        np.testing.assert_array_equal(
+            values, data.sum(axis=(0, 1), keepdims=True)
+        )
+
+    def test_answers_survive_reconfiguration(self, data, shape):
+        assembler = DynamicViewAssembler(data, shape, reconfigure_every=5)
+        views = list(shape.aggregated_views())
+        for i in range(20):
+            view = views[i % len(views)]
+            values = assembler.query(view)
+            expected = data.sum(
+                axis=tuple(view.aggregated_dims), keepdims=True
+            )
+            np.testing.assert_allclose(values, expected)
+        assert len(assembler.history) == 4
+
+    def test_reconfiguration_reduces_cost_for_hot_view(self, data, shape):
+        """After reconfiguring for a single hot view, serving it is free."""
+        assembler = DynamicViewAssembler(data, shape, reconfigure_every=10_000)
+        hot = shape.aggregated_view([0, 1, 2])
+        for _ in range(10):
+            assembler.query(hot)
+        record = assembler.reconfigure()
+        assert record.expected_cost == pytest.approx(0.0)
+        assert hot in assembler.materialized.elements
+        before = assembler.stats.operations
+        assembler.query(hot)
+        assert assembler.stats.operations == before  # zero-op serve
+
+    def test_storage_budget_adds_redundancy(self, data, shape):
+        assembler = DynamicViewAssembler(
+            data,
+            shape,
+            storage_budget=int(1.5 * shape.volume),
+            reconfigure_every=10_000,
+        )
+        views = list(shape.aggregated_views())
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            assembler.query(views[int(rng.integers(len(views)))])
+        record = assembler.reconfigure()
+        assert record.storage <= 1.5 * shape.volume
+        # Cube remains reconstructable from the adaptive selection.
+        np.testing.assert_allclose(
+            assembler.materialized.reconstruct_cube(), data
+        )
+
+    def test_migration_operations_recorded(self, data, shape):
+        assembler = DynamicViewAssembler(data, shape, reconfigure_every=10_000)
+        assembler.query_view([0])
+        record = assembler.reconfigure()
+        assert record.migration_operations >= 0
+        assert record.at_access == 1
+
+    def test_average_operations_counter(self, data, shape):
+        assembler = DynamicViewAssembler(data, shape, reconfigure_every=10_000)
+        assert assembler.average_operations_per_query == 0.0
+        assembler.query_view([0, 1, 2])
+        assert assembler.average_operations_per_query > 0.0
+
+    def test_shape_mismatch(self, shape):
+        with pytest.raises(ValueError, match="does not match"):
+            DynamicViewAssembler(np.zeros((2, 2)), shape)

@@ -1,0 +1,120 @@
+"""Tests for the baseline strategies (HRU and the paper's [D]/[V] wrappers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ViewLattice,
+    greedy_view_element_selection,
+    greedy_view_selection,
+    hru_greedy,
+)
+from repro.core.element import CubeShape
+from repro.core.population import QueryPopulation
+
+
+@pytest.fixture
+def lattice() -> ViewLattice:
+    return ViewLattice({"a": 4, "b": 4, "c": 2})
+
+
+class TestViewLattice:
+    def test_views_enumeration(self, lattice):
+        views = lattice.views()
+        assert len(views) == 8
+        assert lattice.top == frozenset({"a", "b", "c"})
+
+    def test_sizes(self, lattice):
+        assert lattice.size(lattice.top) == 32
+        assert lattice.size(frozenset({"a"})) == 4
+        assert lattice.size(frozenset()) == 1
+
+    def test_answers(self, lattice):
+        assert lattice.answers(frozenset({"a", "b"}), frozenset({"a"}))
+        assert not lattice.answers(frozenset({"a"}), frozenset({"a", "b"}))
+
+    def test_query_cost(self, lattice):
+        materialized = [lattice.top, frozenset({"a", "b"})]
+        assert lattice.query_cost(materialized, frozenset({"a"})) == 16
+        assert lattice.query_cost(materialized, frozenset({"c"})) == 32
+        assert lattice.query_cost([], frozenset({"a"})) == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            ViewLattice({})
+
+
+class TestHRUGreedy:
+    def test_selects_top_first(self, lattice):
+        selection = hru_greedy(lattice, k=2)
+        assert selection.selected[0] == lattice.top
+        assert len(selection.selected) == 3
+
+    def test_benefit_decreases(self, lattice):
+        selection = hru_greedy(lattice, k=4)
+        assert list(selection.benefits) == sorted(
+            selection.benefits, reverse=True
+        )
+
+    def test_space_budget(self, lattice):
+        selection = hru_greedy(lattice, space_budget=40)
+        assert selection.total_space <= 40
+
+    def test_frequencies_bias_selection(self, lattice):
+        hot = frozenset({"c"})
+        frequencies = {v: 0.0 for v in lattice.views()}
+        frequencies[hot] = 1.0
+        selection = hru_greedy(lattice, k=1, frequencies=frequencies)
+        # With all mass on {c}, the best single view is {c} itself.
+        assert hot in selection.selected
+
+    def test_unconstrained_selects_everything_beneficial(self, lattice):
+        selection = hru_greedy(lattice)
+        # All 7 non-top views eventually have positive benefit.
+        assert len(selection.selected) == 8
+
+
+class TestPaperStrategies:
+    def test_view_greedy_reaches_zero_at_full_budget(self, rng):
+        shape = CubeShape((4, 4))
+        population = QueryPopulation.random_over_views(shape, rng)
+        budget = (4 + 1) ** 2  # all views
+        result = greedy_view_selection(shape, population, budget)
+        assert result.stages[0].storage == shape.volume
+        assert result.final_cost == pytest.approx(0.0)
+
+    def test_element_greedy_starts_at_algorithm1(self, rng):
+        shape = CubeShape((4, 4))
+        population = QueryPopulation.random_over_views(
+            shape, rng, include_root=False
+        )
+        from repro.core.select_basis import select_minimum_cost_basis
+        from repro.core.select_redundant import total_processing_cost
+
+        basis = select_minimum_cost_basis(shape, population)
+        result = greedy_view_element_selection(
+            shape, population, storage_budget=shape.volume
+        )
+        assert result.stages[0].cost == pytest.approx(
+            total_processing_cost(list(basis.elements), population)
+        )
+
+    def test_element_start_beats_view_start(self):
+        """Point a <= point b on average (paper Figure 9)."""
+        shape = CubeShape((4, 4))
+        gaps = []
+        for seed in range(5):
+            population = QueryPopulation.random_over_views(
+                shape, np.random.default_rng(seed), include_root=False
+            )
+            d = greedy_view_selection(
+                shape, population, storage_budget=shape.volume
+            ).final_cost
+            v = greedy_view_element_selection(
+                shape, population, storage_budget=shape.volume
+            ).final_cost
+            gaps.append(d - v)
+        assert all(gap >= -1e-9 for gap in gaps)
+        assert sum(gaps) > 0

@@ -1,0 +1,116 @@
+"""Tests for chunked MOLAP storage (Zhao et al. [13] substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.element import CubeShape
+from repro.core.materialize import compute_element
+from repro.core.element import ElementId
+from repro.cube import ChunkedCube
+
+
+@pytest.fixture
+def blocky(rng):
+    """A cube with activity concentrated in a corner (many empty chunks)."""
+    shape = CubeShape((8, 8))
+    dense = np.zeros(shape.sizes)
+    dense[:4, :4] = rng.integers(1, 9, size=(4, 4))
+    return shape, dense
+
+
+class TestConstruction:
+    def test_empty_chunks_not_stored(self, blocky):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (2, 2), shape)
+        assert cube.num_chunks_total == 16
+        assert cube.num_chunks_stored == 4
+        assert cube.stored_cells == 16
+
+    def test_round_trip(self, blocky, rng):
+        shape, dense = blocky
+        dense = dense + 0  # keep fixture intact
+        cube = ChunkedCube.from_dense(dense, (4, 2), shape)
+        np.testing.assert_array_equal(cube.densify(), dense)
+
+    def test_chunk_lookup(self, blocky):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (4, 4), shape)
+        assert cube.chunk((0, 0)) is not None
+        assert cube.chunk((1, 1)) is None
+
+    @pytest.mark.parametrize(
+        "extents,message",
+        [
+            ((3, 2), "power of two"),
+            ((16, 2), "does not divide"),
+            ((2,), "chunk extents"),
+        ],
+    )
+    def test_validation(self, blocky, extents, message):
+        shape, _ = blocky
+        with pytest.raises(ValueError, match=message):
+            ChunkedCube(shape, extents)
+
+    def test_dense_shape_checked(self, blocky):
+        shape, _ = blocky
+        with pytest.raises(ValueError, match="!="):
+            ChunkedCube.from_dense(np.zeros((2, 2)), (2, 2), shape)
+
+
+class TestAggregation:
+    def test_total(self, blocky):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (2, 2), shape)
+        assert cube.total() == pytest.approx(dense.sum())
+
+    @pytest.mark.parametrize("axes", [(0,), (1,), (0, 1)])
+    def test_total_aggregate_matches_dense(self, blocky, axes):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (4, 2), shape)
+        np.testing.assert_allclose(
+            cube.total_aggregate(axes),
+            dense.sum(axis=axes, keepdims=True),
+        )
+
+    def test_random_dense_cube(self, rng):
+        shape = CubeShape((8, 4, 4))
+        dense = rng.integers(0, 5, size=shape.sizes).astype(float)
+        cube = ChunkedCube.from_dense(dense, (4, 2, 4), shape)
+        np.testing.assert_allclose(
+            cube.total_aggregate((0, 2)),
+            dense.sum(axis=(0, 2), keepdims=True),
+        )
+
+
+class TestChunkPartialSums:
+    def test_matches_intermediate_element(self, rng):
+        shape = CubeShape((8, 8))
+        dense = rng.integers(0, 9, size=shape.sizes).astype(float)
+        cube = ChunkedCube.from_dense(dense, (4, 4), shape)
+        levels = (2, 1)
+        element = ElementId(shape, tuple((k, 0) for k in levels))
+        np.testing.assert_array_equal(
+            cube.chunk_partial_sums(levels),
+            compute_element(dense, element),
+        )
+
+    def test_level_bounded_by_chunk(self, blocky):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (2, 2), shape)
+        with pytest.raises(ValueError, match="exceeds chunk extent"):
+            cube.chunk_partial_sums((2, 0))
+
+    def test_arity_checked(self, blocky):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (2, 2), shape)
+        with pytest.raises(ValueError, match="dimensionality"):
+            cube.chunk_partial_sums((1,))
+
+    def test_empty_chunks_produce_zero_cells(self, blocky):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (4, 4), shape)
+        partials = cube.chunk_partial_sums((2, 2))
+        assert partials[1, 1] == 0.0
+        assert partials[0, 0] == dense[:4, :4].sum()

@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "923,521" in out
+        assert "MISMATCH" not in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "{V3,V6,V7}" in out
+        assert "MISMATCH" not in out
+
+    def test_figure8_with_trials(self, capsys):
+        assert main(["figure8", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mean V/D" in out
+
+    def test_figure9_quick(self, capsys):
+        assert main(["figure9", "--trials", "1", "--budgets", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "point b" in out or "cube only" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

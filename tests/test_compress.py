@@ -1,0 +1,101 @@
+"""Tests for the §4.3 wavelet-packet compression extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compress import CompressedCube, best_compression_basis
+from repro.core.element import CubeShape
+from repro.core.frequency import is_non_redundant_basis
+
+
+def _block_sparse_cube(shape: CubeShape, rng: np.random.Generator) -> np.ndarray:
+    """A cube with one dense dyadic block and zeros elsewhere."""
+    data = np.zeros(shape.sizes)
+    slices = tuple(slice(0, n // 2) for n in shape.sizes)
+    data[slices] = rng.integers(1, 9, size=tuple(n // 2 for n in shape.sizes))
+    return data.astype(np.float64)
+
+
+class TestBestBasisSearch:
+    def test_result_is_a_basis(self, shape_4x4, rng):
+        data = rng.random(shape_4x4.sizes)
+        basis, _ = best_compression_basis(data, shape_4x4)
+        assert is_non_redundant_basis(basis)
+
+    def test_constant_cube_compresses_to_few_coefficients(self, shape_4x4):
+        """A constant cube has zero residuals everywhere: the nnz-optimal
+        basis keeps only aggregate coefficients."""
+        data = np.full(shape_4x4.sizes, 5.0)
+        basis, cost = best_compression_basis(data, shape_4x4)
+        assert cost == 1.0  # a single non-zero coefficient suffices
+
+    def test_block_sparse_beats_identity(self, rng):
+        shape = CubeShape((8, 8))
+        data = _block_sparse_cube(shape, rng)
+        _, cost = best_compression_basis(data, shape)
+        assert cost <= np.count_nonzero(data)
+
+    def test_shape_mismatch(self, shape_4x4):
+        with pytest.raises(ValueError, match="does not match"):
+            best_compression_basis(np.zeros((2, 2)), shape_4x4)
+
+    def test_unknown_functional(self, shape_4x4):
+        with pytest.raises(ValueError, match="unknown cost functional"):
+            best_compression_basis(
+                np.zeros(shape_4x4.sizes), shape_4x4, functional="bogus"
+            )
+
+    def test_entropy_functional_runs(self, shape_4x4, rng):
+        data = rng.random(shape_4x4.sizes)
+        basis, cost = best_compression_basis(
+            data, shape_4x4, functional="entropy"
+        )
+        assert is_non_redundant_basis(basis)
+        assert cost >= 0.0
+
+
+class TestCompressedCube:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_lossless_at_zero_threshold(self, seed):
+        shape = CubeShape((4, 4))
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-9, 9, size=shape.sizes).astype(np.float64)
+        compressed = CompressedCube.compress(data, shape, threshold=0.0)
+        np.testing.assert_allclose(compressed.reconstruct(), data)
+
+    def test_sparse_cube_high_ratio(self, rng):
+        shape = CubeShape((16, 16))
+        data = _block_sparse_cube(shape, rng)
+        compressed = CompressedCube.compress(data, shape)
+        assert compressed.compression_ratio > 2.0
+        np.testing.assert_allclose(compressed.reconstruct(), data)
+
+    def test_all_zero_cube(self):
+        shape = CubeShape((4, 4))
+        compressed = CompressedCube.compress(np.zeros(shape.sizes), shape)
+        assert compressed.stored_coefficients == 0
+        assert compressed.compression_ratio == float("inf")
+        np.testing.assert_array_equal(
+            compressed.reconstruct(), np.zeros(shape.sizes)
+        )
+
+    def test_thresholding_is_lossy_but_bounded(self, rng):
+        shape = CubeShape((8, 8))
+        data = rng.normal(scale=10.0, size=shape.sizes)
+        compressed = CompressedCube.compress(data, shape, threshold=0.5)
+        recon = compressed.reconstruct()
+        # Dropping small coefficients loses little total energy.
+        err = np.abs(recon - data).max()
+        assert err < 10.0  # loose sanity bound; exactness not expected
+        assert compressed.stored_coefficients <= shape.volume
+
+    def test_memory_accounting(self, rng):
+        shape = CubeShape((4, 4))
+        data = rng.random(shape.sizes)
+        compressed = CompressedCube.compress(data, shape)
+        assert compressed.memory_cells() == compressed.stored_coefficients * 3

@@ -1,0 +1,93 @@
+"""Tests for the processing-cost model (paper §5.2, Eqs 26-29)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import (
+    aggregation_cost,
+    basis_population_cost,
+    element_population_cost,
+    support_cost,
+)
+from repro.core.element import CubeShape, ElementId
+from repro.core.population import QueryPopulation
+
+
+class TestAggregationCost:
+    def test_telescoped_sum(self):
+        # Eq 28: sum of 2^j from log2(l) to log2(v)-1 equals v - l.
+        assert aggregation_cost(16, 2) == 14
+        assert aggregation_cost(8, 8) == 0
+
+    def test_rejects_expansion(self):
+        with pytest.raises(ValueError, match="cannot aggregate"):
+            aggregation_cost(4, 8)
+
+
+class TestSupportCost:
+    def test_disjoint_is_zero(self, shape_4x4):
+        p, r = shape_4x4.root().children(0)
+        assert support_cost(p, r) == 0
+
+    def test_identical_is_zero(self, shape_4x4):
+        view = shape_4x4.aggregated_view([0])
+        assert support_cost(view, view) == 0
+
+    def test_ancestor_supports_descendant(self, shape_4x4):
+        root = shape_4x4.root()
+        view = shape_4x4.aggregated_view([0, 1])
+        # Root (vol 16) aggregates down to the total (vol 1): 15 ops; the
+        # query itself needs no further aggregation.
+        assert support_cost(root, view) == 15
+        assert support_cost(view, root) == 15  # symmetric by Eq 26
+
+    def test_partial_overlap(self, shape_4x4):
+        a = ElementId(shape_4x4, ((1, 0), (0, 0)))  # vol 8
+        b = ElementId(shape_4x4, ((0, 0), (1, 0)))  # vol 8
+        # Common descendant has vol 4; each side pays 8 - 4.
+        assert support_cost(a, b) == 8
+
+    def test_pedagogical_values(self, shape_2x2):
+        """The §7.1 walk: V1 -> V2 costs 1; V0 -> V1 costs 2."""
+        v0 = shape_2x2.root()
+        v1 = ElementId(shape_2x2, ((1, 0), (0, 0)))
+        v2 = ElementId(shape_2x2, ((1, 0), (1, 0)))
+        assert support_cost(v0, v1) == 2
+        assert support_cost(v1, v2) == 1
+
+
+class TestPopulationCosts:
+    def test_element_population_cost_weighting(self, shape_4x4):
+        views = list(shape_4x4.aggregated_views())
+        population = QueryPopulation.from_pairs(
+            [(views[1], 0.25), (views[3], 0.75)]
+        )
+        root = shape_4x4.root()
+        expected = 0.25 * support_cost(root, views[1]) + 0.75 * support_cost(
+            root, views[3]
+        )
+        assert element_population_cost(root, population) == pytest.approx(expected)
+
+    def test_zero_frequency_ignored(self, shape_4x4):
+        views = list(shape_4x4.aggregated_views())
+        population = QueryPopulation(
+            (views[1], views[2]), (1.0, 0.0)
+        )
+        root = shape_4x4.root()
+        assert element_population_cost(root, population) == pytest.approx(
+            support_cost(root, views[1])
+        )
+
+    def test_basis_cost_additive(self, shape_4x4):
+        population = QueryPopulation.uniform_over_views(shape_4x4)
+        basis = list(shape_4x4.root().children(0))
+        total = basis_population_cost(basis, population)
+        assert total == pytest.approx(
+            sum(element_population_cost(e, population) for e in basis)
+        )
+
+    def test_stored_query_is_free(self, shape_4x4):
+        view = shape_4x4.aggregated_view([0])
+        population = QueryPopulation.from_pairs([(view, 1.0)])
+        assert element_population_cost(view, population) == 0.0

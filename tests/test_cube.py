@@ -1,0 +1,273 @@
+"""Tests for the MOLAP substrate: dimensions, cubes, builders, sparse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.element import CubeShape
+from repro.cube import (
+    DataCube,
+    Dimension,
+    DimensionSet,
+    SparseCube,
+    all_views,
+    build_cube,
+    cube_from_columns,
+    next_power_of_two,
+    view_element_of,
+    view_sizes,
+)
+from repro.core.operators import OpCounter
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16)]
+    )
+    def test_values(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+
+class TestDimension:
+    def test_encode_decode(self):
+        dim = Dimension("city", ["ams", "ber", "cph"])
+        assert dim.cardinality == 3
+        assert dim.size == 4  # padded
+        assert dim.padded_slots == 1
+        assert dim.encode("ber") == 1
+        assert dim.decode(1) == "ber"
+        assert dim.decode(3) is None  # padding slot
+
+    def test_encode_many(self):
+        dim = Dimension("x", [10, 20])
+        np.testing.assert_array_equal(
+            dim.encode_many([20, 10, 20]), [1, 0, 1]
+        )
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Dimension("x", [1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty domain"):
+            Dimension("x", [])
+
+    def test_unpadded_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            Dimension("x", [1, 2, 3], pad_to_power_of_two=False)
+
+    def test_decode_out_of_range(self):
+        dim = Dimension("x", [1, 2])
+        with pytest.raises(IndexError):
+            dim.decode(2)
+
+
+class TestDimensionSet:
+    def test_axis_lookup(self):
+        dims = DimensionSet([Dimension("a", [1, 2]), Dimension("b", [3, 4])])
+        assert dims.axis_of("b") == 1
+        assert dims.axes_of(["b", "a"]) == (1, 0)
+        assert dims["a"].name == "a"
+        assert dims[1].name == "b"
+
+    def test_unknown_name(self):
+        dims = DimensionSet([Dimension("a", [1, 2])])
+        with pytest.raises(KeyError, match="unknown dimension"):
+            dims.axis_of("z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DimensionSet([Dimension("a", [1]), Dimension("a", [2])])
+
+
+class TestDataCube:
+    @pytest.fixture
+    def cube(self, rng) -> DataCube:
+        dims = [
+            Dimension("p", ["p0", "p1", "p2", "p3"]),
+            Dimension("s", ["s0", "s1"]),
+        ]
+        values = rng.integers(0, 10, size=(4, 2)).astype(float)
+        return DataCube(values, dims, measure="sales")
+
+    def test_shape_id(self, cube):
+        assert cube.shape_id == CubeShape((4, 2))
+        assert cube.volume == 8
+
+    def test_view_matches_numpy(self, cube):
+        np.testing.assert_array_equal(
+            cube.view(["p"]), cube.values.sum(axis=0, keepdims=True)
+        )
+
+    def test_view_cost_counted(self, cube):
+        counter = OpCounter()
+        cube.view(["p", "s"], counter=counter)
+        assert counter.total == cube.volume - 1
+
+    def test_cell_and_slice(self, cube):
+        assert cube.cell(p="p2", s="s1") == cube.values[2, 1]
+        np.testing.assert_array_equal(cube.slice(s="s0"), cube.values[:, 0])
+
+    def test_cell_missing_coordinate(self, cube):
+        with pytest.raises(KeyError, match="missing coordinate"):
+            cube.cell(p="p0")
+
+    def test_cell_unknown_dimension(self, cube):
+        with pytest.raises(KeyError, match="unknown dimensions"):
+            cube.cell(p="p0", s="s0", z=1)
+
+    def test_values_shape_checked(self):
+        with pytest.raises(ValueError, match="does not match"):
+            DataCube(np.zeros((4, 4)), [Dimension("a", [1, 2])])
+
+    def test_to_records_round_trip(self):
+        dims = [Dimension("a", ["x", "y"]), Dimension("b", [0, 1])]
+        values = np.array([[1.0, 0.0], [0.0, 2.0]])
+        cube = DataCube(values, dims, measure="m")
+        records = cube.to_records()
+        assert len(records) == 2
+        rebuilt = build_cube(records, ["a", "b"], "m")
+        np.testing.assert_array_equal(rebuilt.values[:2, :2], values)
+
+    def test_density(self, cube):
+        assert 0.0 <= cube.density <= 1.0
+
+
+class TestBuilder:
+    def test_accumulates_duplicates(self):
+        records = [
+            {"a": "x", "m": 1.0},
+            {"a": "x", "m": 2.5},
+            {"a": "y", "m": 4.0},
+        ]
+        cube = build_cube(records, ["a"], "m")
+        assert cube.cell(a="x") == 3.5
+        assert cube.cell(a="y") == 4.0
+
+    def test_padding_to_power_of_two(self):
+        records = [{"a": v, "m": 1.0} for v in "abc"]
+        cube = build_cube(records, ["a"], "m")
+        assert cube.values.shape == (4,)
+        assert cube.total() == 3.0
+
+    def test_explicit_domains(self):
+        records = [{"day": 3, "m": 1.0}]
+        cube = build_cube(
+            records, ["day"], "m", domains={"day": list(range(8))}
+        )
+        assert cube.values.shape == (8,)
+        assert cube.values[3] == 1.0
+
+    def test_missing_measure(self):
+        with pytest.raises(KeyError, match="missing measure"):
+            build_cube([{"a": 1}], ["a"], "m")
+
+    def test_missing_dimension(self):
+        with pytest.raises(KeyError, match="missing dimension"):
+            build_cube([{"m": 1.0}], ["a"], "m")
+
+    def test_empty_records(self):
+        with pytest.raises(ValueError, match="at least one record"):
+            build_cube([], ["a"], "m")
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            cube_from_columns({"a": [1, 2]}, [1.0])
+
+
+class TestAllViews:
+    def test_lattice_matches_numpy(self, rng):
+        dims = [
+            Dimension("a", list(range(4))),
+            Dimension("b", list(range(2))),
+            Dimension("c", list(range(2))),
+        ]
+        values = rng.integers(0, 9, size=(4, 2, 2)).astype(float)
+        cube = DataCube(values, dims)
+        views = all_views(cube)
+        assert len(views) == 8
+        np.testing.assert_array_equal(
+            views[frozenset({"a"})],
+            values.sum(axis=(1, 2), keepdims=True),
+        )
+        assert views[frozenset()].item() == values.sum()
+
+    def test_view_element_of(self):
+        dims = [Dimension("a", [0, 1]), Dimension("b", [0, 1])]
+        cube = DataCube(np.zeros((2, 2)), dims)
+        element = view_element_of(cube, ["a"])
+        assert element.aggregated_dims == (1,)  # b is aggregated out
+
+    def test_view_element_of_unknown(self):
+        dims = [Dimension("a", [0, 1])]
+        cube = DataCube(np.zeros(2), dims)
+        with pytest.raises(KeyError, match="unknown dimensions"):
+            view_element_of(cube, ["z"])
+
+    def test_view_sizes(self):
+        dims = [Dimension("a", list(range(4))), Dimension("b", [0, 1])]
+        cube = DataCube(np.zeros((4, 2)), dims)
+        sizes = view_sizes(cube)
+        assert sizes[frozenset({"a", "b"})] == 8
+        assert sizes[frozenset({"a"})] == 4
+        assert sizes[frozenset()] == 1
+
+
+class TestSparseCube:
+    def test_duplicates_combined(self):
+        shape = CubeShape((4, 4))
+        sparse = SparseCube(
+            shape,
+            np.array([[0, 0], [0, 0], [1, 2]]),
+            np.array([1.0, 2.0, 5.0]),
+        )
+        assert sparse.nnz == 2
+        dense = sparse.densify()
+        assert dense[0, 0] == 3.0
+        assert dense[1, 2] == 5.0
+
+    def test_zero_entries_dropped(self):
+        shape = CubeShape((2, 2))
+        sparse = SparseCube(
+            shape, np.array([[0, 0], [0, 0]]), np.array([1.0, -1.0])
+        )
+        assert sparse.nnz == 0
+
+    def test_from_dense_round_trip(self, rng):
+        shape = CubeShape((4, 4))
+        dense = np.where(
+            rng.random((4, 4)) < 0.3, rng.integers(1, 9, (4, 4)), 0
+        ).astype(float)
+        sparse = SparseCube.from_dense(dense)
+        np.testing.assert_array_equal(sparse.densify(), dense)
+        assert sparse.density == np.count_nonzero(dense) / 16
+
+    def test_sparse_aggregation_matches_dense(self, rng):
+        shape = CubeShape((4, 4, 2))
+        dense = rng.integers(0, 5, size=shape.sizes).astype(float)
+        sparse = SparseCube.from_dense(dense)
+        np.testing.assert_array_equal(
+            sparse.total_aggregate([0, 2]),
+            dense.sum(axis=(0, 2), keepdims=True),
+        )
+        assert sparse.total() == dense.sum()
+
+    def test_from_records(self):
+        shape = CubeShape((2, 2))
+        sparse = SparseCube.from_records(
+            shape, [((0, 1), 2.0), ((1, 1), 3.0)]
+        )
+        assert sparse.densify()[0, 1] == 2.0
+        assert sparse.memory_cells() == 2 * 3
+
+    def test_coordinate_validation(self):
+        shape = CubeShape((2, 2))
+        with pytest.raises(ValueError, match="outside"):
+            SparseCube(shape, np.array([[2, 0]]), np.array([1.0]))
+
+    def test_empty(self):
+        shape = CubeShape((2, 2))
+        sparse = SparseCube.from_records(shape, [])
+        assert sparse.nnz == 0
+        assert sparse.densify().sum() == 0.0

@@ -1,0 +1,222 @@
+"""Unit tests for the view-element identifier algebra (paper §3-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.element import CubeShape, ElementId
+
+
+class TestCubeShape:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="not a power of two"):
+            CubeShape((4, 6))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            CubeShape(())
+
+    def test_basic_properties(self):
+        shape = CubeShape((8, 4, 2))
+        assert shape.ndim == 3
+        assert shape.depths == (3, 2, 1)
+        assert shape.volume == 64
+        assert len(shape) == 3
+        assert list(shape) == [8, 4, 2]
+
+    def test_counting_formulas(self):
+        shape = CubeShape((4, 4))
+        assert shape.num_view_elements() == 49  # (2*4-1)^2
+        assert shape.num_aggregated_views() == 4
+        assert shape.num_intermediate_elements() == 9  # (log2(4)+1)^2
+        assert shape.num_residual_elements() == 40
+        assert shape.num_blocks() == 9
+
+    def test_aggregated_views_enumeration(self):
+        shape = CubeShape((4, 4))
+        views = list(shape.aggregated_views())
+        assert len(views) == 4
+        assert views[0].is_root
+        assert views[-1] == shape.total_aggregation()
+        assert all(v.is_aggregated_view for v in views)
+
+    def test_aggregated_view_unknown_dim(self):
+        with pytest.raises(ValueError, match="unknown dimensions"):
+            CubeShape((4, 4)).aggregated_view([2])
+
+
+class TestElementValidation:
+    def test_level_out_of_range(self):
+        shape = CubeShape((4,))
+        with pytest.raises(ValueError, match="level"):
+            ElementId(shape, ((3, 0),))
+
+    def test_index_out_of_range(self):
+        shape = CubeShape((4,))
+        with pytest.raises(ValueError, match="index"):
+            ElementId(shape, ((1, 2),))
+
+    def test_wrong_arity(self):
+        shape = CubeShape((4, 4))
+        with pytest.raises(ValueError, match="dimension nodes"):
+            ElementId(shape, ((0, 0),))
+
+
+class TestClassification:
+    """Definitions 1-4 of the paper."""
+
+    def test_root(self, shape_4x4):
+        root = shape_4x4.root()
+        assert root.is_root
+        assert root.is_intermediate
+        assert not root.is_residual
+        assert root.is_aggregated_view
+
+    def test_intermediate_vs_residual(self, shape_4x4):
+        inter = ElementId(shape_4x4, ((1, 0), (2, 0)))
+        resid = ElementId(shape_4x4, ((1, 0), (2, 1)))
+        assert inter.is_intermediate and not inter.is_residual
+        assert resid.is_residual and not resid.is_intermediate
+
+    def test_aggregated_views_are_full_depth_or_untouched(self, shape_4x4):
+        partial = ElementId(shape_4x4, ((1, 0), (0, 0)))
+        assert not partial.is_aggregated_view  # level 1 of depth 2
+        view = ElementId(shape_4x4, ((2, 0), (0, 0)))
+        assert view.is_aggregated_view
+        assert view.aggregated_dims == (0,)
+
+    def test_counts_over_enumeration(self, shape_3d):
+        from repro.core.graph import ViewElementGraph
+
+        graph = ViewElementGraph(shape_3d)
+        elements = list(graph.elements())
+        assert len(elements) == shape_3d.num_view_elements()
+        assert (
+            sum(1 for e in elements if e.is_aggregated_view)
+            == shape_3d.num_aggregated_views()
+        )
+        assert (
+            sum(1 for e in elements if e.is_intermediate)
+            == shape_3d.num_intermediate_elements()
+        )
+
+
+class TestGraphStructure:
+    def test_children_encoding(self, shape_4x4):
+        root = shape_4x4.root()
+        p = root.partial_child(0)
+        r = root.residual_child(0)
+        assert p.nodes == ((1, 0), (0, 0))
+        assert r.nodes == ((1, 1), (0, 0))
+        assert root.children(0) == (p, r)
+
+    def test_parent_inverts_children(self, shape_4x4):
+        root = shape_4x4.root()
+        for dim in (0, 1):
+            for child in root.children(dim):
+                assert child.parent(dim) == root
+
+    def test_split_exhaustion(self):
+        shape = CubeShape((2, 4))
+        terminal = ElementId(shape, ((1, 0), (2, 3)))
+        assert terminal.is_terminal
+        assert terminal.splittable_dims() == ()
+        with pytest.raises(ValueError, match="fully aggregated"):
+            terminal.partial_child(0)
+
+    def test_parent_of_undecomposed_dim(self, shape_4x4):
+        with pytest.raises(ValueError, match="no parent"):
+            shape_4x4.root().parent(0)
+
+    def test_parents_lists_each_decomposed_dim(self, shape_4x4):
+        element = ElementId(shape_4x4, ((1, 1), (2, 2)))
+        parents = element.parents()
+        assert len(parents) == 2
+        assert parents[0].nodes == ((0, 0), (2, 2))
+        assert parents[1].nodes == ((1, 1), (1, 1))
+
+    def test_path_notation(self):
+        shape = CubeShape((8,))
+        # index 5 = binary 101 -> R, P, R applied in that order.
+        element = ElementId(shape, ((3, 5),))
+        assert element.path(0) == "RPR"
+        assert element.describe() == "RPR"
+
+    def test_depth(self, shape_4x4):
+        assert shape_4x4.root().depth == 0
+        assert ElementId(shape_4x4, ((2, 1), (1, 0))).depth == 3
+
+
+class TestGeometry:
+    def test_data_shape_and_volume(self):
+        shape = CubeShape((8, 4))
+        element = ElementId(shape, ((2, 1), (1, 0)))
+        assert element.data_shape == (2, 2)
+        assert element.volume == 4
+        assert element.log2_volume == 2
+
+    def test_frequency_rectangle(self):
+        shape = CubeShape((8, 4))
+        element = ElementId(shape, ((2, 3), (0, 0)))
+        assert element.frequency_rectangle() == ((0.75, 0.25), (0.0, 1.0))
+
+    def test_frequency_volume(self, shape_4x4):
+        root = shape_4x4.root()
+        assert root.frequency_volume() == 1.0
+        child = root.partial_child(0)
+        assert child.frequency_volume() == 0.5
+
+
+class TestContainmentAndIntersection:
+    """Eqs 24-25 via dyadic interval nesting."""
+
+    def test_contains_descendants_only(self, shape_4x4):
+        root = shape_4x4.root()
+        p = root.partial_child(0)
+        pp = p.partial_child(0)
+        pr = p.residual_child(0)
+        assert root.contains(p) and root.contains(pp)
+        assert p.contains(pp) and p.contains(pr)
+        assert not pp.contains(p)
+        assert not pr.contains(pp)
+
+    def test_self_containment(self, shape_4x4):
+        e = ElementId(shape_4x4, ((1, 1), (1, 0)))
+        assert e.contains(e)
+        assert e.intersects(e)
+        assert e.intersection(e) == e
+
+    def test_disjoint_siblings(self, shape_4x4):
+        root = shape_4x4.root()
+        p, r = root.children(0)
+        assert not p.intersects(r)
+        assert p.intersection(r) is None
+
+    def test_intersection_is_deeper_node_per_dim(self, shape_4x4):
+        a = ElementId(shape_4x4, ((1, 0), (0, 0)))  # P|.
+        b = ElementId(shape_4x4, ((0, 0), (1, 0)))  # .|P
+        common = a.intersection(b)
+        assert common is not None
+        assert common.nodes == ((1, 0), (1, 0))
+        # Per dimension the overlap keeps the smaller extent: 2 x 2 cells.
+        assert common.data_shape == (2, 2)
+        assert common.volume == 4
+
+    def test_cross_shape_rejected(self):
+        a = CubeShape((4, 4)).root()
+        b = CubeShape((8, 8)).root()
+        with pytest.raises(ValueError, match="different shapes"):
+            a.contains(b)
+
+    def test_pairwise_consistency_sample(self, shape_4x4):
+        """intersects == (intersection is not None) for all element pairs."""
+        from repro.core.graph import ViewElementGraph
+
+        elements = list(ViewElementGraph(shape_4x4).elements())
+        for a in elements[::5]:
+            for b in elements[::7]:
+                hit = a.intersects(b)
+                common = a.intersection(b)
+                assert hit == (common is not None)
+                if hit:
+                    assert a.contains(common) and b.contains(common)

@@ -1,0 +1,116 @@
+"""Tests that the experiment drivers reproduce the paper's results.
+
+Tables 1 and 2 must match *exactly* (they are deterministic).  Figures 8
+and 9 are statistical, so small-scale runs assert the qualitative shapes
+the paper reports: orderings, dominance, and convergence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure8, figure9, table1, table2
+
+
+class TestTable1:
+    def test_all_rows_match_paper(self):
+        for row in table1.run():
+            assert row.matches_paper, f"(d={row.d}, n={row.n}) mismatches"
+
+    def test_enumeration_cross_check(self):
+        """Brute-force enumeration agrees with the formulas (small shape)."""
+        from repro.core.element import CubeShape
+
+        shape = CubeShape((4,) * 4)
+        counts = table1.enumerate_counts(shape)
+        assert counts == (
+            shape.num_aggregated_views(),
+            shape.num_intermediate_elements(),
+            shape.num_residual_elements(),
+            shape.num_view_elements(),
+        )
+
+    def test_render(self):
+        rendered = table1.main()
+        assert "923,521" in rendered
+        assert "MISMATCH" not in rendered
+
+
+class TestTable2:
+    def test_all_rows_match_paper(self):
+        for row in table2.run():
+            assert row.matches_paper, f"{row.members} mismatches paper"
+
+    def test_optimum_is_three(self):
+        assert table2.optimal_cost() == pytest.approx(3.0)
+
+    def test_render(self):
+        rendered = table2.main()
+        assert "MISMATCH" not in rendered
+        assert "{V3,V6,V7}" in rendered
+
+    def test_element_volumes(self):
+        elements = table2.pedagogical_elements()
+        volumes = {name: e.volume for name, e in elements.items()}
+        assert volumes == {
+            "V0": 4,
+            "V1": 2,
+            "V2": 1,
+            "V3": 1,
+            "V4": 2,
+            "V5": 1,
+            "V6": 1,
+            "V7": 2,
+            "V8": 2,
+        }
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure8.run(figure8.Figure8Config(num_trials=8, seed=77))
+
+    def test_v_always_best(self, result):
+        assert result.v_always_best
+
+    def test_w_worse_than_d_on_most_trials(self, result):
+        assert result.w_worse_than_d >= 0.5
+
+    def test_ratio_in_paper_ballpark(self, result):
+        """Within the skew-sensitivity bracket around the paper's 53.8%."""
+        assert 0.4 <= result.mean_v_over_d <= 0.85
+
+    def test_small_shape_run(self):
+        config = figure8.Figure8Config(
+            dimensions=2, domain_size=4, num_trials=3
+        )
+        result = figure8.run(config)
+        assert len(result.trials) == 3
+        assert result.v_always_best
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure9.run(
+            figure9.Figure9Config(
+                dimensions=3, domain_size=4, num_trials=3, budget_points=5
+            )
+        )
+
+    def test_point_a_below_point_b(self, result):
+        assert result.start_cost_elements < result.start_cost_views
+
+    def test_elements_dominate(self, result):
+        assert result.elements_dominate
+
+    def test_both_converge(self, result):
+        assert result.curve_views[-1][1] == pytest.approx(0.0, abs=1.0)
+        assert result.curve_elements[-1][1] == pytest.approx(0.0, abs=1.0)
+
+    def test_budget_grid(self, result):
+        storages = [s for s, _ in result.curve_views]
+        assert storages[0] == pytest.approx(1.0)
+        assert storages[-1] == pytest.approx(
+            result.config.max_storage_ratio
+        )

@@ -1,0 +1,59 @@
+"""Rendering smoke tests for the experiment drivers at reduced scale.
+
+The statistical drivers are exercised in ``test_experiments.py``; here we
+make sure their human-facing ``main()`` outputs carry the content a reader
+needs (legend, axes, paper-comparison rows) at configurations small enough
+to keep the test-suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure8, figure9
+
+
+class TestFigure8Render:
+    def test_main_contains_plot_and_summary(self):
+        out = figure8.main(
+            figure8.Figure8Config(
+                dimensions=2, domain_size=4, num_trials=4
+            )
+        )
+        assert "legend: *=W   o=D   +=V" in out
+        assert "mean V/D" in out
+        assert "Sensitivity" in out
+
+    def test_sensitivity_table_rows(self):
+        out = figure8.sensitivity_table(
+            figure8.Figure8Config(
+                dimensions=2, domain_size=4, num_trials=3
+            )
+        )
+        assert "uniform weights" in out
+        assert "Dirichlet(0.2)" in out
+
+
+class TestFigure9Render:
+    def test_main_contains_curves_and_points(self):
+        out = figure9.main(
+            figure9.Figure9Config(
+                dimensions=2,
+                domain_size=4,
+                num_trials=2,
+                budget_points=4,
+            )
+        )
+        assert "storage" in out
+        assert "point c" in out or "point b" in out
+        assert "[V] dominates [D]" in out
+
+    def test_budget_grid_respects_points(self):
+        config = figure9.Figure9Config(
+            dimensions=2, domain_size=4, num_trials=1, budget_points=5
+        )
+        assert len(config.budgets) == 5
+        assert config.budgets[0] == pytest.approx(1.0)
+        assert config.budgets[-1] == pytest.approx(
+            config.max_storage_ratio
+        )

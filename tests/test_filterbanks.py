@@ -1,0 +1,111 @@
+"""Tests for the generalized two-tap filter pair framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.element import CubeShape
+from repro.core.filterbanks import (
+    HAAR,
+    MEAN,
+    ORTHONORMAL_HAAR,
+    FilterPair,
+    analyze_pair,
+    compute_element_with_pair,
+    synthesize_pair,
+)
+from repro.core.materialize import compute_element
+from repro.core.operators import OpCounter, analyze
+
+
+PAIRS = [HAAR, MEAN, ORTHONORMAL_HAAR]
+
+
+class TestFilterPair:
+    def test_singular_pair_rejected(self):
+        with pytest.raises(ValueError, match="singular"):
+            FilterPair("bad", (1.0, 1.0), (2.0, 2.0))
+
+    def test_haar_properties(self):
+        assert HAAR.is_sum_preserving
+        assert not HAAR.is_energy_preserving
+
+    def test_orthonormal_properties(self):
+        assert ORTHONORMAL_HAAR.is_energy_preserving
+        assert not ORTHONORMAL_HAAR.is_sum_preserving
+
+    def test_mean_properties(self):
+        assert not MEAN.is_sum_preserving
+        assert MEAN.determinant == pytest.approx(-0.5)
+
+
+class TestPerfectReconstruction:
+    @pytest.mark.parametrize("pair", PAIRS, ids=lambda p: p.name)
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_round_trip(self, pair, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-99, 99, size=(8, 4)).astype(float)
+        for axis in (0, 1):
+            p, r = analyze_pair(a, axis, pair=pair)
+            np.testing.assert_allclose(
+                synthesize_pair(p, r, axis, pair=pair), a
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="differ"):
+            synthesize_pair(np.zeros(2), np.zeros(4), 0)
+
+    def test_odd_extent_rejected(self):
+        with pytest.raises(ValueError, match="even extent"):
+            analyze_pair(np.zeros((3, 2)), 0)
+
+
+class TestSemantics:
+    def test_haar_matches_paper_operators(self, rng):
+        a = rng.integers(0, 50, size=(8, 4)).astype(float)
+        p_ref, r_ref = analyze(a, 0)
+        p, r = analyze_pair(a, 0, pair=HAAR)
+        np.testing.assert_array_equal(p, p_ref)
+        np.testing.assert_array_equal(r, r_ref)
+
+    def test_mean_lowpass_is_pairwise_mean(self, rng):
+        a = rng.integers(0, 50, size=(8,)).astype(float)
+        p, _ = analyze_pair(a, 0, pair=MEAN)
+        np.testing.assert_allclose(p, a.reshape(-1, 2).mean(axis=1))
+
+    def test_mean_cascade_computes_block_means(self, rng):
+        shape = CubeShape((8, 4))
+        data = rng.integers(0, 50, size=shape.sizes).astype(float)
+        view = shape.aggregated_view([0, 1])
+        means = compute_element_with_pair(data, view, pair=MEAN)
+        assert means.item() == pytest.approx(data.mean())
+
+    def test_orthonormal_preserves_energy(self, rng):
+        a = rng.normal(size=(8, 8))
+        p, r = analyze_pair(a, 0, pair=ORTHONORMAL_HAAR)
+        assert (p**2).sum() + (r**2).sum() == pytest.approx((a**2).sum())
+
+
+class TestComputeElementWithPair:
+    def test_haar_matches_materialize(self, shape_4x4, cube_4x4):
+        from repro.core.graph import ViewElementGraph
+
+        for element in list(ViewElementGraph(shape_4x4).elements())[::7]:
+            np.testing.assert_allclose(
+                compute_element_with_pair(cube_4x4, element, pair=HAAR),
+                compute_element(cube_4x4, element),
+            )
+
+    def test_operation_counts_match_cost_model(self, shape_4x4, cube_4x4):
+        element = shape_4x4.aggregated_view([0])
+        counter = OpCounter()
+        compute_element_with_pair(cube_4x4, element, counter=counter)
+        assert counter.total == shape_4x4.volume - element.volume
+
+    def test_shape_mismatch(self, shape_4x4):
+        with pytest.raises(ValueError, match="does not match"):
+            compute_element_with_pair(np.zeros((2, 2)), shape_4x4.root())

@@ -1,0 +1,162 @@
+"""Tests for frequency-plane set geometry: completeness, non-redundancy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bases import (
+    gaussian_pyramid,
+    random_wavelet_packet_basis,
+    view_hierarchy,
+    wavelet_basis,
+)
+from repro.core.element import CubeShape, ElementId
+from repro.core.frequency import (
+    covered_measure,
+    is_basis,
+    is_complete,
+    is_non_redundant,
+    is_non_redundant_basis,
+    storage_volume,
+    total_frequency_volume,
+)
+
+
+class TestNonRedundancy:
+    def test_siblings_are_non_redundant(self, shape_4x4):
+        root = shape_4x4.root()
+        assert is_non_redundant(root.children(0))
+
+    def test_nested_elements_are_redundant(self, shape_4x4):
+        root = shape_4x4.root()
+        assert not is_non_redundant([root, root.partial_child(0)])
+
+    def test_duplicates_are_redundant(self, shape_4x4):
+        e = shape_4x4.root().partial_child(1)
+        assert not is_non_redundant([e, e])
+
+    def test_empty_set_is_non_redundant(self):
+        assert is_non_redundant([])
+
+
+class TestCompleteness:
+    def test_root_alone_is_complete(self, shape_4x4):
+        assert is_complete([shape_4x4.root()])
+
+    def test_single_child_is_incomplete(self, shape_4x4):
+        assert not is_complete([shape_4x4.root().partial_child(0)])
+
+    def test_child_pair_is_complete(self, shape_4x4):
+        assert is_complete(list(shape_4x4.root().children(0)))
+
+    def test_empty_set_is_incomplete(self):
+        assert not is_complete([])
+
+    def test_mixed_depth_cover(self, shape_4x4):
+        """A guillotine cover with different depths per piece."""
+        root = shape_4x4.root()
+        p0, r0 = root.children(0)
+        pieces = [p0] + list(r0.children(1))
+        assert is_complete(pieces)
+        assert is_non_redundant_basis(pieces)
+
+    def test_completeness_wrt_sub_element(self, shape_4x4):
+        """Procedure 1 relative to an element other than the root."""
+        p0 = shape_4x4.root().partial_child(0)
+        children = list(p0.children(1))
+        assert is_complete(children, target=p0)
+        assert not is_complete([children[0]], target=p0)
+
+    def test_redundant_cover_detected(self, shape_4x4):
+        """A redundant set that still covers the plane."""
+        root = shape_4x4.root()
+        pieces = [root, root.partial_child(0)]
+        assert is_complete(pieces)
+        assert not is_non_redundant(pieces)
+
+    def test_row_plus_column_cover(self, shape_4x4):
+        """Full-row and full-column elements overlapping but covering."""
+        root = shape_4x4.root()
+        p0, r0 = root.children(0)  # vertical halves
+        p1, r1 = root.children(1)  # horizontal halves
+        assert is_complete([p0, r0, p1])  # p1 is redundant on top
+        assert not is_non_redundant([p0, r0, p1])
+
+
+class TestCanonicalBases:
+    """Section 4.3: the four signal-processing corollaries."""
+
+    @pytest.mark.parametrize("sizes", [(4, 4), (8, 2), (4, 4, 4)])
+    def test_wavelet_basis(self, sizes):
+        shape = CubeShape(sizes)
+        basis = wavelet_basis(shape)
+        assert is_non_redundant_basis(basis)
+        assert storage_volume(basis) == shape.volume  # Vol = n^d
+        assert covered_measure(basis, shape) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("sizes", [(4, 4), (8, 8)])
+    def test_gaussian_pyramid(self, sizes):
+        shape = CubeShape(sizes)
+        pyramid = gaussian_pyramid(shape)
+        assert is_complete(pyramid)
+        assert not is_non_redundant(pyramid)
+        # Vol = sum over scales of (n / 2^s)^d.
+        n, d = sizes[0], len(sizes)
+        expected = sum((n // 2**s) ** d for s in range(n.bit_length()))
+        assert storage_volume(pyramid) == expected
+
+    @pytest.mark.parametrize("sizes", [(4, 4), (4, 4, 4)])
+    def test_view_hierarchy(self, sizes):
+        shape = CubeShape(sizes)
+        hierarchy = view_hierarchy(shape)
+        assert is_complete(hierarchy)
+        assert not is_non_redundant(hierarchy)
+        n, d = sizes[0], len(sizes)
+        assert storage_volume(hierarchy) == (n + 1) ** d  # paper's (n+1)^d
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_wavelet_packet_bases(self, seed):
+        """Every sampled packet basis is complete and non-redundant."""
+        shape = CubeShape((4, 4))
+        basis = random_wavelet_packet_basis(
+            shape, np.random.default_rng(seed)
+        )
+        assert is_non_redundant_basis(basis)
+        assert storage_volume(basis) == shape.volume
+        assert total_frequency_volume(basis) == pytest.approx(1.0)
+        assert covered_measure(basis, shape) == pytest.approx(1.0)
+
+
+class TestMeasureCrossCheck:
+    """Procedure 1 agrees with exact grid rasterization."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        drop=st.integers(min_value=0, max_value=3),
+    )
+    def test_procedure1_matches_measure(self, seed, drop):
+        shape = CubeShape((4, 4))
+        rng = np.random.default_rng(seed)
+        basis = random_wavelet_packet_basis(shape, rng)
+        # Removing pieces must break completeness exactly when measure < 1.
+        kept = basis[: max(0, len(basis) - drop)]
+        complete = is_complete(kept) if kept else False
+        measure = covered_measure(kept, shape) if kept else 0.0
+        assert complete == (measure == pytest.approx(1.0))
+
+
+class TestStorageHelpers:
+    def test_storage_volume(self, shape_4x4):
+        root = shape_4x4.root()
+        assert storage_volume([root]) == 16
+        assert storage_volume(root.children(0)) == 16
+
+    def test_shape_mismatch_in_measure(self, shape_4x4):
+        other = CubeShape((8, 8)).root()
+        with pytest.raises(ValueError, match="does not belong"):
+            covered_measure([other], shape_4x4)

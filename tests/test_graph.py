@@ -1,0 +1,132 @@
+"""Tests for the view element graph and its flat indexing (paper §4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.element import CubeShape, ElementId
+from repro.core.graph import (
+    ViewElementGraph,
+    dim_node_to_heap,
+    heap_to_dim_node,
+)
+
+
+class TestHeapNumbering:
+    def test_round_trip(self):
+        for t in range(31):
+            level, index = heap_to_dim_node(t)
+            assert dim_node_to_heap(level, index) == t
+
+    def test_known_values(self):
+        assert heap_to_dim_node(0) == (0, 0)
+        assert heap_to_dim_node(1) == (1, 0)
+        assert heap_to_dim_node(2) == (1, 1)
+        assert heap_to_dim_node(3) == (2, 0)
+        assert heap_to_dim_node(6) == (2, 3)
+
+
+class TestCounts:
+    @pytest.mark.parametrize(
+        "sizes", [(2, 2), (4, 4), (8, 4, 2), (4, 4, 4)]
+    )
+    def test_formulas_match_enumeration(self, sizes):
+        graph = ViewElementGraph(CubeShape(sizes))
+        elements = list(graph.elements())
+        assert len(elements) == graph.num_elements
+        assert len(set(elements)) == graph.num_elements
+        assert (
+            sum(1 for e in elements if e.is_aggregated_view)
+            == graph.num_aggregated_views
+        )
+        assert (
+            sum(1 for e in elements if e.is_intermediate)
+            == graph.num_intermediate
+        )
+        assert (
+            sum(1 for e in elements if e.is_residual) == graph.num_residual
+        )
+
+    def test_generation_and_storage_costs(self):
+        graph = ViewElementGraph(CubeShape((4, 4)))
+        assert graph.num_blocks == 9
+        assert graph.generation_cost() == 8 * 16
+        assert graph.full_storage_cost() == 9 * 16
+
+
+class TestTraversal:
+    def test_blocks_cover_all_level_vectors(self, shape_3d):
+        graph = ViewElementGraph(shape_3d)
+        blocks = list(graph.blocks())
+        assert len(blocks) == graph.num_blocks
+        assert blocks[0] == (0, 0, 0)
+        depths = [sum(b) for b in blocks]
+        assert depths == sorted(depths)
+
+    def test_elements_at_level(self, shape_4x4):
+        graph = ViewElementGraph(shape_4x4)
+        block = list(graph.elements_at_level((1, 2)))
+        assert len(block) == 2 * 4  # 2^1 * 2^2 dyadic indices
+        assert all(e.nodes[0][0] == 1 and e.nodes[1][0] == 2 for e in block)
+
+    def test_elements_at_level_arity_check(self, shape_4x4):
+        graph = ViewElementGraph(shape_4x4)
+        with pytest.raises(ValueError, match="dimensionality"):
+            list(graph.elements_at_level((1,)))
+
+    def test_intermediate_elements_one_per_block(self, shape_4x4):
+        graph = ViewElementGraph(shape_4x4)
+        inter = list(graph.intermediate_elements())
+        assert len(inter) == graph.num_blocks
+        assert all(e.is_intermediate for e in inter)
+
+    def test_descendants(self, shape_4x4):
+        graph = ViewElementGraph(shape_4x4)
+        p0 = shape_4x4.root().partial_child(0)
+        descendants = list(graph.descendants(p0))
+        assert p0 not in descendants
+        assert all(p0.contains(d) for d in descendants)
+        # Per dim 0: subtree below (1,0) has 3 nodes incl. itself; dim 1
+        # full tree has 7; total combinations minus the element itself.
+        assert len(descendants) == 3 * 7 - 1
+
+
+class TestFlatIndexing:
+    def test_index_round_trip(self, shape_3d):
+        graph = ViewElementGraph(shape_3d)
+        for element in graph.elements():
+            index = graph.element_to_index(element)
+            assert graph.index_to_element(index) == element
+
+    def test_index_arrays_consistency(self, shape_4x4):
+        """The vectorized tables agree with the object-level algebra."""
+        graph = ViewElementGraph(shape_4x4)
+        tables = graph.index_arrays()
+        n = graph.num_elements
+        assert tables["volume"].shape == (n,)
+        for index in range(n):
+            element = graph.index_to_element(index)
+            assert tables["volume"][index] == element.volume
+            assert tables["depth"][index] == element.depth
+            for dim in range(shape_4x4.ndim):
+                level, dyadic = element.nodes[dim]
+                assert tables["levels"][index, dim] == level
+                assert tables["indices"][index, dim] == dyadic
+                if level > 0:
+                    parent = graph.element_to_index(element.parent(dim))
+                    assert tables["parent"][index, dim] == parent
+                else:
+                    assert tables["parent"][index, dim] == -1
+                if element.can_split(dim):
+                    p, r = element.children(dim)
+                    assert tables["p_child"][index, dim] == graph.element_to_index(p)
+                    assert tables["r_child"][index, dim] == graph.element_to_index(r)
+                else:
+                    assert tables["p_child"][index, dim] == -1
+                    assert tables["r_child"][index, dim] == -1
+
+    def test_volume_totals(self, shape_4x4):
+        tables = ViewElementGraph(shape_4x4).index_arrays()
+        # Each block is non-expansive, so total cells = blocks * Vol(A).
+        assert tables["volume"].sum() == 9 * 16

@@ -1,0 +1,95 @@
+"""Tests for the .npz persistence layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bases import wavelet_basis
+from repro.core.materialize import MaterializedSet
+from repro.io import (
+    load_cube,
+    load_materialized_set,
+    save_cube,
+    save_materialized_set,
+)
+from repro.workloads import SalesConfig, sales_cube
+
+
+@pytest.fixture
+def cube():
+    return sales_cube(SalesConfig(num_transactions=200, seed=47))
+
+
+class TestCubeRoundTrip:
+    def test_values_and_metadata_survive(self, cube, tmp_path):
+        path = tmp_path / "cube.npz"
+        save_cube(cube, path)
+        loaded = load_cube(path)
+        np.testing.assert_array_equal(loaded.values, cube.values)
+        assert loaded.measure == cube.measure
+        assert loaded.dimensions.names == cube.dimensions.names
+        for original, restored in zip(cube.dimensions, loaded.dimensions):
+            assert restored.values == original.values
+            assert restored.size == original.size
+
+    def test_encodings_survive(self, cube, tmp_path):
+        path = tmp_path / "cube.npz"
+        save_cube(cube, path)
+        loaded = load_cube(path)
+        product = cube.dimensions["product"].values[2]
+        assert loaded.dimensions["product"].encode(product) == cube.dimensions[
+            "product"
+        ].encode(product)
+
+    def test_bad_format_rejected(self, cube, tmp_path):
+        import json
+
+        path = tmp_path / "cube.npz"
+        header = {"format": 999}
+        np.savez(
+            path,
+            header=np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            ),
+            values=cube.values,
+        )
+        with pytest.raises(ValueError, match="unsupported cube format"):
+            load_cube(path)
+
+
+class TestMaterializedSetRoundTrip:
+    def test_elements_and_arrays_survive(self, cube, tmp_path):
+        shape = cube.shape_id
+        ms = MaterializedSet.from_cube(cube.values, wavelet_basis(shape))
+        path = tmp_path / "set.npz"
+        save_materialized_set(ms, path)
+        loaded = load_materialized_set(path)
+        assert set(loaded.elements) == set(ms.elements)
+        for element in ms.elements:
+            np.testing.assert_array_equal(
+                loaded.array(element), ms.array(element)
+            )
+
+    def test_loaded_set_still_assembles(self, cube, tmp_path):
+        shape = cube.shape_id
+        ms = MaterializedSet.from_cube(cube.values, wavelet_basis(shape))
+        path = tmp_path / "set.npz"
+        save_materialized_set(ms, path)
+        loaded = load_materialized_set(path)
+        np.testing.assert_allclose(
+            loaded.reconstruct_cube(), cube.values, atol=1e-9
+        )
+
+    def test_bad_format_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "set.npz"
+        np.savez(
+            path,
+            header=np.frombuffer(
+                json.dumps({"format": 999}).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+        with pytest.raises(ValueError, match="unsupported element-set"):
+            load_materialized_set(path)

@@ -1,0 +1,94 @@
+"""Tests for the multi-measure cube (SUM / COUNT / derived AVG)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cube import MeasureSetCube
+
+
+@pytest.fixture
+def records() -> list[dict]:
+    return [
+        {"product": "pen", "store": "A", "sales": 2.0},
+        {"product": "pen", "store": "A", "sales": 4.0},
+        {"product": "pen", "store": "B", "sales": 6.0},
+        {"product": "ink", "store": "A", "sales": 10.0},
+    ]
+
+
+@pytest.fixture
+def cube(records) -> MeasureSetCube:
+    return MeasureSetCube.from_records(
+        records, ["product", "store"], "sales"
+    )
+
+
+class TestConstruction:
+    def test_aligned_dimensions(self, cube):
+        assert cube.sum_cube.dimensions.names == cube.count_cube.dimensions.names
+        assert cube.sum_cube.values.shape == cube.count_cube.values.shape
+
+    def test_mismatched_cubes_rejected(self, cube):
+        from repro.cube import DataCube, Dimension
+
+        other = DataCube(np.zeros((2, 2)), [Dimension("x", [0, 1]), Dimension("y", [0, 1])])
+        with pytest.raises(ValueError, match="share dimension"):
+            MeasureSetCube(cube.sum_cube, other)
+
+
+class TestCells:
+    def test_sum_count_avg(self, cube):
+        assert cube.cell("sum", product="pen", store="A") == 6.0
+        assert cube.cell("count", product="pen", store="A") == 2.0
+        assert cube.cell("avg", product="pen", store="A") == 3.0
+
+    def test_avg_of_empty_cell_is_nan(self, cube):
+        assert np.isnan(cube.cell("avg", product="ink", store="B"))
+
+    def test_unknown_measure(self, cube):
+        with pytest.raises(ValueError, match="unknown measure"):
+            cube.cell("median", product="pen", store="A")
+
+
+class TestViews:
+    def test_sum_view(self, cube):
+        view = cube.view("sum", ["store"])
+        pen = cube.dimensions["product"].encode("pen")
+        assert view[pen, 0] == pytest.approx(12.0)
+
+    def test_count_view(self, cube):
+        view = cube.view("count", ["product", "store"])
+        assert view.item() == 4.0
+
+    def test_avg_view(self, cube, records):
+        view = cube.view("avg", ["store"])
+        pen = cube.dimensions["product"].encode("pen")
+        ink = cube.dimensions["product"].encode("ink")
+        assert view[pen, 0] == pytest.approx(4.0)  # (2+4+6)/3
+        assert view[ink, 0] == pytest.approx(10.0)
+
+    def test_avg_nan_outside_support(self, cube):
+        view = cube.view("avg", [])
+        # Padding rows (if any) and empty cells must be NaN, not inf.
+        counts = cube.count_cube.values
+        assert np.isnan(view[counts == 0]).all()
+
+    def test_unsupported_measure_raises(self, cube):
+        with pytest.raises(ValueError, match="not distributive"):
+            cube.view("max", ["store"])
+
+
+class TestMaterializedServing:
+    def test_views_served_from_materialized_sets(self, cube):
+        shape = cube.sum_cube.shape_id
+        elements = list(shape.aggregated_views())
+        cube.materialize(elements)
+        from repro.core.operators import OpCounter
+
+        counter = OpCounter()
+        view = cube.view("avg", ["store"], counter=counter)
+        assert counter.total == 0  # both base views are stored reads
+        pen = cube.dimensions["product"].encode("pen")
+        assert view[pen, 0] == pytest.approx(4.0)

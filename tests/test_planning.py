@@ -1,0 +1,82 @@
+"""Tests for EXPLAIN-style assembly plans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bases import random_wavelet_packet_basis
+from repro.core.element import CubeShape
+from repro.core.materialize import MaterializedSet
+from repro.core.operators import OpCounter
+from repro.core.planning import explain, render_plan
+from repro.core.select_redundant import generation_cost
+
+
+class TestPlanStructure:
+    def test_stored_target(self, shape_4x4):
+        root = shape_4x4.root()
+        plan = explain(root, [root])
+        assert plan.kind == "stored"
+        assert plan.total_cost == 0.0
+
+    def test_aggregate_plan(self, shape_4x4):
+        root = shape_4x4.root()
+        total = shape_4x4.total_aggregation()
+        plan = explain(total, [root])
+        assert plan.kind == "aggregate"
+        assert plan.source == root
+        assert plan.total_cost == 15.0
+
+    def test_synthesis_plan(self, shape_4x4):
+        root = shape_4x4.root()
+        p, r = root.children(0)
+        plan = explain(root, [p, r])
+        assert plan.kind == "synthesize"
+        assert plan.dim == 0
+        assert {child.kind for child in plan.children} == {"stored"}
+        assert plan.total_cost == 16.0
+
+    def test_unreachable_target(self, shape_4x4):
+        p = shape_4x4.root().partial_child(0)
+        with pytest.raises(ValueError, match="cannot generate"):
+            explain(shape_4x4.root(), [p])
+
+
+class TestPlanCostsMatchProcedure3:
+    def test_random_bases(self, rng):
+        shape = CubeShape((4, 4))
+        for seed in range(10):
+            basis = random_wavelet_packet_basis(
+                shape, np.random.default_rng(seed)
+            )
+            for view in shape.aggregated_views():
+                plan = explain(view, basis)
+                assert plan.total_cost == pytest.approx(
+                    generation_cost(view, basis)
+                )
+
+    def test_plan_cost_matches_executed_ops(self, shape_4x4, cube_4x4, rng):
+        basis = random_wavelet_packet_basis(shape_4x4, rng)
+        ms = MaterializedSet.from_cube(cube_4x4, basis)
+        view = shape_4x4.aggregated_view([0, 1])
+        plan = explain(view, basis)
+        counter = OpCounter()
+        ms.assemble(view, counter=counter)
+        assert counter.total == plan.total_cost
+
+
+class TestRendering:
+    def test_render_contains_all_nodes(self, shape_4x4):
+        root = shape_4x4.root()
+        p, r = root.children(1)
+        plan = explain(root, [p, r])
+        text = render_plan(plan)
+        assert "synthesize" in text
+        assert text.count("read") == 2
+
+    def test_walk_enumerates_tree(self, shape_4x4):
+        root = shape_4x4.root()
+        p, r = root.children(1)
+        plan = explain(root, [p, r])
+        assert len(list(plan.walk())) == 3

@@ -1,0 +1,183 @@
+"""Tests for the textual OLAP query language."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import execute, parse_query
+from repro.relational import group_by_sum_dict
+from repro.server import OLAPServer
+from repro.workloads import SalesConfig, generate_sales_records, sales_table
+
+
+@pytest.fixture(scope="module")
+def records() -> list[dict]:
+    return generate_sales_records(
+        SalesConfig(num_transactions=300, num_days=8, seed=41)
+    )
+
+
+@pytest.fixture(scope="module")
+def server(records) -> OLAPServer:
+    return OLAPServer.from_records(
+        records,
+        ["product", "store", "day"],
+        "sales",
+        domains={"day": list(range(8))},
+    )
+
+
+class TestParser:
+    def test_grand_total(self):
+        query = parse_query("SUM")
+        assert query.group_by == ()
+        assert not query.has_predicates
+
+    def test_measure_and_group_by(self):
+        query = parse_query("SUM sales BY product, store")
+        assert query.measure == "sales"
+        assert query.group_by == ("product", "store")
+
+    def test_where_equality_and_range(self):
+        query = parse_query(
+            "SUM BY store WHERE product = 'pen' AND day IN [0, 4)"
+        )
+        assert query.equals == (("product", "pen"),)
+        assert query.ranges == (("day", 0, 4),)
+
+    def test_bare_token_value(self):
+        query = parse_query("SUM WHERE store = S01")
+        assert query.equals == (("store", "S01"),)
+
+    def test_integer_value(self):
+        query = parse_query("SUM WHERE day = 3")
+        assert query.equals == (("day", 3),)
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("sum by product where day in [1, 3)")
+        assert query.group_by == ("product",)
+        assert query.ranges == (("day", 1, 3),)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT *",
+            "SUM BY",
+            "SUM WHERE day",
+            "SUM WHERE day IN [1, )",
+            "SUM BY product extra",
+            "SUM WHERE day ~ 3",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_query(bad)
+
+
+class TestExecution:
+    def test_grand_total(self, server):
+        result = execute(server, "SUM")
+        assert result[()] == pytest.approx(server.cube.values.sum())
+
+    def test_group_by_matches_relational(self, server, records):
+        from repro.relational import Schema, Table
+
+        schema = Schema.star(["product", "store", "day"], ["sales"])
+        table = Table.from_records(schema, records)
+        expected = group_by_sum_dict(table, ["product"], "sales")
+        result = execute(server, "SUM BY product")
+        for (product,), total in expected.items():
+            assert result[(product,)] == pytest.approx(total)
+
+    def test_equality_predicate(self, server, records):
+        store = server.cube.dimensions["store"].values[0]
+        result = execute(server, f"SUM WHERE store = '{store}'")
+        expected = sum(
+            r["sales"] for r in records if r["store"] == store
+        )
+        assert result[()] == pytest.approx(expected)
+
+    def test_range_predicate(self, server, records):
+        result = execute(server, "SUM WHERE day IN [2, 6)")
+        expected = sum(r["sales"] for r in records if 2 <= r["day"] < 6)
+        assert result[()] == pytest.approx(expected)
+
+    def test_combined_query(self, server, records):
+        product = server.cube.dimensions["product"].values[0]
+        result = execute(
+            server,
+            f"SUM BY store WHERE product = '{product}' AND day IN [0, 4)",
+        )
+        for store in server.cube.dimensions["store"].values:
+            expected = sum(
+                r["sales"]
+                for r in records
+                if r["product"] == product
+                and r["store"] == store
+                and r["day"] < 4
+            )
+            assert result[(store,)] == pytest.approx(expected)
+
+    def test_unknown_measure(self, server):
+        with pytest.raises(KeyError, match="unknown measure"):
+            execute(server, "SUM revenue BY product")
+
+    def test_unknown_dimension(self, server):
+        with pytest.raises(KeyError):
+            execute(server, "SUM BY bogus")
+
+    def test_by_and_where_conflict(self, server):
+        with pytest.raises(ValueError, match="both BY and WHERE"):
+            execute(server, "SUM BY day WHERE day IN [0, 2)")
+
+    def test_duplicate_predicates(self, server):
+        with pytest.raises(ValueError, match="multiple predicates"):
+            execute(server, "SUM WHERE day IN [0, 2) AND day IN [2, 4)")
+
+    def test_range_bounds_checked(self, server):
+        with pytest.raises(ValueError, match="outside"):
+            execute(server, "SUM WHERE day IN [0, 99)")
+
+
+class TestParserProperties:
+    """Property-style checks on the query grammar."""
+
+    def test_round_trip_through_rendering(self, server):
+        """A parsed query re-rendered from its parts parses identically."""
+        from repro.query import parse_query
+
+        originals = [
+            "SUM",
+            "SUM BY product",
+            "SUM BY product, store",
+            "SUM sales BY day",
+            "SUM WHERE day IN [1, 5)",
+            "SUM BY store WHERE day IN [0, 8)",
+        ]
+        for text in originals:
+            parsed = parse_query(text)
+            rebuilt = "SUM"
+            if parsed.measure:
+                rebuilt += f" {parsed.measure}"
+            if parsed.group_by:
+                rebuilt += " BY " + ", ".join(parsed.group_by)
+            predicates = [
+                f"{dim} IN [{lo}, {hi})" for dim, lo, hi in parsed.ranges
+            ] + [f"{dim} = {value}" for dim, value in parsed.equals]
+            if predicates:
+                rebuilt += " WHERE " + " AND ".join(predicates)
+            assert parse_query(rebuilt) == parsed
+
+    def test_whitespace_insensitive(self):
+        from repro.query import parse_query
+
+        a = parse_query("SUM   BY product ,  store")
+        b = parse_query("SUM BY product, store")
+        assert a == b
+
+    def test_grand_total_equals_sum_of_any_groupby(self, server):
+        total = execute(server, "SUM")[()]
+        for by in ("product", "store", "day"):
+            grouped = execute(server, f"SUM BY {by}")
+            assert sum(grouped.values()) == pytest.approx(total)

@@ -1,0 +1,144 @@
+"""Tests for range-aggregation via intermediate elements (paper §6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bases import gaussian_pyramid
+from repro.core.element import CubeShape
+from repro.core.materialize import MaterializedSet
+from repro.core.operators import OpCounter
+from repro.core.range_query import (
+    RangeQueryEngine,
+    dyadic_decomposition,
+    range_sum_direct,
+)
+
+
+class TestDyadicDecomposition:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        bounds=st.tuples(
+            st.integers(min_value=0, max_value=16),
+            st.integers(min_value=0, max_value=16),
+        )
+    )
+    def test_blocks_partition_the_range(self, bounds):
+        lo, hi = min(bounds), max(bounds)
+        blocks = dyadic_decomposition(lo, hi, 16)
+        covered = []
+        for level, cell in blocks:
+            size = 1 << level
+            start = cell * size
+            assert start % size == 0  # aligned
+            covered.extend(range(start, start + size))
+        assert covered == list(range(lo, hi))
+
+    def test_block_count_bound(self):
+        """At most 2*log2(n) blocks for any range."""
+        n = 64
+        worst = max(
+            len(dyadic_decomposition(lo, hi, n))
+            for lo in range(n)
+            for hi in range(lo, n + 1)
+        )
+        assert worst <= 2 * 6
+
+    def test_aligned_range_is_single_block(self):
+        assert dyadic_decomposition(8, 16, 16) == [(3, 1)]
+        assert dyadic_decomposition(0, 16, 16) == [(4, 0)]
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError, match="outside"):
+            dyadic_decomposition(-1, 4, 8)
+        with pytest.raises(ValueError, match="outside"):
+            dyadic_decomposition(0, 9, 8)
+
+
+class TestRangeSumDirect:
+    def test_matches_numpy(self, shape_3d, cube_3d):
+        counter = OpCounter()
+        value = range_sum_direct(cube_3d, ((1, 5), (0, 4), (1, 2)), counter)
+        assert value == pytest.approx(cube_3d[1:5, 0:4, 1:2].sum())
+        assert counter.additions == 4 * 4 * 1 - 1
+
+
+class TestRangeQueryEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        shape = CubeShape((8, 8))
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 100, size=shape.sizes).astype(np.float64)
+        return data, RangeQueryEngine.with_gaussian_pyramid(data, shape)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        r0=st.tuples(st.integers(0, 8), st.integers(0, 8)),
+        r1=st.tuples(st.integers(0, 8), st.integers(0, 8)),
+    )
+    def test_matches_direct_sum(self, engine, r0, r1):
+        data, rq = engine
+        ranges = (tuple(sorted(r0)), tuple(sorted(r1)))
+        answer = rq.range_sum(ranges)
+        expected = range_sum_direct(data, ranges)
+        assert answer.value == pytest.approx(expected)
+
+    def test_aligned_range_touches_one_cell(self, engine):
+        data, rq = engine
+        answer = rq.range_sum(((0, 8), (4, 8)))
+        assert answer.cells_read == 1
+        assert answer.operations == 0
+        assert answer.value == pytest.approx(data[:, 4:8].sum())
+
+    def test_cheaper_than_scan_for_large_ranges(self, engine):
+        data, rq = engine
+        ranges = ((1, 8), (1, 8))
+        counter_direct = OpCounter()
+        range_sum_direct(data, ranges, counter_direct)
+        answer = rq.range_sum(ranges)
+        assert answer.operations < counter_direct.total
+
+    def test_empty_range(self, engine):
+        _, rq = engine
+        answer = rq.range_sum(((3, 3), (0, 8)))
+        assert answer.value == 0.0
+        assert answer.cells_read == 0
+
+    def test_arity_check(self, engine):
+        _, rq = engine
+        with pytest.raises(ValueError, match="2-dimensional"):
+            rq.range_sum(((0, 4),))
+
+    def test_missing_intermediates_assembled(self, shape_4x4, cube_4x4):
+        """With only a wavelet-packet basis stored, range sums still work
+        (intermediates are assembled and cached on demand)."""
+        from repro.core.bases import random_wavelet_packet_basis
+
+        rng = np.random.default_rng(9)
+        basis = random_wavelet_packet_basis(shape_4x4, rng)
+        ms = MaterializedSet.from_cube(cube_4x4, basis)
+        engine = RangeQueryEngine(ms)
+        ranges = ((1, 3), (0, 4))
+        answer = engine.range_sum(ranges)
+        assert answer.value == pytest.approx(cube_4x4[1:3, :].sum())
+
+    def test_missing_intermediates_strict_mode(self, shape_4x4, cube_4x4):
+        ms = MaterializedSet.from_cube(
+            cube_4x4, [shape_4x4.root()]
+        )
+        engine = RangeQueryEngine(ms, assemble_missing=False)
+        # Level-0 lookups come straight from the stored cube...
+        answer = engine.range_sum(((0, 1), (0, 1)))
+        assert answer.value == pytest.approx(cube_4x4[0, 0])
+        # ...but coarser blocks need missing intermediates.
+        with pytest.raises(KeyError, match="not materialized"):
+            engine.range_sum(((0, 4), (0, 4)))
+
+    def test_pyramid_storage_bound(self, shape_4x4, cube_4x4):
+        """The full intermediate pyramid is bounded by prod(2 - 1/?)."""
+        engine = RangeQueryEngine.with_gaussian_pyramid(cube_4x4, shape_4x4)
+        # sum over level pairs of (4/2^k0)*(4/2^k1) = (4+2+1)^2 = 49.
+        assert engine.materialized.storage == 49

@@ -1,0 +1,195 @@
+"""Tests for the relational substrate: schema, table, GROUP BY, CUBE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relational import (
+    ALL,
+    ColumnSpec,
+    Schema,
+    Table,
+    cube_by,
+    cube_by_table,
+    group_by_sum,
+    group_by_sum_dict,
+)
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.star(functional=["product", "store"], measures=["sales"])
+
+
+@pytest.fixture
+def table(schema) -> Table:
+    records = [
+        {"product": "pen", "store": "A", "sales": 2.0},
+        {"product": "pen", "store": "B", "sales": 3.0},
+        {"product": "ink", "store": "A", "sales": 5.0},
+        {"product": "pen", "store": "A", "sales": 1.0},
+    ]
+    return Table.from_records(schema, records)
+
+
+class TestSchema:
+    def test_roles(self, schema):
+        assert schema.functional_names == ("product", "store")
+        assert schema.measure_names == ("sales",)
+        assert "product" in schema
+        assert schema["sales"].is_measure
+
+    def test_invalid_role(self):
+        with pytest.raises(ValueError, match="role"):
+            ColumnSpec("x", role="weird")
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([ColumnSpec("a"), ColumnSpec("a")])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            Schema([])
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(KeyError, match="unknown column"):
+            schema["nope"]
+
+
+class TestTable:
+    def test_from_records_and_len(self, table):
+        assert len(table) == 4
+        assert table.num_rows == 4
+
+    def test_missing_column(self, schema):
+        with pytest.raises(KeyError, match="missing column"):
+            Table.from_records(schema, [{"product": "pen", "sales": 1.0}])
+
+    def test_column_length_mismatch(self, schema):
+        with pytest.raises(ValueError, match="differing lengths"):
+            Table(schema, {"product": ["a"], "store": ["A", "B"], "sales": [1.0]})
+
+    def test_extra_column_rejected(self, schema):
+        with pytest.raises(ValueError, match="not in the schema"):
+            Table(
+                schema,
+                {
+                    "product": [],
+                    "store": [],
+                    "sales": [],
+                    "bogus": [],
+                },
+            )
+
+    def test_measure_column_is_float(self, table):
+        assert table.column("sales").dtype == np.float64
+
+    def test_project(self, table):
+        projected = table.project(["product", "sales"])
+        assert projected.schema.names == ("product", "sales")
+        assert len(projected) == 4
+
+    def test_filter(self, table):
+        small = table.filter(lambda row: row["sales"] > 2.0)
+        assert len(small) == 2
+
+    def test_where_equals(self, table):
+        pens = table.where_equals("product", "pen")
+        assert len(pens) == 3
+
+    def test_head_and_records(self, table):
+        assert len(table.head(2)) == 2
+        assert len(table.records()) == 4
+
+
+class TestGroupBy:
+    def test_group_by_one_column(self, table):
+        result = group_by_sum_dict(table, ["product"], "sales")
+        assert result[("pen",)] == pytest.approx(6.0)
+        assert result[("ink",)] == pytest.approx(5.0)
+
+    def test_group_by_two_columns(self, table):
+        result = group_by_sum_dict(table, ["product", "store"], "sales")
+        assert result[("pen", "A")] == pytest.approx(3.0)
+        assert result[("pen", "B")] == pytest.approx(3.0)
+
+    def test_grand_total(self, table):
+        assert group_by_sum_dict(table, [], "sales") == {(): 11.0}
+
+    def test_group_by_measure_rejected(self, table):
+        with pytest.raises(ValueError, match="group by measure"):
+            group_by_sum_dict(table, ["sales"], "sales")
+
+    def test_sum_of_non_measure_rejected(self, table):
+        with pytest.raises(ValueError, match="not a measure"):
+            group_by_sum_dict(table, ["product"], "store")
+
+    def test_group_by_as_table(self, table):
+        result = group_by_sum(table, ["product"], "sales")
+        assert len(result) == 2
+        assert set(result.column("product")) == {"pen", "ink"}
+
+
+class TestCubeOperator:
+    def test_lattice_shape(self, table):
+        lattice = cube_by(table, ["product", "store"], "sales")
+        assert len(lattice) == 4  # 2^2 group-bys
+        assert lattice[frozenset()][()] == pytest.approx(11.0)
+        assert lattice[frozenset({"product"})][("pen",)] == pytest.approx(6.0)
+
+    def test_flattened_table_with_all(self, table):
+        flat = cube_by_table(table, ["product", "store"], "sales")
+        # Rows: 1 (grand total) + 2 (by product) + 2 (by store) + 3 (pairs).
+        assert len(flat) == 8
+        markers = [v for v in flat.column("product") if v is ALL]
+        assert len(markers) == 3  # grand total + the two store rows
+
+    def test_all_is_singleton(self):
+        from repro.relational.cube_operator import _AllValue
+
+        assert _AllValue() is ALL
+        assert repr(ALL) == "ALL"
+
+    def test_cube_matches_molap(self, table):
+        """The ROLAP CUBE and the MOLAP view lattice agree everywhere."""
+        from repro.cube import build_cube, all_views
+
+        cube = build_cube(table.records(), ["product", "store"], "sales")
+        molap = all_views(cube)
+        rolap = cube_by(table, ["product", "store"], "sales")
+        product_dim = cube.dimensions["product"]
+        store_dim = cube.dimensions["store"]
+        for (product,), total in rolap[frozenset({"product"})].items():
+            molap_value = molap[frozenset({"product"})][
+                product_dim.encode(product), 0
+            ]
+            assert molap_value == pytest.approx(total)
+        for key, total in rolap[frozenset({"product", "store"})].items():
+            product, store = key
+            value = molap[frozenset({"product", "store"})][
+                product_dim.encode(product), store_dim.encode(store)
+            ]
+            assert value == pytest.approx(total)
+        assert molap[frozenset()].item() == pytest.approx(
+            rolap[frozenset()][()]
+        )
+
+
+class TestRollupOperator:
+    def test_prefix_groupbys(self, table):
+        from repro.relational import rollup_by
+
+        result = rollup_by(table, ["product", "store"], "sales")
+        assert set(result) == {("product", "store"), ("product",), ()}
+        assert result[()][()] == pytest.approx(11.0)
+        assert result[("product",)][("pen",)] == pytest.approx(6.0)
+        assert result[("product", "store")][("pen", "A")] == pytest.approx(3.0)
+
+    def test_rollup_is_subset_of_cube(self, table):
+        from repro.relational import cube_by, rollup_by
+
+        cube = cube_by(table, ["product", "store"], "sales")
+        rolled = rollup_by(table, ["product", "store"], "sales")
+        for prefix, groups in rolled.items():
+            assert groups == cube[frozenset(prefix)]

@@ -1,0 +1,155 @@
+"""Tests for the high-level OLAP server facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server import OLAPServer
+from repro.workloads import SalesConfig, generate_sales_records
+
+
+@pytest.fixture
+def records() -> list[dict]:
+    return generate_sales_records(
+        SalesConfig(num_transactions=400, num_days=8, seed=19)
+    )
+
+
+@pytest.fixture
+def server(records) -> OLAPServer:
+    return OLAPServer.from_records(
+        records,
+        ["product", "store", "day"],
+        "sales",
+        domains={"day": list(range(8))},
+    )
+
+
+class TestQueries:
+    def test_view_matches_numpy(self, server):
+        view = server.view(["store"])
+        axis_p = server.cube.dimensions.axis_of("product")
+        axis_d = server.cube.dimensions.axis_of("day")
+        np.testing.assert_allclose(
+            view,
+            server.cube.values.sum(axis=(axis_p, axis_d), keepdims=True),
+        )
+
+    def test_unknown_dimension(self, server):
+        with pytest.raises(KeyError, match="unknown dimensions"):
+            server.view(["bogus"])
+
+    def test_range_sum(self, server):
+        shape = server.shape
+        full = tuple((0, n) for n in shape.sizes)
+        assert server.range_sum(full) == pytest.approx(
+            server.cube.values.sum()
+        )
+
+    def test_rollup(self, server):
+        day_axis = server.cube.dimensions.axis_of("day")
+        rolled = server.rollup({"day": 3})
+        np.testing.assert_allclose(
+            rolled.sum(), server.cube.values.sum()
+        )
+        assert rolled.shape[day_axis] == 1
+
+    def test_stats_accumulate(self, server):
+        server.view(["store"])
+        server.view(["product"])
+        assert server.stats.queries == 2
+        assert server.stats.operations > 0
+        assert server.stats.operations_per_query > 0
+
+
+class TestReconfiguration:
+    def test_reconfigure_for_hot_view(self, server):
+        for _ in range(10):
+            server.view(["product"])
+        storage, expected = server.reconfigure()
+        assert storage == server.shape.volume  # non-redundant basis
+        assert server.stats.reconfigurations == 1
+        # Hot view now served as a stored read.
+        before = server.stats.operations
+        server.view(["product"])
+        assert server.stats.operations == before
+
+    def test_reconfigure_with_budget(self, records):
+        server = OLAPServer.from_records(
+            records,
+            ["product", "store", "day"],
+            "sales",
+            domains={"day": list(range(8))},
+            storage_budget=int(1.5 * 8 * 4 * 8),
+        )
+        for _ in range(5):
+            server.view(["store"])
+            server.view(["day"])
+        storage, expected = server.reconfigure()
+        assert storage <= server.storage_budget
+        # Answers stay exact after reconfiguration.
+        view = server.view(["day"])
+        axes = tuple(
+            server.cube.dimensions.axis_of(n) for n in ("product", "store")
+        )
+        np.testing.assert_allclose(
+            view, server.cube.values.sum(axis=axes, keepdims=True), atol=1e-9
+        )
+
+    def test_range_queries_after_reconfigure(self, server):
+        server.view(["product"])
+        server.reconfigure()
+        shape = server.shape
+        assert server.range_sum(
+            tuple((0, n) for n in shape.sizes)
+        ) == pytest.approx(server.cube.values.sum())
+
+
+class TestIncrementalUpdates:
+    def test_update_initial_state(self, server):
+        product = server.cube.dimensions["product"].values[0]
+        store = server.cube.dimensions["store"].values[0]
+        before = server.cell(product=product, store=store, day=0)
+        server.update(5.0, product=product, store=store, day=0)
+        assert server.cell(product=product, store=store, day=0) == pytest.approx(
+            before + 5.0
+        )
+        # Views reflect the update (retaining store/day sums out product).
+        view = server.view(["store", "day"])
+        axis_p = server.cube.dimensions.axis_of("product")
+        np.testing.assert_allclose(
+            view,
+            server.cube.values.sum(axis=axis_p, keepdims=True),
+        )
+
+    def test_update_after_reconfigure(self, server):
+        server.view(["product"])
+        server.reconfigure()
+        product = server.cube.dimensions["product"].values[1]
+        store = server.cube.dimensions["store"].values[1]
+        server.update(7.0, product=product, store=store, day=3)
+        view = server.view(["store", "day"])
+        axis_p = server.cube.dimensions.axis_of("product")
+        np.testing.assert_allclose(
+            view,
+            server.cube.values.sum(axis=axis_p, keepdims=True),
+            atol=1e-9,
+        )
+
+
+class TestObservedPopulation:
+    def test_smoothing_keeps_all_views(self, server):
+        server.view(["store"])
+        population = server.observed_population()
+        assert len(population) == server.shape.num_aggregated_views()
+        hot = max(population.frequencies)
+        assert hot > 1.0 / len(population)
+
+    def test_reconfigure_with_explicit_population(self, server):
+        from repro.core.population import QueryPopulation
+
+        population = QueryPopulation.uniform_over_views(server.shape)
+        storage, expected = server.reconfigure(population)
+        assert storage == server.shape.volume
+        assert expected >= 0.0

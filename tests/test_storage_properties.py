@@ -1,0 +1,84 @@
+"""Property-based tests across the storage substrates.
+
+Round-trip and agreement laws between the four cube representations:
+dense arrays, COO sparse, chunked, and wavelet-packet compressed.  Whatever
+the representation, totals, views, and reconstructions must agree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compress import CompressedCube
+from repro.core.element import CubeShape
+from repro.cube import ChunkedCube, SparseCube
+
+
+def _random_cube(seed: int, density: float) -> tuple[CubeShape, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    shape = CubeShape((8, 4))
+    mask = rng.random(shape.sizes) < density
+    values = np.where(mask, rng.integers(-9, 9, shape.sizes), 0)
+    return shape, values.astype(np.float64)
+
+
+class TestRepresentationAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        density=st.sampled_from([0.1, 0.5, 0.9]),
+    )
+    def test_round_trips(self, seed, density):
+        shape, dense = _random_cube(seed, density)
+        sparse = SparseCube.from_dense(dense, shape)
+        chunked = ChunkedCube.from_dense(dense, (4, 2), shape)
+        compressed = CompressedCube.compress(dense, shape)
+        np.testing.assert_array_equal(sparse.densify(), dense)
+        np.testing.assert_array_equal(chunked.densify(), dense)
+        np.testing.assert_allclose(compressed.reconstruct(), dense)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        density=st.sampled_from([0.1, 0.6]),
+    )
+    def test_totals_agree(self, seed, density):
+        shape, dense = _random_cube(seed, density)
+        sparse = SparseCube.from_dense(dense, shape)
+        chunked = ChunkedCube.from_dense(dense, (2, 2), shape)
+        assert sparse.total() == pytest.approx(dense.sum())
+        assert chunked.total() == pytest.approx(dense.sum())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        axes=st.sampled_from([(0,), (1,), (0, 1)]),
+    )
+    def test_aggregations_agree(self, seed, axes):
+        shape, dense = _random_cube(seed, 0.4)
+        sparse = SparseCube.from_dense(dense, shape)
+        chunked = ChunkedCube.from_dense(dense, (4, 4), shape)
+        expected = dense.sum(axis=axes, keepdims=True)
+        np.testing.assert_allclose(sparse.total_aggregate(axes), expected)
+        np.testing.assert_allclose(chunked.total_aggregate(axes), expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_nnz_accounting(self, seed):
+        shape, dense = _random_cube(seed, 0.3)
+        sparse = SparseCube.from_dense(dense, shape)
+        assert sparse.nnz == int(np.count_nonzero(dense))
+        chunked = ChunkedCube.from_dense(dense, (2, 2), shape)
+        assert chunked.stored_cells >= sparse.nnz  # chunk granularity
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_compression_never_lossy_at_zero_threshold(self, seed):
+        shape, dense = _random_cube(seed, 0.7)
+        compressed = CompressedCube.compress(dense, shape, threshold=0.0)
+        np.testing.assert_allclose(compressed.reconstruct(), dense)
+        # And never stores more coefficients than the cube has cells.
+        assert compressed.stored_coefficients <= shape.volume

@@ -1,0 +1,159 @@
+"""Tests for the validation tooling and query-log workload builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bases import wavelet_basis
+from repro.core.materialize import MaterializedSet
+from repro.core.validate import validate_materialized_set, validate_selection
+from repro.workloads.from_queries import population_from_query_log
+from repro.workloads import SalesConfig, sales_cube
+
+
+@pytest.fixture
+def cube():
+    return sales_cube(SalesConfig(num_transactions=200, num_days=8, seed=67))
+
+
+class TestValidateMaterializedSet:
+    def test_clean_set_passes(self, cube):
+        ms = MaterializedSet.from_cube(
+            cube.values, wavelet_basis(cube.shape_id)
+        )
+        report = validate_materialized_set(ms, cube.values)
+        assert report.ok
+        assert report.checked == len(ms)
+        report.raise_if_failed()  # no-op
+
+    def test_corruption_detected(self, cube):
+        ms = MaterializedSet.from_cube(
+            cube.values, wavelet_basis(cube.shape_id)
+        )
+        victim = ms.elements[0]
+        ms.array(victim)[(0,) * cube.shape_id.ndim] += 42.0
+        report = validate_materialized_set(ms, cube.values)
+        assert not report.ok
+        assert any(victim.describe() in err for err in report.errors)
+        with pytest.raises(AssertionError, match="validation failed"):
+            report.raise_if_failed()
+
+    def test_missed_update_detected(self, cube):
+        """Updating the cube without propagating makes the set stale."""
+        ms = MaterializedSet.from_cube(
+            cube.values, wavelet_basis(cube.shape_id)
+        )
+        updated = cube.values.copy()
+        updated[(0,) * cube.shape_id.ndim] += 10.0
+        report = validate_materialized_set(ms, updated)
+        assert not report.ok
+
+    def test_shape_mismatch(self, cube):
+        ms = MaterializedSet.from_cube(
+            cube.values, [cube.shape_id.root()]
+        )
+        report = validate_materialized_set(ms, np.zeros((2, 2)))
+        assert not report.ok
+        assert "does not match" in report.errors[0]
+
+
+class TestValidateSelection:
+    def test_complete_basis_passes(self, cube):
+        basis = wavelet_basis(cube.shape_id)
+        report = validate_selection(
+            basis, expect_complete=True, expect_non_redundant=True
+        )
+        assert report.ok
+
+    def test_incomplete_flagged(self, cube):
+        shape = cube.shape_id
+        report = validate_selection([shape.root().partial_child(0)])
+        assert not report.ok
+        assert "not complete" in report.errors[0]
+
+    def test_redundancy_flagged(self, cube):
+        shape = cube.shape_id
+        report = validate_selection(
+            [shape.root(), shape.root().partial_child(0)],
+            expect_non_redundant=True,
+        )
+        assert not report.ok
+
+    def test_duplicates_flagged(self, cube):
+        shape = cube.shape_id
+        report = validate_selection([shape.root(), shape.root()])
+        assert not report.ok
+        assert any("duplicate" in e for e in report.errors)
+
+    def test_empty_flagged(self):
+        report = validate_selection([])
+        assert not report.ok
+
+
+class TestPopulationFromQueryLog:
+    def test_frequencies_match_counts(self, cube):
+        log = [
+            "SUM BY product",
+            "SUM BY product",
+            "SUM BY product",
+            "SUM",
+        ]
+        population = population_from_query_log(cube, log)
+        names = cube.dimensions.names
+        by_product = cube.shape_id.aggregated_view(
+            [cube.dimensions.axis_of(n) for n in names if n != "product"]
+        )
+        grand = cube.shape_id.total_aggregation()
+        assert population.frequency_of(by_product) == pytest.approx(0.75)
+        assert population.frequency_of(grand) == pytest.approx(0.25)
+
+    def test_where_queries_attributed_to_retained_view(self, cube):
+        log = ["SUM BY store WHERE day IN [0, 4)"]
+        population = population_from_query_log(cube, log)
+        names = cube.dimensions.names
+        by_store = cube.shape_id.aggregated_view(
+            [cube.dimensions.axis_of(n) for n in names if n != "store"]
+        )
+        assert population.frequency_of(by_store) == pytest.approx(1.0)
+
+    def test_smoothing_covers_all_views(self, cube):
+        population = population_from_query_log(
+            cube, ["SUM BY product"], smoothing=0.5
+        )
+        assert len(population) == cube.shape_id.num_aggregated_views()
+        assert all(f > 0 for _, f in population)
+
+    def test_bad_statement_reported(self, cube):
+        with pytest.raises(ValueError, match="bad logged query"):
+            population_from_query_log(cube, ["SELECT nope"])
+
+    def test_unknown_dimension_reported(self, cube):
+        with pytest.raises(ValueError, match="unknown dimensions"):
+            population_from_query_log(cube, ["SUM BY bogus"])
+
+    def test_empty_log_rejected(self, cube):
+        with pytest.raises(ValueError, match="empty query log"):
+            population_from_query_log(cube, [])
+
+    def test_feeds_selection_end_to_end(self, cube):
+        """Log -> population -> Algorithm 1 -> serving the hot view free."""
+        from repro.core.materialize import MaterializedSet
+        from repro.core.operators import OpCounter
+        from repro.core.select_basis import select_minimum_cost_basis
+
+        log = ["SUM BY product, store"] * 9 + ["SUM"]
+        population = population_from_query_log(cube, log)
+        selection = select_minimum_cost_basis(cube.shape_id, population)
+        ms = MaterializedSet.from_cube(cube.values, selection.elements)
+        names = cube.dimensions.names
+        hot = cube.shape_id.aggregated_view(
+            [
+                cube.dimensions.axis_of(n)
+                for n in names
+                if n not in ("product", "store")
+            ]
+        )
+        counter = OpCounter()
+        ms.assemble(hot, counter=counter)
+        assert counter.total == 0  # the dominant log entry is stored

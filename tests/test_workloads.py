@@ -1,0 +1,128 @@
+"""Tests for the synthetic workload and data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.element import CubeShape
+from repro.workloads import (
+    SalesConfig,
+    aligned_range,
+    drifting_populations,
+    generate_sales_records,
+    hot_subset_population,
+    random_range,
+    random_ranges,
+    random_view_population,
+    sales_cube,
+    sales_table,
+    zipf_view_population,
+)
+
+
+class TestFrequencyGenerators:
+    def test_random_population_normalized(self, shape_4x4, rng):
+        population = random_view_population(shape_4x4, rng)
+        assert sum(population.frequencies) == pytest.approx(1.0)
+        assert len(population) == 4
+
+    def test_zipf_skew_increases_with_exponent(self, shape_3d):
+        rng = np.random.default_rng(0)
+        flat = zipf_view_population(shape_3d, exponent=0.0, rng=rng)
+        rng = np.random.default_rng(0)
+        steep = zipf_view_population(shape_3d, exponent=3.0, rng=rng)
+        assert max(steep.frequencies) > max(flat.frequencies)
+        assert all(
+            f == pytest.approx(1 / len(flat)) for f in flat.frequencies
+        )
+
+    def test_zipf_exponent_validation(self, shape_4x4):
+        with pytest.raises(ValueError, match="non-negative"):
+            zipf_view_population(shape_4x4, exponent=-1.0)
+
+    def test_hot_subset(self, shape_4x4):
+        views = list(shape_4x4.aggregated_views())
+        population = hot_subset_population(shape_4x4, views[:2], hot_mass=0.8)
+        assert population.frequency_of(views[0]) == pytest.approx(0.4)
+        assert population.frequency_of(views[3]) == pytest.approx(0.1)
+
+    def test_hot_subset_full_mass(self, shape_4x4):
+        views = list(shape_4x4.aggregated_views())
+        population = hot_subset_population(shape_4x4, [views[1]], hot_mass=1.0)
+        assert len(population) == 1
+
+    def test_hot_subset_validation(self, shape_4x4):
+        with pytest.raises(ValueError, match="hot_mass"):
+            hot_subset_population(shape_4x4, [shape_4x4.root()], hot_mass=0.0)
+        with pytest.raises(ValueError, match="at least one hot view"):
+            hot_subset_population(shape_4x4, [])
+
+    def test_drifting_phases(self, shape_3d):
+        phases = drifting_populations(shape_3d, 4, np.random.default_rng(1))
+        assert len(phases) == 4
+        for phase in phases:
+            assert sum(phase.frequencies) == pytest.approx(1.0)
+
+    def test_drifting_validation(self, shape_3d):
+        with pytest.raises(ValueError, match="at least one phase"):
+            drifting_populations(shape_3d, 0)
+
+
+class TestRangeGenerators:
+    def test_random_range_valid(self, shape_3d):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            ranges = random_range(shape_3d, rng)
+            for (lo, hi), n in zip(ranges, shape_3d.sizes):
+                assert 0 <= lo < hi <= n
+
+    def test_random_ranges_count(self, shape_3d):
+        assert len(random_ranges(shape_3d, 7, np.random.default_rng(3))) == 7
+
+    def test_aligned_range(self, shape_3d):
+        rng = np.random.default_rng(4)
+        ranges = aligned_range(shape_3d, level=1, rng=rng)
+        for (lo, hi), n in zip(ranges, shape_3d.sizes):
+            block = min(2, n)
+            assert hi - lo == block
+            assert lo % block == 0
+
+
+class TestSalesGenerator:
+    def test_reproducible(self):
+        a = generate_sales_records(SalesConfig(num_transactions=50, seed=3))
+        b = generate_sales_records(SalesConfig(num_transactions=50, seed=3))
+        assert a == b
+
+    def test_record_fields(self):
+        records = generate_sales_records(SalesConfig(num_transactions=10))
+        for record in records:
+            assert set(record) == {"product", "store", "customer", "day", "sales"}
+            assert record["sales"] > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            SalesConfig(num_transactions=0)
+
+    def test_table_and_cube_agree(self):
+        config = SalesConfig(num_transactions=300, seed=5)
+        table = sales_table(config)
+        cube = sales_cube(config)
+        assert cube.total() == pytest.approx(
+            float(np.sum(table.column("sales")))
+        )
+
+    def test_cube_day_domain_is_dense(self):
+        config = SalesConfig(num_transactions=20, num_days=16, seed=6)
+        cube = sales_cube(config)
+        day_dim = cube.dimensions["day"]
+        assert day_dim.values == list(range(16))
+
+    def test_popularity_skew(self):
+        """Zipf products: the most popular sells more than the median."""
+        config = SalesConfig(num_transactions=2000, seed=7)
+        cube = sales_cube(config)
+        by_product = cube.view(["store", "customer", "day"]).ravel()
+        by_product = by_product[: cube.dimensions["product"].cardinality]
+        assert by_product.max() > np.median(by_product) * 1.5
