@@ -17,6 +17,8 @@ materialize for a given query workload.  Sub-packages:
 - :mod:`repro.workloads` — synthetic workload and data generators.
 - :mod:`repro.experiments` — drivers regenerating every table and figure of
   the paper's evaluation.
+- :mod:`repro.obs` — metrics/tracing/caching observability layer threaded
+  through the hot query path (``python -m repro stats``).
 """
 
 from .core import (
@@ -46,9 +48,10 @@ from .core import (
     view_hierarchy,
     wavelet_basis,
 )
+from .obs import LRUCache, MetricsRegistry, Observability, Tracer
 from .server import OLAPServer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessTracker",
@@ -60,8 +63,12 @@ __all__ = [
     "ElementId",
     "FastBasisResult",
     "GreedyResult",
+    "LRUCache",
     "MaterializedSet",
+    "MetricsRegistry",
+    "Observability",
     "OpCounter",
+    "Tracer",
     "QueryPopulation",
     "RangeQueryEngine",
     "SelectionEngine",

@@ -7,6 +7,12 @@ Usage::
     python -m repro figure8 [--trials N]
     python -m repro figure9 [--trials N] [--budgets N]
     python -m repro all [--quick]
+    python -m repro stats [--json] [--queries N] [--seed N]
+
+``stats`` drives an instrumented demo server (repeated views, roll-ups,
+range queries, one mid-run reconfiguration) and prints its metrics
+registry and span trace — the observability surface every real deployment
+of :class:`repro.server.OLAPServer` gets for free.
 """
 
 from __future__ import annotations
@@ -41,6 +47,48 @@ def _run_figure9(trials: int, budgets: int) -> str:
     )
 
 
+def _run_stats(json_output: bool, queries: int, seed: int) -> str:
+    """Serve a demo workload on an instrumented server; report its stats."""
+    from .obs.reporting import render_json, render_text
+    from .server import OLAPServer
+    from .workloads import SalesConfig, generate_sales_records
+
+    records = generate_sales_records(
+        SalesConfig(num_transactions=400, num_days=8, seed=seed)
+    )
+    server = OLAPServer.from_records(
+        records,
+        ["product", "store", "day"],
+        "sales",
+        domains={"day": list(range(8))},
+    )
+    sizes = server.shape.sizes
+    # Repeated aggregated views (the repeats hit the result cache), a
+    # roll-up, range sums, then a reconfiguration and a second round that
+    # misses once per view (new epoch) and hits afterwards.
+    for _ in range(max(1, queries // 2)):
+        server.view(["product"])
+        server.view(["store"])
+        server.view(["product", "day"])
+    server.rollup({"day": 1})
+    server.range_sum(tuple((0, n) for n in sizes))
+    server.range_sum(tuple((n // 4, 3 * n // 4) for n in sizes))
+    server.reconfigure()
+    for _ in range(max(1, queries - queries // 2)):
+        server.view(["product"])
+        server.view(["store"])
+    if json_output:
+        return render_json(server.metrics, server.tracer)
+    header = (
+        f"OLAP server demo: {server.stats.queries} queries, "
+        f"{server.stats.operations} scalar ops, "
+        f"{server.stats.reconfigurations} reconfiguration(s), "
+        f"epoch {server.epoch}, "
+        f"cache hit rate {server._view_cache.hit_rate:.1%}"
+    )
+    return header + "\n\n" + render_text(server.metrics, server.tracer)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and regenerate the requested experiments."""
     parser = argparse.ArgumentParser(
@@ -52,8 +100,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "table2", "figure8", "figure9", "all"],
-        help="which experiment to regenerate",
+        choices=["table1", "table2", "figure8", "figure9", "all", "stats"],
+        help="which experiment to regenerate ('stats' runs the "
+        "instrumented server demo instead)",
     )
     parser.add_argument(
         "--trials",
@@ -72,7 +121,28 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with 'all': use reduced trial counts",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with 'stats': emit the metrics/span payload as JSON",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=8,
+        help="with 'stats': demo queries per phase",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=19,
+        help="with 'stats': demo data seed",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "stats":
+        print(_run_stats(args.json, args.queries, args.seed))
+        return 0
 
     outputs: list[str] = []
     if args.experiment in ("table1", "all"):

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import current_registry, span
 from .element import CubeShape, ElementId
 from .engine import SelectionEngine
 from .materialize import MaterializedSet
@@ -146,14 +147,19 @@ class DynamicViewAssembler:
 
     def query(self, view: ElementId) -> np.ndarray:
         """Serve one aggregated view (or any element), tracking the access."""
-        counter = OpCounter()
-        values = self.materialized.assemble(view, counter=counter)
-        self.stats.queries_served += 1
-        self.stats.operations += counter.total
-        self.tracker.record(view)
-        self._since_reconfigure += 1
-        if self._since_reconfigure >= self.reconfigure_every:
-            self.reconfigure()
+        with span("adaptive.query", element=view.describe()) as sp:
+            counter = OpCounter()
+            values = self.materialized.assemble(view, counter=counter)
+            self.stats.queries_served += 1
+            self.stats.operations += counter.total
+            current_registry().counter(
+                "adaptive_queries_total", "queries served by the assembler"
+            ).inc()
+            sp.set(operations=counter.total)
+            self.tracker.record(view)
+            self._since_reconfigure += 1
+            if self._since_reconfigure >= self.reconfigure_every:
+                self.reconfigure()
         return values
 
     def query_view(self, aggregated_dims) -> np.ndarray:
@@ -164,6 +170,20 @@ class DynamicViewAssembler:
 
     def reconfigure(self) -> ReconfigurationRecord:
         """Re-select and re-materialize for the observed workload."""
+        with span("adaptive.reconfigure") as sp:
+            record = self._reconfigure()
+            current_registry().counter(
+                "adaptive_reconfigurations_total",
+                "dynamic re-selections performed",
+            ).inc()
+            sp.set(
+                operations=record.migration_operations,
+                expected_cost=record.expected_cost,
+                storage=record.storage,
+            )
+        return record
+
+    def _reconfigure(self) -> ReconfigurationRecord:
         population = self.tracker.population()
         selection = select_minimum_cost_basis(self.shape, population)
         elements = list(selection.elements)

@@ -26,6 +26,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from ..obs import current_registry, span
 from .element import CubeShape, ElementId
 from .graph import ViewElementGraph
 from .population import QueryPopulation
@@ -108,6 +109,14 @@ class SelectionEngine:
 
         ``selected_matrix`` and the result are ``(N, B)``.
         """
+        registry = current_registry()
+        registry.counter(
+            "engine_sweeps_total", "Procedure 3 level-sweep evaluations"
+        ).inc()
+        registry.counter(
+            "engine_sweep_scenarios_total",
+            "selection scenarios evaluated across all sweeps",
+        ).inc(selected_matrix.shape[1])
         m_vals = self._containment_min_volume(selected_matrix)
         t_vals = m_vals - self.volume[:, None]  # F: aggregation option
         t_vals[selected_matrix] = 0.0
@@ -144,9 +153,12 @@ class SelectionEngine:
     ) -> float:
         """Procedure 3 total cost — vectorized twin of
         :func:`repro.core.select_redundant.total_processing_cost`."""
-        q_idx, freqs = self._population_arrays(population)
-        t_vals = self._generation_costs(self._selection_column(selected))
-        return float((t_vals[q_idx, 0] * freqs).sum())
+        with span("engine.total_processing_cost") as sp:
+            q_idx, freqs = self._population_arrays(population)
+            t_vals = self._generation_costs(self._selection_column(selected))
+            cost = float((t_vals[q_idx, 0] * freqs).sum())
+            sp.set(selected=len(selected), cost=cost)
+        return cost
 
     def node_generation_costs(
         self, selected: Sequence[ElementId]
@@ -188,6 +200,38 @@ class SelectionEngine:
         total cost unchanged are dropped (largest volume first), freeing
         storage for later stages.
         """
+        with span(
+            "engine.greedy_selection", budget=float(storage_budget)
+        ) as sp:
+            result = self._greedy_redundant_selection(
+                initial,
+                population,
+                storage_budget,
+                candidates,
+                stop_at_zero,
+                max_stages,
+                remove_obsolete,
+            )
+            sp.set(
+                stages=len(result.stages) - 1,
+                final_cost=result.final_cost,
+                final_storage=result.final_storage,
+            )
+        return result
+
+    def _greedy_redundant_selection(
+        self,
+        initial: Sequence[ElementId],
+        population: QueryPopulation,
+        storage_budget: float,
+        candidates: Iterable[ElementId] | None,
+        stop_at_zero: bool,
+        max_stages: int | None,
+        remove_obsolete: bool,
+    ) -> GreedyResult:
+        stage_counter = current_registry().counter(
+            "engine_greedy_stages_total", "Algorithm 2 greedy stages executed"
+        )
         q_idx, freqs = self._population_arrays(population)
         selected_idx = list(dict.fromkeys(int(i) for i in self.indices_of(initial)))
         if candidates is None:
@@ -226,6 +270,7 @@ class SelectionEngine:
             storage += float(self.volume[chosen])
             cost = float(totals[best])
             cand_idx = cand_idx[cand_idx != chosen]
+            stage_counter.inc()
             if remove_obsolete:
                 storage = self._drop_obsolete(
                     selected_idx, base_row, q_idx, freqs, cost, storage

@@ -22,6 +22,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..obs import current_registry, span
 from .element import CubeShape, ElementId
 from .operators import OpCounter, partial_residual, partial_sum, synthesize
 from .select_redundant import generation_cost
@@ -117,6 +118,18 @@ class MaterializedSet:
             )
         out = cls(shape)
         root = shape.root()
+        with span("materialize.from_cube", elements=len(elements)):
+            out._materialize_all(cube_values, root, elements, counter)
+        return out
+
+    def _materialize_all(
+        self,
+        cube_values: np.ndarray,
+        root: ElementId,
+        elements: list[ElementId],
+        counter: OpCounter | None,
+    ) -> None:
+        out = self
         for element in elements:
             source, source_values = root, cube_values
             candidates = [
@@ -132,7 +145,6 @@ class MaterializedSet:
                 # be owned so apply_update never mutates caller data.
                 values = values.copy()
             out._arrays[element] = values
-        return out
 
     def store(self, element: ElementId, values: np.ndarray) -> None:
         """Store a precomputed element array (copied; the set owns it)."""
@@ -193,13 +205,31 @@ class MaterializedSet:
         """
         if target.shape != self.shape:
             raise ValueError("target belongs to a different cube shape")
-        cost_memo: dict = {}
-        cost = generation_cost(target, self.elements, _memo=cost_memo)
-        if cost == float("inf"):
-            raise ValueError(
-                f"stored set is not complete with respect to {target!r}"
-            )
-        return self._assemble(target, cost_memo, counter)
+        with span("materialize.assemble", element=target.describe()) as sp:
+            own = counter if counter is not None else OpCounter()
+            ops_before = own.total
+            cost_memo: dict = {}
+            cost = generation_cost(target, self.elements, _memo=cost_memo)
+            if cost == float("inf"):
+                raise ValueError(
+                    f"stored set is not complete with respect to {target!r}"
+                )
+            values = self._assemble(target, cost_memo, own)
+            ops = own.total - ops_before
+            registry = current_registry()
+            registry.counter(
+                "assemble_total", "view element assemblies"
+            ).inc()
+            if target in self._arrays:
+                registry.counter(
+                    "assemble_stored_reads_total",
+                    "assemblies answered by a zero-cost stored read",
+                ).inc()
+            registry.histogram(
+                "assemble_operations", "scalar operations per assembly"
+            ).observe(ops)
+            sp.set(operations=ops, modeled_cost=cost, stored=target in self._arrays)
+        return values
 
     def _assemble(
         self,

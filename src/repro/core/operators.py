@@ -76,6 +76,20 @@ class OpCounter:
         self.events.clear()
 
 
+def _normalize_axis(a: np.ndarray, axis: int) -> int:
+    """Resolve a possibly-negative axis, rejecting out-of-range values."""
+    if a.ndim == 0:
+        raise ValueError(
+            "partial aggregation requires an array with at least one "
+            "dimension; got a 0-dimensional array"
+        )
+    if not -a.ndim <= axis < a.ndim:
+        raise ValueError(
+            f"axis {axis} is out of bounds for a {a.ndim}-dimensional array"
+        )
+    return axis % a.ndim
+
+
 def _require_even(a: np.ndarray, axis: int) -> None:
     if a.shape[axis] < 2 or a.shape[axis] % 2 != 0:
         raise ValueError(
@@ -86,7 +100,7 @@ def _require_even(a: np.ndarray, axis: int) -> None:
 
 def _pair_view(a: np.ndarray, axis: int) -> np.ndarray:
     """Reshape ``a`` so that ``axis`` is split into (pairs, 2)."""
-    axis = axis % a.ndim
+    axis = _normalize_axis(a, axis)
     _require_even(a, axis)
     new_shape = a.shape[:axis] + (a.shape[axis] // 2, 2) + a.shape[axis + 1 :]
     return a.reshape(new_shape)

@@ -26,6 +26,7 @@ import itertools
 
 import numpy as np
 
+from ..obs import current_registry, span
 from .element import CubeShape, ElementId
 from .materialize import MaterializedSet
 from .operators import OpCounter
@@ -103,6 +104,15 @@ class RangeQueryEngine:
         """Shape of the cube the engine answers over."""
         return self.materialized.shape
 
+    def invalidate(self) -> None:
+        """Drop on-demand assembled intermediates (after data updates).
+
+        Stored elements are maintained incrementally by the owning
+        :class:`MaterializedSet`; only the engine's own assembled copies go
+        stale when the underlying data changes.
+        """
+        self._cache.clear()
+
     @classmethod
     def with_gaussian_pyramid(
         cls, cube_values: np.ndarray, shape: CubeShape
@@ -127,13 +137,26 @@ class RangeQueryEngine:
         self, levels: tuple[int, ...], counter: OpCounter | None
     ) -> np.ndarray:
         element = ElementId(self.shape, tuple((k, 0) for k in levels))
+        registry = current_registry()
         if element in self.materialized:
+            registry.counter(
+                "range_intermediate_stored_total",
+                "dyadic lookups served by a stored intermediate element",
+            ).inc()
             return self.materialized.array(element)
         cached = self._cache.get(element)
         if cached is not None:
+            registry.counter(
+                "range_intermediate_cache_hits_total",
+                "dyadic lookups served by a previously assembled intermediate",
+            ).inc()
             return cached
         if not self.assemble_missing:
             raise KeyError(f"intermediate element {element!r} is not materialized")
+        registry.counter(
+            "range_intermediate_assembled_total",
+            "intermediate elements assembled on demand",
+        ).inc()
         values = self.materialized.assemble(element, counter=counter)
         self._cache[element] = values
         return values
@@ -160,23 +183,32 @@ class RangeQueryEngine:
         if any(not blocks for blocks in per_dim_blocks):
             return RangeAnswer(value=0.0, cells_read=0, operations=0)
 
-        own_counter = OpCounter()
-        total = 0.0
-        cells = 0
-        for combo in itertools.product(*per_dim_blocks):
-            levels = tuple(level for level, _ in combo)
-            cell = tuple(idx for _, idx in combo)
-            values = self._intermediate(levels, own_counter)
-            total += float(values[cell])
-            cells += 1
-        if cells > 1:
-            own_counter.add(additions=cells - 1, label="range combine")
-        if counter is not None:
-            counter.add(
-                additions=own_counter.additions,
-                subtractions=own_counter.subtractions,
-                label="range query",
-            )
+        with span("range.range_sum") as sp:
+            own_counter = OpCounter()
+            total = 0.0
+            cells = 0
+            for combo in itertools.product(*per_dim_blocks):
+                levels = tuple(level for level, _ in combo)
+                cell = tuple(idx for _, idx in combo)
+                values = self._intermediate(levels, own_counter)
+                total += float(values[cell])
+                cells += 1
+            if cells > 1:
+                own_counter.add(additions=cells - 1, label="range combine")
+            if counter is not None:
+                counter.add(
+                    additions=own_counter.additions,
+                    subtractions=own_counter.subtractions,
+                    label="range query",
+                )
+            registry = current_registry()
+            registry.counter(
+                "range_queries_total", "range-SUM queries answered"
+            ).inc()
+            registry.histogram(
+                "range_cells_read", "dyadic cells read per range query"
+            ).observe(cells)
+            sp.set(operations=own_counter.total, cells_read=cells)
         return RangeAnswer(
             value=total, cells_read=cells, operations=own_counter.total
         )

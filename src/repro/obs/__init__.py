@@ -1,0 +1,83 @@
+"""Observability: metrics, tracing, and the instrumented result cache.
+
+The reproduction's hot path — :meth:`MaterializedSet.assemble
+<repro.core.materialize.MaterializedSet.assemble>`, the
+:class:`~repro.core.engine.SelectionEngine` level sweeps,
+:class:`~repro.core.range_query.RangeQueryEngine`, and the
+:class:`~repro.server.OLAPServer` query surface — is instrumented against
+this package:
+
+- :mod:`repro.obs.metrics` — counter/gauge/histogram registry;
+- :mod:`repro.obs.tracing` — span-based tracing with contextvar
+  propagation;
+- :mod:`repro.obs.cache` — the bounded LRU cache (hit/miss/eviction
+  metrics) backing the server's assembled-view result cache;
+- :mod:`repro.obs.reporting` — text/JSON export (the ``repro stats`` CLI).
+
+Instrumentation is *ambient*: library code writes to whatever registry and
+tracer are currently activated (see :class:`Observability`), and tracing
+no-ops entirely when nothing is active, so standalone use of the core
+modules costs one contextvar read per instrumented call.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+
+from .cache import LRUCache
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    default_registry,
+)
+from .tracing import Span, Tracer, current_tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LRUCache",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "current_registry",
+    "current_tracer",
+    "default_registry",
+    "span",
+]
+
+
+class Observability:
+    """A registry + tracer pair owned by one serving component.
+
+    ``with obs.activate():`` routes all ambient instrumentation (the
+    module-level :func:`span` helper and :func:`current_registry`) into
+    this pair for the duration of the block, nesting correctly with other
+    activations on the stack.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        max_spans: int = 4096,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(max_spans=max_spans)
+
+    @contextmanager
+    def activate(self):
+        """Make this pair the ambient instrumentation target."""
+        with ExitStack() as stack:
+            stack.enter_context(self.registry.activate())
+            stack.enter_context(self.tracer.activate())
+            yield self
+
+    def reset(self) -> None:
+        """Clear all metrics and finished spans."""
+        self.registry.clear()
+        self.tracer.clear()

@@ -1,0 +1,145 @@
+"""A bounded LRU cache instrumented through the metrics registry.
+
+:class:`LRUCache` is the storage behind the server's assembled-view result
+cache: bounded by entry count and optionally by total *weight* (cells, for
+arrays), with hit/miss/eviction/clear counters and size gauges registered
+under a configurable name prefix so several caches can share a registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import Any
+
+from .metrics import MetricsRegistry, current_registry
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Least-recently-used mapping with entry and weight bounds.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached entries; the least recently used entry is
+        evicted first.
+    max_weight:
+        Optional bound on the summed weights of cached values (e.g. total
+        cells across cached arrays).  An item heavier than the whole budget
+        is simply not cached.
+    weigh:
+        Weight of one value; defaults to ``1`` per entry.
+    registry / name:
+        Metrics land in ``registry`` (default: the current registry) as
+        ``{name}_hits_total``, ``{name}_misses_total``,
+        ``{name}_evictions_total``, ``{name}_clears_total`` and the gauges
+        ``{name}_size`` / ``{name}_weight``.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        max_weight: float | None = None,
+        weigh: Callable[[Any], float] | None = None,
+        registry: MetricsRegistry | None = None,
+        name: str = "cache",
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.max_weight = max_weight
+        self._weigh = weigh or (lambda _value: 1.0)
+        self._entries: OrderedDict[Any, tuple[Any, float]] = OrderedDict()
+        self._weight = 0.0
+        registry = registry if registry is not None else current_registry()
+        self.name = name
+        self._hits = registry.counter(
+            f"{name}_hits_total", "cache lookups answered from the cache"
+        )
+        self._misses = registry.counter(
+            f"{name}_misses_total", "cache lookups that missed"
+        )
+        self._evictions = registry.counter(
+            f"{name}_evictions_total", "entries evicted by capacity pressure"
+        )
+        self._clears = registry.counter(
+            f"{name}_clears_total", "whole-cache invalidations"
+        )
+        self._size_gauge = registry.gauge(
+            f"{name}_size", "entries currently cached"
+        )
+        self._weight_gauge = registry.gauge(
+            f"{name}_weight", "summed weight of cached values"
+        )
+        self._size_gauge.set(0)
+        self._weight_gauge.set(0)
+
+    # ------------------------------------------------------------------
+
+    def get(self, key, default=None):
+        """The cached value (refreshing recency), or ``default`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses.inc()
+            return default
+        self._entries.move_to_end(key)
+        self._hits.inc()
+        return entry[0]
+
+    def put(self, key, value) -> None:
+        """Insert (or refresh) ``key``; evicts LRU entries to fit."""
+        weight = float(self._weigh(value))
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._weight -= old[1]
+        if self.max_weight is not None and weight > self.max_weight:
+            # Heavier than the whole budget: drop rather than thrash.
+            self._sync_gauges()
+            return
+        self._entries[key] = (value, weight)
+        self._weight += weight
+        while len(self._entries) > self.max_entries or (
+            self.max_weight is not None and self._weight > self.max_weight
+        ):
+            _, (_, evicted_weight) = self._entries.popitem(last=False)
+            self._weight -= evicted_weight
+            self._evictions.inc()
+        self._sync_gauges()
+
+    def clear(self) -> None:
+        """Invalidate everything (counted separately from evictions)."""
+        if self._entries:
+            self._clears.inc()
+        self._entries.clear()
+        self._weight = 0.0
+        self._sync_gauges()
+
+    def _sync_gauges(self) -> None:
+        self._size_gauge.set(len(self._entries))
+        self._weight_gauge.set(self._weight)
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def weight(self) -> float:
+        """Current summed weight of the cached values."""
+        return self._weight
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups so far (0 before any lookup)."""
+        hits = self._hits.value()
+        lookups = hits + self._misses.value()
+        return hits / lookups if lookups else 0.0
+
+    def keys(self) -> tuple:
+        """Cached keys, least recently used first."""
+        return tuple(self._entries)

@@ -1,0 +1,247 @@
+"""Counter/gauge/histogram metrics with a thread-safe registry.
+
+The hot path of the reproduction (assembly, selection sweeps, range
+queries, the server cache) increments named metrics through the *current*
+:class:`MetricsRegistry`.  Components that own a registry (notably
+:class:`repro.server.OLAPServer`) activate it around their work so nested
+instrumentation lands in the right place; everything else falls back to a
+process-wide default registry.
+
+The model is deliberately Prometheus-shaped but dependency-free:
+
+- :class:`Counter` — monotone totals (queries served, cache hits, sweep
+  batches).
+- :class:`Gauge` — last-written values (cache size, selection epoch).
+- :class:`Histogram` — running ``count/sum/min/max`` summaries of observed
+  values (operations per assembly, migration cost per reconfiguration).
+
+Metrics accept optional ``**labels``; each distinct label combination is an
+independent time series.  All mutation goes through one registry lock, so
+concurrent query threads can share a server registry safely.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "default_registry",
+]
+
+#: Label sets are stored as sorted ``(key, value)`` tuples.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+class _Metric:
+    """Shared bookkeeping for all metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str, lock: threading.RLock):
+        self.name = name
+        self.description = description
+        self._lock = lock
+        self._series: dict[LabelKey, float | dict] = {}
+
+    def labelsets(self) -> tuple[LabelKey, ...]:
+        """All label combinations observed so far."""
+        with self._lock:
+            return tuple(self._series)
+
+    def snapshot(self) -> dict:
+        """``{"type", "description", "values"}`` with rendered label keys."""
+        with self._lock:
+            values = {
+                _render_labels(key): (
+                    dict(v) if isinstance(v, dict) else v
+                )
+                for key, v in self._series.items()
+            }
+        return {
+            "type": self.kind,
+            "description": self.description,
+            "values": values,
+        }
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be non-negative) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current total of the labelled series (0 when never incremented)."""
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return float(sum(self._series.values()))
+
+
+class Gauge(_Metric):
+    """A value that can go up and down; reads return the last write."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelled series to ``value``."""
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Adjust the labelled series by ``amount`` (may be negative)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of the labelled series (0 when never set)."""
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
+
+
+class Histogram(_Metric):
+    """Running summary (count/sum/min/max) of observed values."""
+
+    kind = "histogram"
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the labelled series."""
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            stats = self._series.get(key)
+            if stats is None:
+                self._series[key] = {
+                    "count": 1,
+                    "sum": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                stats["count"] += 1
+                stats["sum"] += value
+                stats["min"] = min(stats["min"], value)
+                stats["max"] = max(stats["max"], value)
+
+    def stats(self, **labels) -> dict:
+        """``{count, sum, min, max, mean}`` of the labelled series."""
+        with self._lock:
+            stats = self._series.get(_label_key(labels))
+            if stats is None:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            out = dict(stats)
+        out["mean"] = out["sum"] / out["count"]
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and shared afterwards.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: asking for an
+    existing name returns the existing metric (and raises ``TypeError``
+    when the name is already registered as a different kind).
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, description: str) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, description, self._lock)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get or create the named :class:`Counter`."""
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """Get or create the named :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        """Get or create the named :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, description)
+
+    def get(self, name: str) -> _Metric | None:
+        """The named metric, or ``None`` when absent."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def clear(self) -> None:
+        """Drop every metric (tests and long-lived servers)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """``{name: metric.snapshot()}`` for every registered metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metrics[name].snapshot() for name in sorted(metrics)}
+
+    @contextmanager
+    def activate(self):
+        """Make this registry the current one within the ``with`` block."""
+        token = _ACTIVE_REGISTRY.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_REGISTRY.reset(token)
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+_ACTIVE_REGISTRY: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_obs_registry", default=None
+)
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide fallback registry."""
+    return _DEFAULT_REGISTRY
+
+
+def current_registry() -> MetricsRegistry:
+    """The registry instrumentation should write to right now.
+
+    The innermost :meth:`MetricsRegistry.activate` wins; outside any
+    activation this is :func:`default_registry`.
+    """
+    return _ACTIVE_REGISTRY.get() or _DEFAULT_REGISTRY

@@ -1,0 +1,117 @@
+"""Render a registry + tracer as JSON or aligned text.
+
+The ``python -m repro stats`` subcommand and the examples use this to turn
+an :class:`~repro.obs.Observability` pair into something a person (text) or
+a scraper (JSON) can read.  Text rendering reuses the repository's ASCII
+table helper so stats reports look like the experiment reports.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..reporting import ascii_table, format_duration
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = ["stats_payload", "render_json", "render_text"]
+
+
+def stats_payload(
+    registry: MetricsRegistry, tracer: Tracer | None = None
+) -> dict:
+    """JSON-friendly ``{"metrics": ..., "spans": ..., "span_summary": ...}``."""
+    payload: dict = {"metrics": registry.snapshot()}
+    if tracer is not None:
+        payload["spans"] = [s.to_dict() for s in tracer.spans()]
+        payload["span_summary"] = tracer.summary()
+    return payload
+
+
+def render_json(
+    registry: MetricsRegistry,
+    tracer: Tracer | None = None,
+    indent: int | None = 2,
+) -> str:
+    """The stats payload as a JSON document."""
+    return json.dumps(stats_payload(registry, tracer), indent=indent)
+
+
+def _scalar_rows(snapshot: dict) -> list[list]:
+    rows = []
+    for name, metric in snapshot.items():
+        if metric["type"] == "histogram":
+            continue
+        for labels, value in sorted(metric["values"].items()):
+            rows.append([name, metric["type"], labels or "-", value])
+    return rows
+
+
+def _histogram_rows(snapshot: dict) -> list[list]:
+    rows = []
+    for name, metric in snapshot.items():
+        if metric["type"] != "histogram":
+            continue
+        for labels, stats in sorted(metric["values"].items()):
+            mean = stats["sum"] / stats["count"] if stats["count"] else 0.0
+            rows.append(
+                [
+                    name,
+                    labels or "-",
+                    stats["count"],
+                    stats["sum"],
+                    mean,
+                    stats["min"],
+                    stats["max"],
+                ]
+            )
+    return rows
+
+
+def render_text(
+    registry: MetricsRegistry, tracer: Tracer | None = None
+) -> str:
+    """Counters/gauges, histograms, and per-span-name aggregates as tables."""
+    snapshot = registry.snapshot()
+    sections = []
+    scalar_rows = _scalar_rows(snapshot)
+    if scalar_rows:
+        sections.append(
+            ascii_table(
+                ["metric", "type", "labels", "value"],
+                scalar_rows,
+                title="metrics",
+            )
+        )
+    histogram_rows = _histogram_rows(snapshot)
+    if histogram_rows:
+        sections.append(
+            ascii_table(
+                ["histogram", "labels", "count", "sum", "mean", "min", "max"],
+                histogram_rows,
+                title="histograms",
+            )
+        )
+    if tracer is not None:
+        summary = tracer.summary()
+        if summary:
+            rows = [
+                [
+                    name,
+                    agg["count"],
+                    format_duration(agg["total_ms"] / 1e3),
+                    format_duration(agg["mean_ms"] / 1e3),
+                    agg["operations"],
+                ]
+                for name, agg in sorted(summary.items())
+            ]
+            sections.append(
+                ascii_table(
+                    ["span", "count", "total", "mean", "operations"],
+                    rows,
+                    title="spans",
+                )
+            )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

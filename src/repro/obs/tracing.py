@@ -1,0 +1,164 @@
+"""Lightweight span-based tracing with contextvar propagation.
+
+A :class:`Tracer` records :class:`Span` trees: each span has a name, wall
+time (``time.perf_counter``), free-form attributes, and a parent — the span
+that was open when it started.  Propagation uses :mod:`contextvars`, so
+nesting works across ordinary calls, generators, and threads started with a
+copied context, without threading a tracer argument through every function.
+
+Instrumented library code calls the module-level :func:`span` helper, which
+records into the *currently active* tracer and is a cheap no-op when none is
+active — importing an instrumented module never forces tracing on.
+
+The tracer keeps a bounded ring of finished spans (oldest dropped), so a
+long-running server can stay instrumented without growing memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "span", "current_tracer"]
+
+
+@dataclass
+class Span:
+    """One timed, attributed operation; part of a tree via ``parent_id``."""
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    start: float = 0.0
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to "now" while the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set(self, **attributes) -> None:
+        """Attach or overwrite attributes."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (durations in milliseconds)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_ms": self.duration * 1e3,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span for when no tracer is active."""
+
+    __slots__ = ()
+
+    def set(self, **attributes) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records finished spans into a bounded ring buffer."""
+
+    def __init__(self, max_spans: int = 4096):
+        self.finished: deque[Span] = deque(maxlen=max_spans)
+        self._ids = itertools.count(1)
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a child span of whatever span is currently active."""
+        parent = _ACTIVE_SPAN.get()
+        current = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start=time.perf_counter(),
+            attributes=dict(attributes),
+        )
+        token = _ACTIVE_SPAN.set(current)
+        try:
+            yield current
+        finally:
+            current.end = time.perf_counter()
+            _ACTIVE_SPAN.reset(token)
+            self.finished.append(current)
+
+    @contextmanager
+    def activate(self):
+        """Route the module-level :func:`span` helper here inside the block."""
+        token = _ACTIVE_TRACER.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_TRACER.reset(token)
+
+    def spans(self, name: str | None = None) -> tuple[Span, ...]:
+        """Finished spans, optionally filtered by name, oldest first."""
+        if name is None:
+            return tuple(self.finished)
+        return tuple(s for s in self.finished if s.name == name)
+
+    def clear(self) -> None:
+        """Drop all finished spans."""
+        self.finished.clear()
+
+    def summary(self) -> dict[str, dict]:
+        """Per-name aggregates: count, total/mean duration, summed ops.
+
+        ``operations`` sums the ``operations`` attribute over spans that
+        carry one — the per-stage op-count view of a traced query path.
+        """
+        out: dict[str, dict] = {}
+        for s in self.finished:
+            agg = out.setdefault(
+                s.name,
+                {"count": 0, "total_ms": 0.0, "operations": 0},
+            )
+            agg["count"] += 1
+            agg["total_ms"] += s.duration * 1e3
+            ops = s.attributes.get("operations")
+            if ops is not None:
+                agg["operations"] += int(ops)
+        for agg in out.values():
+            agg["mean_ms"] = agg["total_ms"] / agg["count"]
+        return out
+
+
+_ACTIVE_TRACER: ContextVar[Tracer | None] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+_ACTIVE_SPAN: ContextVar[Span | None] = ContextVar(
+    "repro_obs_span", default=None
+)
+
+
+def current_tracer() -> Tracer | None:
+    """The innermost activated tracer, or ``None``."""
+    return _ACTIVE_TRACER.get()
+
+
+def span(name: str, **attributes):
+    """Open a span on the active tracer; a no-op when tracing is off."""
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attributes)

@@ -10,7 +10,19 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["ascii_table", "ascii_plot", "format_number"]
+__all__ = ["ascii_table", "ascii_plot", "format_number", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Human-scale duration: picks s / ms / µs to keep 3-ish digits."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3f}s"
+    if magnitude >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"
 
 
 def format_number(value, precision: int = 3) -> str:

@@ -9,12 +9,26 @@ with per-query operation accounting throughout.
 It is a thin composition of the public pieces (``repro.cube``,
 ``repro.core``), so everything it does can also be done directly; the value
 is a single object with sane defaults for applications and examples.
+
+Two serving amenities live only here:
+
+- **Observability** — every server owns a :class:`~repro.obs.Observability`
+  pair (metrics registry + tracer).  Query and reconfiguration paths run
+  with it activated, so the ambient instrumentation in ``repro.core``
+  (assembly spans, engine sweeps, range lookups) lands in the server's own
+  registry.  ``python -m repro stats`` renders it.
+- **Result cache** — assembled aggregated views and roll-ups are kept in a
+  bounded LRU keyed by ``(ElementId, selection epoch)``.  The epoch is
+  bumped by :meth:`reconfigure` (so Algorithm-2 re-selections atomically
+  invalidate every cached answer) and the cache is cleared by
+  :meth:`update` (stored arrays change in place).  Hits, misses, and
+  evictions are exposed through the same registry.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -29,6 +43,7 @@ from .core.select_basis import select_minimum_cost_basis
 from .cube.builder import build_cube
 from .cube.datacube import DataCube
 from .cube.hierarchy import rollup_element
+from .obs import LRUCache, Observability, span
 
 __all__ = ["OLAPServer", "ServerStats"]
 
@@ -57,16 +72,38 @@ class OLAPServer:
         storage_budget: int | None = None,
         decay: float = 0.98,
         smoothing: float = 0.01,
+        cache_entries: int = 128,
+        cache_cells: int | None = None,
+        observability: Observability | None = None,
     ):
         """``storage_budget`` (cells) enables Algorithm 2 redundancy when it
         exceeds the cube volume; ``decay``/``smoothing`` configure workload
-        tracking."""
+        tracking.  ``cache_entries``/``cache_cells`` bound the assembled-view
+        result cache (entries and total cached cells); ``observability``
+        supplies a shared metrics registry + tracer (one is created
+        otherwise)."""
         self.cube = cube
         self.shape = cube.shape_id
         self.storage_budget = storage_budget
         self.smoothing = smoothing
         self.tracker = AccessTracker(decay=decay)
         self.stats = ServerStats()
+        self.obs = observability if observability is not None else Observability()
+        self.metrics = self.obs.registry
+        self.tracer = self.obs.tracer
+        #: Selection epoch: bumped by every :meth:`reconfigure`, part of the
+        #: result-cache key so stale answers can never be served.
+        self.epoch = 0
+        self._view_cache = LRUCache(
+            max_entries=cache_entries,
+            max_weight=cache_cells,
+            weigh=lambda values: values.size,
+            registry=self.metrics,
+            name="view_cache",
+        )
+        self.metrics.gauge(
+            "server_epoch", "current selection epoch of the result cache"
+        ).set(0)
         self._engine: SelectionEngine | None = None
         # Start with the trivial selection: the cube itself.
         self.materialized = MaterializedSet(self.shape)
@@ -106,27 +143,53 @@ class OLAPServer:
 
     def view(self, retained_dims: Iterable[str]) -> np.ndarray:
         """Aggregated view retaining the named dimensions (SUM)."""
-        element = self._element_for(retained_dims)
-        counter = OpCounter()
-        values = self.materialized.assemble(element, counter=counter)
-        self._account(element, counter)
-        return values
+        return self._serve_element(self._element_for(retained_dims), "view")
 
     def rollup(self, levels: Mapping[str, str | int]) -> np.ndarray:
         """Roll-up to named or numeric hierarchy levels per dimension."""
-        element = rollup_element(self.cube, levels)
-        counter = OpCounter()
-        values = self.materialized.assemble(element, counter=counter)
-        self._account(element, counter)
-        return values
+        return self._serve_element(rollup_element(self.cube, levels), "rollup")
+
+    def _serve_element(self, element: ElementId, kind: str) -> np.ndarray:
+        """Serve one assembled element, consulting the result cache.
+
+        Cached answers are the same arrays a cold assembly produced (the
+        assemble contract already says "treat as read-only"), so hits are
+        bit-identical to misses and cost zero scalar operations.
+        """
+        with self.obs.activate(), span(
+            "server.query", kind=kind, element=element.describe()
+        ) as sp:
+            self.metrics.counter(
+                "server_queries_total", "queries served, by kind"
+            ).inc(kind=kind)
+            key = (element, self.epoch)
+            cached = self._view_cache.get(key)
+            if cached is not None:
+                self._account(element, OpCounter())
+                sp.set(cache="hit", operations=0)
+                return cached
+            counter = OpCounter()
+            values = self.materialized.assemble(element, counter=counter)
+            self._view_cache.put(key, values)
+            self._account(element, counter)
+            sp.set(cache="miss", operations=counter.total)
+            return values
 
     def range_sum(self, ranges) -> float:
         """SUM over a multi-dimensional half-open coordinate range."""
-        counter = OpCounter()
-        answer = self._range_engine.range_sum(ranges, counter=counter)
-        self.stats.queries += 1
-        self.stats.operations += counter.total
-        return answer.value
+        with self.obs.activate(), span("server.query", kind="range") as sp:
+            self.metrics.counter(
+                "server_queries_total", "queries served, by kind"
+            ).inc(kind="range")
+            counter = OpCounter()
+            answer = self._range_engine.range_sum(ranges, counter=counter)
+            self.stats.queries += 1
+            self.stats.operations += counter.total
+            self.metrics.counter(
+                "server_operations_total", "scalar operations spent serving"
+            ).inc(counter.total)
+            sp.set(operations=counter.total, cells_read=answer.cells_read)
+            return answer.value
 
     def cell(self, **coordinates) -> float:
         """One cube cell, addressed by dimension values."""
@@ -135,6 +198,9 @@ class OLAPServer:
     def _account(self, element: ElementId, counter: OpCounter) -> None:
         self.stats.queries += 1
         self.stats.operations += counter.total
+        self.metrics.counter(
+            "server_operations_total", "scalar operations spent serving"
+        ).inc(counter.total)
         self.tracker.record(element)
 
     # ------------------------------------------------------------------
@@ -153,33 +219,57 @@ class OLAPServer:
         """Re-select and re-materialize; returns ``(storage, expected cost)``.
 
         Uses the observed workload by default.  The new set is computed
-        from the current one (assembly, not a cube rescan).
+        from the current one (assembly, not a cube rescan).  Bumps the
+        selection epoch, which invalidates every cached query answer.
         """
-        if population is None:
-            population = self.observed_population()
-        selection = select_minimum_cost_basis(self.shape, population)
-        elements = list(selection.elements)
-        expected = selection.cost
-        if (
-            self.storage_budget is not None
-            and self.storage_budget > self.shape.volume
-        ):
-            if self._engine is None:
-                self._engine = SelectionEngine(self.shape)
-            result = self._engine.greedy_redundant_selection(
-                elements, population, storage_budget=self.storage_budget
-            )
-            elements = list(result.selected)
-            expected = result.final_cost
+        with self.obs.activate(), span("server.reconfigure") as sp:
+            if population is None:
+                population = self.observed_population()
+            selection = select_minimum_cost_basis(self.shape, population)
+            elements = list(selection.elements)
+            expected = selection.cost
+            if (
+                self.storage_budget is not None
+                and self.storage_budget > self.shape.volume
+            ):
+                if self._engine is None:
+                    self._engine = SelectionEngine(self.shape)
+                result = self._engine.greedy_redundant_selection(
+                    elements, population, storage_budget=self.storage_budget
+                )
+                elements = list(result.selected)
+                expected = result.final_cost
 
-        new_set = MaterializedSet(self.shape)
-        for element in sorted(set(elements), key=lambda e: e.depth):
-            new_set.store(element, self.materialized.assemble(element))
-        self.materialized = new_set
-        self._range_engine = RangeQueryEngine(new_set)
-        self.stats.reconfigurations += 1
-        self.stats.last_expected_cost = float(expected)
-        return new_set.storage, float(expected)
+            migration = OpCounter()
+            new_set = MaterializedSet(self.shape)
+            for element in sorted(set(elements), key=lambda e: e.depth):
+                new_set.store(
+                    element,
+                    self.materialized.assemble(element, counter=migration),
+                )
+            self.materialized = new_set
+            self._range_engine = RangeQueryEngine(new_set)
+            self.epoch += 1
+            self._view_cache.clear()
+            self.stats.reconfigurations += 1
+            self.stats.last_expected_cost = float(expected)
+            self.metrics.counter(
+                "server_reconfigurations_total", "re-selections performed"
+            ).inc()
+            self.metrics.gauge(
+                "server_epoch", "current selection epoch of the result cache"
+            ).set(self.epoch)
+            self.metrics.histogram(
+                "reconfigure_migration_operations",
+                "scalar operations spent migrating the materialized set",
+            ).observe(migration.total)
+            sp.set(
+                operations=migration.total,
+                epoch=self.epoch,
+                storage=new_set.storage,
+                expected_cost=float(expected),
+            )
+            return new_set.storage, float(expected)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -189,10 +279,19 @@ class OLAPServer:
 
         Adjusts the base cube and propagates the delta into every stored
         element in O(d) each (no recomputation).  Stored element arrays are
-        owned copies, so both updates are required and independent.
+        owned copies, so both updates are required and independent.  Cached
+        query answers are invalidated (synthesized results would otherwise
+        go stale); the epoch is *not* bumped — the selection is unchanged.
         """
-        index = tuple(
-            dim.encode(coordinates[dim.name]) for dim in self.cube.dimensions
-        )
-        self.materialized.apply_update(index, delta)
-        self.cube.values[index] += delta
+        with self.obs.activate(), span("server.update"):
+            index = tuple(
+                dim.encode(coordinates[dim.name])
+                for dim in self.cube.dimensions
+            )
+            self.materialized.apply_update(index, delta)
+            self.cube.values[index] += delta
+            self._view_cache.clear()
+            self._range_engine.invalidate()
+            self.metrics.counter(
+                "server_updates_total", "incremental cell updates applied"
+            ).inc()

@@ -1,11 +1,27 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures and hypothesis profiles for the test-suite."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.element import CubeShape
+
+# CI runs with HYPOTHESIS_PROFILE=ci: derandomized (reproducible shrink
+# paths, no flaky examples across matrix entries) and without deadlines
+# (shared runners have noisy clocks).  The default profile stays random so
+# local runs keep exploring new examples.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

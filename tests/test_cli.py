@@ -33,3 +33,34 @@ class TestCLI:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestStatsCLI:
+    def test_stats_text(self, capsys):
+        assert main(["stats", "--queries", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "view_cache_hits_total" in out
+        assert "server.query" in out
+        assert "cache hit rate" in out
+
+    def test_stats_json_exposes_spans_and_cache_hits(self, capsys):
+        import json
+
+        assert main(["stats", "--json", "--queries", "4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["metrics"]
+        # The repeated aggregated-view queries were answered from cache.
+        assert sum(metrics["view_cache_hits_total"]["values"].values()) > 0
+        # Reconfiguration bumped the epoch gauge.
+        assert metrics["server_epoch"]["values"][""] == 1.0
+        # Per-stage spans with op counts are present.
+        names = {s["name"] for s in payload["spans"]}
+        assert {"server.query", "materialize.assemble", "range.range_sum"} <= names
+        query_spans = [
+            s for s in payload["spans"] if s["name"] == "server.query"
+        ]
+        assert any(s["attributes"].get("cache") == "hit" for s in query_spans)
+        assert all("duration_ms" in s for s in payload["spans"])
+        assert payload["span_summary"]["server.query"]["count"] == len(
+            query_spans
+        )

@@ -64,6 +64,37 @@ class TestPartialSum:
         assert counter.subtractions == 0
 
 
+class TestArgumentValidation:
+    """Regression: bad axes/extents fail with messages naming the problem."""
+
+    @pytest.mark.parametrize("op", [partial_sum, partial_residual])
+    def test_odd_extent_message_names_axis_and_extent(self, op):
+        with pytest.raises(
+            ValueError,
+            match=r"axis 1 has extent 3; partial aggregation requires an "
+            r"even extent of at least 2",
+        ):
+            op(np.zeros((4, 3)), 1)
+
+    @pytest.mark.parametrize("op", [partial_sum, partial_residual])
+    def test_odd_extent_on_negative_axis_reports_normalized_axis(self, op):
+        with pytest.raises(ValueError, match=r"axis 1 has extent 5"):
+            op(np.zeros((2, 5)), -1)
+
+    @pytest.mark.parametrize("op", [partial_sum, partial_residual])
+    def test_out_of_range_axis_rejected(self, op):
+        # Previously axis 5 silently wrapped onto axis 1 (5 % ndim).
+        with pytest.raises(
+            ValueError, match=r"axis 5 is out of bounds for a 2-dimensional"
+        ):
+            op(np.zeros((4, 4)), 5)
+
+    @pytest.mark.parametrize("op", [partial_sum, partial_residual])
+    def test_zero_dimensional_rejected(self, op):
+        with pytest.raises(ValueError, match="0-dimensional"):
+            op(np.asarray(3.0), 0)
+
+
 class TestPartialResidual:
     def test_differences_1d(self):
         a = np.array([5.0, 2.0, 7.0, 7.0])

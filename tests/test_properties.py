@@ -16,9 +16,16 @@ from hypothesis import strategies as st
 from repro.core.bases import random_wavelet_packet_basis
 from repro.core.costs import support_cost
 from repro.core.element import CubeShape, ElementId
+from repro.core.engine import SelectionEngine
 from repro.core.graph import ViewElementGraph
 from repro.core.materialize import MaterializedSet, compute_element
-from repro.core.operators import analyze, synthesize
+from repro.core.operators import (
+    analyze,
+    partial_residual,
+    partial_sum,
+    partial_sum_k,
+    synthesize,
+)
 from repro.core.population import QueryPopulation
 from repro.core.select_basis import select_minimum_cost_basis
 from repro.core.select_redundant import generation_cost, total_processing_cost
@@ -211,7 +218,192 @@ class TestAssemblyConsistency:
         )
 
 
-class TestGraphEnumeration:
+#: Random power-of-two shapes and dtypes for the operator-law tests.
+_LAW_SHAPES = st.lists(
+    st.sampled_from([2, 4, 8]), min_size=1, max_size=3
+).map(tuple)
+_LAW_DTYPES = st.sampled_from(
+    [np.float64, np.float32, np.int64, np.int32]
+)
+
+
+def _law_array(shape, dtype, seed) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(-99, 99, size=shape).astype(dtype)
+
+
+class TestOperatorLaws:
+    """The paper's four operator properties on random shapes and dtypes.
+
+    Integer-valued data keeps every law exact even after float conversion
+    (sums/differences/halving of even sums are exact in binary floats), so
+    these use exact comparisons, not tolerances.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shape=_LAW_SHAPES,
+        dtype=_LAW_DTYPES,
+        seed=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    def test_perfect_reconstruction(self, shape, dtype, seed, data):
+        """Property 1 (Eqs 3-4): synthesize(P1, R1) rebuilds the input."""
+        a = _law_array(shape, dtype, seed)
+        axis = data.draw(st.integers(min_value=0, max_value=len(shape) - 1))
+        p, r = analyze(a, axis)
+        np.testing.assert_array_equal(
+            synthesize(p, r, axis), a.astype(np.float64)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shape=_LAW_SHAPES,
+        dtype=_LAW_DTYPES,
+        seed=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    def test_non_expansiveness(self, shape, dtype, seed, data):
+        """Property 3 (Eqs 11-13): the two outputs exactly tile the input."""
+        a = _law_array(shape, dtype, seed)
+        axis = data.draw(st.integers(min_value=0, max_value=len(shape) - 1))
+        p, r = analyze(a, axis)
+        assert p.size + r.size == a.size
+        assert p.shape == r.shape
+        expected = list(a.shape)
+        expected[axis] //= 2
+        assert p.shape == tuple(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shape=_LAW_SHAPES,
+        dtype=_LAW_DTYPES,
+        seed=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    def test_distributivity_of_cascaded_p1(self, shape, dtype, seed, data):
+        """Property 2 (Eqs 5-10): k cascaded P1 = direct 2**k block sums."""
+        a = _law_array(shape, dtype, seed)
+        axis = data.draw(st.integers(min_value=0, max_value=len(shape) - 1))
+        max_k = int(shape[axis]).bit_length() - 1
+        k = data.draw(st.integers(min_value=0, max_value=max_k))
+        cascaded = partial_sum_k(a, axis, k)
+        blocks = np.asarray(a, dtype=np.float64)
+        new_shape = (
+            blocks.shape[:axis]
+            + (blocks.shape[axis] >> k, 1 << k)
+            + blocks.shape[axis + 1 :]
+        )
+        direct = blocks.reshape(new_shape).sum(axis=axis + 1)
+        np.testing.assert_array_equal(cascaded, direct)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shape=_LAW_SHAPES,
+        dtype=_LAW_DTYPES,
+        seed=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    def test_dimension_separability(self, shape, dtype, seed, data):
+        """Property 4 (Eq 14): operators on distinct dimensions commute."""
+        if len(shape) < 2:
+            return
+        a = _law_array(shape, dtype, seed)
+        axes = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(shape) - 1),
+                min_size=2,
+                max_size=2,
+                unique=True,
+            )
+        )
+        ax1, ax2 = axes
+        ops = [
+            data.draw(st.sampled_from([partial_sum, partial_residual]))
+            for _ in range(2)
+        ]
+        forward = ops[1](ops[0](a, ax1), ax2)
+        backward = ops[0](ops[1](a, ax2), ax1)
+        np.testing.assert_array_equal(forward, backward)
+
+
+#: Engines are cached per shape: index-table construction dominates the
+#: differential test otherwise.
+_ENGINES: dict[CubeShape, SelectionEngine] = {}
+
+
+def _engine_for(shape: CubeShape) -> SelectionEngine:
+    engine = _ENGINES.get(shape)
+    if engine is None:
+        engine = _ENGINES[shape] = SelectionEngine(shape)
+    return engine
+
+
+class TestEngineDifferential:
+    """Vectorized engine vs the reference recursion on random inputs."""
+
+    # Degenerate single-dimension cubes included deliberately.
+    DIFF_SHAPES = [
+        CubeShape((8,)),
+        CubeShape((2,)),
+        CubeShape((4, 4)),
+        CubeShape((8, 2)),
+        CubeShape((2, 2, 4)),
+    ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_total_processing_cost_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = self.DIFF_SHAPES[seed % len(self.DIFF_SHAPES)]
+        engine = _engine_for(shape)
+        population = QueryPopulation.random_over_views(shape, rng)
+        # Random selection: the root (so every target is generable) plus a
+        # few random extra elements.
+        extras = [
+            _random_element(shape, rng)
+            for _ in range(int(rng.integers(0, 4)))
+        ]
+        selected = list({shape.root(), *extras})
+        reference = total_processing_cost(selected, population)
+        fast = engine.total_processing_cost(selected, population)
+        assert fast == pytest.approx(reference, rel=1e-12, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_rootless_selection_matches_reference(self, seed):
+        """Random bases without the root, including incomplete ones."""
+        rng = np.random.default_rng(seed)
+        shape = self.DIFF_SHAPES[seed % len(self.DIFF_SHAPES)]
+        engine = _engine_for(shape)
+        population = QueryPopulation.random_over_views(shape, rng)
+        basis = random_wavelet_packet_basis(shape, rng)
+        keep = max(1, int(rng.integers(1, len(basis) + 1)))
+        selected = list(basis[:keep])
+        reference = total_processing_cost(selected, population)
+        fast = engine.total_processing_cost(selected, population)
+        if reference == float("inf"):
+            assert fast == float("inf")
+        else:
+            assert fast == pytest.approx(reference, rel=1e-12, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_node_generation_costs_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = self.DIFF_SHAPES[seed % len(self.DIFF_SHAPES)]
+        engine = _engine_for(shape)
+        selected = list(
+            {shape.root(), *(_random_element(shape, rng) for _ in range(2))}
+        )
+        t_vals = engine.node_generation_costs(selected)
+        memo: dict = {}
+        for _ in range(5):
+            target = _random_element(shape, rng)
+            idx = engine.index_of(target)
+            assert t_vals[idx] == pytest.approx(
+                generation_cost(target, selected, _memo=memo), abs=1e-9
+            )
     @settings(max_examples=10, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=10_000))
     def test_volume_census(self, seed):

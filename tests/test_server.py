@@ -106,6 +106,92 @@ class TestReconfiguration:
         ) == pytest.approx(server.cube.values.sum())
 
 
+class TestResultCache:
+    def test_cached_answer_bit_identical_to_cold(self, server):
+        cold = server.view(["store"]).copy()
+        hits = server.metrics.get("view_cache_hits_total")
+        assert hits.value() == 0
+        warm = server.view(["store"])
+        assert hits.value() == 1
+        # Bit-identical, not just approximately equal.
+        assert warm.shape == cold.shape
+        assert np.ascontiguousarray(warm).tobytes() == cold.tobytes()
+
+    def test_cache_hit_costs_zero_operations(self, server):
+        server.view(["product"])
+        before = server.stats.operations
+        server.view(["product"])
+        assert server.stats.operations == before
+        assert server.stats.queries == 2  # hits still count as queries
+
+    def test_reconfigure_invalidates_cache(self, server):
+        server.view(["store"])
+        server.view(["store"])
+        hits = server.metrics.get("view_cache_hits_total")
+        misses = server.metrics.get("view_cache_misses_total")
+        epoch_gauge = server.metrics.get("server_epoch")
+        assert (hits.value(), misses.value()) == (1, 1)
+        assert epoch_gauge.value() == 0
+
+        server.reconfigure()
+        # Epoch bump observed through the metrics registry.
+        assert epoch_gauge.value() == 1
+        assert server.epoch == 1
+
+        # Same query: a fresh miss at the new epoch, then a hit again —
+        # and the answer still matches the raw cube.
+        view = server.view(["store"])
+        assert misses.value() == 2
+        server.view(["store"])
+        assert hits.value() == 2
+        axes = tuple(
+            server.cube.dimensions.axis_of(n) for n in ("product", "day")
+        )
+        np.testing.assert_allclose(
+            view, server.cube.values.sum(axis=axes, keepdims=True), atol=1e-9
+        )
+
+    def test_update_invalidates_cache(self, server):
+        product = server.cube.dimensions["product"].values[0]
+        store = server.cube.dimensions["store"].values[0]
+        stale = server.view(["store"]).copy()
+        server.update(5.0, product=product, store=store, day=0)
+        fresh = server.view(["store"])
+        assert not np.array_equal(fresh, stale)
+        axes = tuple(
+            server.cube.dimensions.axis_of(n) for n in ("product", "day")
+        )
+        np.testing.assert_allclose(
+            fresh, server.cube.values.sum(axis=axes, keepdims=True)
+        )
+
+    def test_lru_bound_evicts(self, records):
+        server = OLAPServer.from_records(
+            records,
+            ["product", "store", "day"],
+            "sales",
+            domains={"day": list(range(8))},
+            cache_entries=1,
+        )
+        server.view(["store"])
+        server.view(["product"])  # evicts the "store" entry
+        assert server.metrics.get("view_cache_evictions_total").value() == 1
+        assert len(server._view_cache) == 1
+
+    def test_traced_query_exposes_spans(self, server):
+        server.view(["store"])
+        server.view(["store"])
+        spans = server.tracer.spans("server.query")
+        assert [s.attributes["cache"] for s in spans] == ["miss", "hit"]
+        assert spans[0].attributes["operations"] > 0
+        assert spans[1].attributes["operations"] == 0
+        # The cold query produced nested assembly spans with op counts.
+        assembly = server.tracer.spans("materialize.assemble")
+        assert assembly and all(
+            "operations" in s.attributes for s in assembly
+        )
+
+
 class TestIncrementalUpdates:
     def test_update_initial_state(self, server):
         product = server.cube.dimensions["product"].values[0]
