@@ -71,11 +71,15 @@ def test_greedy_stage_reference_view_candidates(benchmark, setting):
     views = list(shape.aggregated_views())
 
     def run():
+        # engine="reference" pins the explicit recursion: this bench exists
+        # to compare it against the engine, so auto-delegation must not kick
+        # in on the 2,401-element Figure 9 graph.
         return greedy_redundant_selection(
             [shape.root()],
             population,
             storage_budget=1.3 * shape.volume,
             candidates=views,
+            engine="reference",
         )
 
     result = benchmark.pedantic(run, rounds=2, iterations=1)

@@ -24,6 +24,7 @@ materialize for a given query workload.  Sub-packages:
 from .core import (
     AccessTracker,
     BasisSelection,
+    BatchPlan,
     CompressedCube,
     CubeShape,
     DynamicViewAssembler,
@@ -37,8 +38,10 @@ from .core import (
     SelectionEngine,
     ViewElementGraph,
     compute_element,
+    execute_plan,
     gaussian_pyramid,
     greedy_redundant_selection,
+    plan_batch,
     is_complete,
     is_non_redundant,
     is_non_redundant_basis,
@@ -56,6 +59,7 @@ __version__ = "1.1.0"
 __all__ = [
     "AccessTracker",
     "BasisSelection",
+    "BatchPlan",
     "CompressedCube",
     "CubeShape",
     "OLAPServer",
@@ -74,8 +78,10 @@ __all__ = [
     "SelectionEngine",
     "ViewElementGraph",
     "compute_element",
+    "execute_plan",
     "gaussian_pyramid",
     "greedy_redundant_selection",
+    "plan_batch",
     "is_complete",
     "is_non_redundant",
     "is_non_redundant_basis",

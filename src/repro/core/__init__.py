@@ -24,6 +24,7 @@ from .costs import (
 )
 from .element import CubeShape, ElementId
 from .engine import SelectionEngine
+from .exec import BatchPlan, PlanNode, execute_plan, plan_batch
 from .filterbanks import (
     HAAR,
     MEAN,
@@ -84,6 +85,10 @@ __all__ = [
     "AccessTracker",
     "AssemblyPlan",
     "BasisSelection",
+    "BatchPlan",
+    "PlanNode",
+    "execute_plan",
+    "plan_batch",
     "CompressedCube",
     "CubeShape",
     "FilterPair",

@@ -1,0 +1,444 @@
+"""Shared-plan batch assembly: planner + DAG executor.
+
+The paper's central idea is that views are *assembled* from shared view
+elements — yet serving each query with an independent
+:meth:`~repro.core.materialize.MaterializedSet.assemble` recursion recomputes
+every common intermediate per query.  This module executes a *batch* of
+targets as one shared DAG, the way Gray et al.'s cube operator computes the
+``2^d`` group-bys in a single cascade instead of ``2^d`` scans:
+
+- :func:`plan_batch` expands every target through the same Procedure 3
+  routes that :func:`repro.core.planning.explain` prices (aggregation from
+  the smallest stored ancestor, or perfect-reconstruction synthesis), but
+  merges the per-target plan trees into one DAG with **common-subexpression
+  elimination**: aggregation cascades are decomposed into single ``P1``/``R1``
+  steps so that shared cascade prefixes (e.g. the partial-sum ancestors every
+  roll-up of a hierarchy passes through) become one node each, and synthesis
+  subtrees demanded by several targets are planned once.
+- :func:`execute_plan` runs the DAG: nodes are refcounted by consumer so
+  temporaries are freed after their last use, and ready nodes run
+  concurrently on a :class:`~concurrent.futures.ThreadPoolExecutor` (the
+  Haar kernels are GIL-releasing numpy reductions).  Exact
+  :class:`~repro.core.operators.OpCounter` accounting is preserved via
+  per-node counters merged into the caller's counter as nodes complete.
+
+**Bit-identity.**  Every DAG node's producing expression is exactly the one
+sequential assembly would evaluate: the per-element route choice reuses
+:func:`repro.core.planning.best_route` (aggregation wins ties), and a
+decomposed cascade applies the same numpy operations in the same canonical
+dimension-major order as ``MaterializedSet._descend``.  Cascade interiors are
+only shared under an element's own key when that element's canonical route is
+the same cascade; otherwise they live under a ``(source, element)`` chain key
+so a differently-routed canonical node can coexist.  Batch results are
+therefore bit-identical to per-target :meth:`assemble` calls.
+
+**Cost accounting under CSE.**  Each node is priced once — a ``P1``/``R1``
+step or a synthesis of volume ``v`` costs exactly ``v`` scalar operations,
+matching the analytic model (Eqs 28/32) — so the planned total is simply the
+sum of node volumes, and the executor's measured ops equal it exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Iterable, Mapping
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import current_registry, span
+from .element import ElementId
+from .operators import OpCounter, partial_residual, partial_sum, synthesize
+from .planning import best_route, sorted_by_volume
+from .select_redundant import generation_cost
+
+__all__ = ["PlanNode", "BatchPlan", "plan_batch", "execute_plan"]
+
+#: Node key: the element itself for canonical nodes, or
+#: ``("chain", source, element)`` for cascade interiors whose element's own
+#: canonical route differs from the cascade producing them.
+NodeKey = object
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One node of a merged batch-assembly DAG.
+
+    ``kind`` is ``"stored"`` (zero-cost read of a materialized array),
+    ``"step"`` (one ``P1``/``R1`` application to the single dependency), or
+    ``"synthesize"`` (perfect reconstruction from the two child nodes).
+    """
+
+    key: NodeKey
+    element: ElementId
+    kind: str  # "stored" | "step" | "synthesize"
+    deps: tuple[NodeKey, ...] = ()
+    dim: int | None = None  # for "step" / "synthesize"
+    residual: bool = False  # for "step": R1 rather than P1
+
+    @property
+    def cost(self) -> int:
+        """Modeled scalar operations of this node (0 for stored reads)."""
+        return 0 if self.kind == "stored" else self.element.volume
+
+
+@dataclass
+class BatchPlan:
+    """A merged, CSE'd, topologically ordered batch-assembly DAG.
+
+    ``nodes`` maps node keys to :class:`PlanNode` in a valid topological
+    order (dependencies are always inserted before their consumers), so a
+    serial executor can simply iterate it.
+    """
+
+    targets: tuple[ElementId, ...]
+    nodes: dict[NodeKey, PlanNode]
+    naive_cost: float  #: sum of per-target Procedure 3 costs (no sharing)
+    cse_hits: int  #: times a demanded node already existed in the DAG
+    consumers: dict[NodeKey, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        counts: dict[NodeKey, int] = {key: 0 for key in self.nodes}
+        for node in self.nodes.values():
+            for dep in node.deps:
+                counts[dep] += 1
+        self.consumers = counts
+
+    @property
+    def planned_cost(self) -> int:
+        """Total scalar operations the DAG performs (each node priced once)."""
+        return sum(node.cost for node in self.nodes.values())
+
+    @property
+    def shared_nodes(self) -> int:
+        """Nodes feeding more than one consumer (the CSE payoff)."""
+        return sum(1 for n in self.consumers.values() if n > 1)
+
+    @property
+    def cse_ratio(self) -> float:
+        """Fraction of the naive (per-target) cost eliminated by sharing."""
+        if self.naive_cost <= 0:
+            return 0.0
+        return 1.0 - self.planned_cost / self.naive_cost
+
+
+def _canonical_steps(
+    source: ElementId, target: ElementId
+) -> list[tuple[int, bool]]:
+    """The ``(dim, residual?)`` steps of the canonical descent.
+
+    Mirrors ``MaterializedSet._descend`` exactly: dimensions ascending, and
+    within a dimension the target's extra index bits most-significant first.
+    """
+    steps: list[tuple[int, bool]] = []
+    for dim in range(source.shape.ndim):
+        k0, _ = source.nodes[dim]
+        k1, j1 = target.nodes[dim]
+        for step in range(k1 - k0):
+            steps.append((dim, bool((j1 >> (k1 - k0 - 1 - step)) & 1)))
+    return steps
+
+
+def plan_batch(
+    targets: Iterable[ElementId],
+    stored: Iterable[ElementId],
+    cost_memo: dict | None = None,
+) -> BatchPlan:
+    """Merge the assembly plans of ``targets`` into one CSE'd DAG.
+
+    ``stored`` is the materialized element set the plan reads from;
+    ``cost_memo`` optionally reuses Procedure 3 generation costs across
+    calls (e.g. across the batches of one serving epoch).  Raises
+    :class:`ValueError` when the stored set cannot produce some target.
+    """
+    targets = list(dict.fromkeys(targets))
+    if not targets:
+        raise ValueError("at least one target is required")
+    stored = tuple(stored)
+    stored_set = frozenset(stored)
+    targets_set = frozenset(targets)
+    sorted_stored = sorted_by_volume(stored)
+    memo: dict = cost_memo if cost_memo is not None else {}
+
+    shape = targets[0].shape
+    for target in targets:
+        if target.shape != shape:
+            raise ValueError("batch targets belong to different cube shapes")
+
+    nodes: dict[NodeKey, PlanNode] = {}
+    cse_hits = 0
+    naive_cost = 0.0
+    route_memo: dict[ElementId, tuple] = {}
+
+    def route(element: ElementId):
+        cached = route_memo.get(element)
+        if cached is None:
+            cached = best_route(element, stored, sorted_stored, memo)
+            route_memo[element] = cached
+        return cached
+
+    def smallest_ancestor(element: ElementId) -> ElementId | None:
+        for s in sorted_stored:
+            if s.contains(element):
+                return s
+        return None
+
+    def ensure(element: ElementId) -> NodeKey:
+        """Create (or reuse) the canonical node producing ``element``."""
+        nonlocal cse_hits
+        if element in nodes:
+            cse_hits += 1
+            return element
+        if element in stored_set:
+            nodes[element] = PlanNode(key=element, element=element, kind="stored")
+            return element
+        agg_source, agg_cost, synth_dim, synth_cost = route(element)
+        if agg_source is not None and agg_cost <= synth_cost:
+            _lay_chain(agg_source, element)
+            return element
+        if synth_dim < 0 or synth_cost == float("inf"):
+            raise ValueError(
+                f"stored set is not complete with respect to {element!r}"
+            )
+        p_key = ensure(element.partial_child(synth_dim))
+        r_key = ensure(element.residual_child(synth_dim))
+        nodes[element] = PlanNode(
+            key=element,
+            element=element,
+            kind="synthesize",
+            deps=(p_key, r_key),
+            dim=synth_dim,
+        )
+        return element
+
+    def _lay_chain(source: ElementId, element: ElementId) -> None:
+        """Decompose the ``source -> element`` cascade into step nodes.
+
+        Interior elements live under a ``("chain", source, element)`` key,
+        shared between every cascade descending from the same source —
+        except interiors that are themselves batch targets whose own
+        canonical route is this very cascade (same smallest stored
+        ancestor, aggregation winning per the already-priced Procedure 3
+        memo): those are keyed by the element, so the target and the
+        passing cascades all reuse one node.  Pricing only consults the
+        memo — chain interiors sit *above* the targets, and running the
+        full Procedure 3 recursion on them would explore descendant
+        subtrees sequential assembly never prices.
+        """
+        nonlocal cse_hits
+        prev_key: NodeKey = ensure(source)
+        prev = source
+        for dim, residual in _canonical_steps(source, element):
+            nxt = prev.residual_child(dim) if residual else prev.partial_child(dim)
+            if nxt == element:
+                key: NodeKey = nxt
+            elif nxt in targets_set:
+                anc = smallest_ancestor(nxt)
+                if anc == source and memo.get(nxt) == anc.volume - nxt.volume:
+                    key = nxt
+                else:
+                    key = ("chain", source, nxt)
+            else:
+                key = ("chain", source, nxt)
+            if key in nodes:
+                cse_hits += 1
+            else:
+                nodes[key] = PlanNode(
+                    key=key,
+                    element=nxt,
+                    kind="step",
+                    deps=(prev_key,),
+                    dim=dim,
+                    residual=residual,
+                )
+            prev_key, prev = key, nxt
+
+    with span("exec.plan", targets=len(targets)) as sp:
+        start = time.perf_counter()
+        # Price every target first (shared memo): naive cost, completeness,
+        # and warm generation costs for the keying decisions in _lay_chain.
+        for target in targets:
+            cost = generation_cost(target, stored, _memo=memo)
+            if cost == float("inf"):
+                raise ValueError(
+                    f"stored set is not complete with respect to {target!r}"
+                )
+            naive_cost += cost
+        for target in targets:
+            ensure(target)
+        plan = BatchPlan(
+            targets=tuple(targets),
+            nodes=nodes,
+            naive_cost=naive_cost,
+            cse_hits=cse_hits,
+        )
+        plan_ms = (time.perf_counter() - start) * 1e3
+        registry = current_registry()
+        registry.counter("batch_plans_total", "batch assembly plans built").inc()
+        registry.histogram(
+            "batch_dag_nodes", "DAG nodes per batch plan"
+        ).observe(len(nodes))
+        registry.histogram(
+            "batch_cse_ratio", "fraction of naive cost eliminated by sharing"
+        ).observe(plan.cse_ratio)
+        registry.histogram(
+            "batch_plan_ms", "wall milliseconds spent planning a batch"
+        ).observe(plan_ms)
+        sp.set(
+            nodes=len(nodes),
+            planned_cost=plan.planned_cost,
+            naive_cost=naive_cost,
+            cse_hits=cse_hits,
+            cse_ratio=round(plan.cse_ratio, 4),
+            plan_ms=plan_ms,
+        )
+    return plan
+
+
+def _compute_node(
+    node: PlanNode,
+    deps: tuple[np.ndarray, ...],
+    arrays: Mapping[ElementId, np.ndarray],
+    counter: OpCounter,
+) -> np.ndarray:
+    if node.kind == "stored":
+        return arrays[node.element]
+    if node.kind == "step":
+        if node.residual:
+            return partial_residual(deps[0], node.dim, counter=counter)
+        return partial_sum(deps[0], node.dim, counter=counter)
+    return synthesize(deps[0], deps[1], node.dim, counter=counter)
+
+
+def _merge_counter(into: OpCounter, part: OpCounter) -> None:
+    into.additions += part.additions
+    into.subtractions += part.subtractions
+    into.events.extend(part.events)
+
+
+def execute_plan(
+    plan: BatchPlan,
+    arrays: Mapping[ElementId, np.ndarray],
+    counter: OpCounter | None = None,
+    max_workers: int = 1,
+) -> dict[ElementId, np.ndarray]:
+    """Run a :class:`BatchPlan` against the stored ``arrays``.
+
+    Returns ``{target: values}``.  With ``max_workers <= 1`` the DAG runs
+    inline in topological order (no pool overhead — the algorithmic win is
+    available at one worker); otherwise ready nodes execute concurrently on
+    a thread pool.  Non-target temporaries are freed as soon as their last
+    consumer has run.  Stored targets are returned by reference, exactly
+    like :meth:`MaterializedSet.assemble` (treat results as read-only).
+    """
+    own = counter if counter is not None else OpCounter()
+    target_keys = set(plan.targets)
+    with span(
+        "exec.execute", nodes=len(plan.nodes), workers=max_workers
+    ) as sp:
+        start = time.perf_counter()
+        if max_workers <= 1:
+            values, busy = _execute_serial(plan, arrays, own, target_keys)
+        else:
+            values, busy = _execute_pooled(
+                plan, arrays, own, target_keys, max_workers
+            )
+        wall = time.perf_counter() - start
+        utilization = (
+            busy / (wall * max(1, max_workers)) if wall > 0 else 0.0
+        )
+        registry = current_registry()
+        registry.counter(
+            "batch_executions_total", "batch DAG executions"
+        ).inc()
+        registry.counter(
+            "batch_nodes_executed_total", "DAG nodes executed across batches"
+        ).inc(len(plan.nodes))
+        registry.histogram(
+            "batch_exec_ms", "wall milliseconds per batch execution"
+        ).observe(wall * 1e3)
+        registry.histogram(
+            "batch_pool_utilization",
+            "busy worker-seconds over wall-seconds x workers",
+        ).observe(utilization)
+        sp.set(
+            operations=own.total,
+            exec_ms=wall * 1e3,
+            pool_utilization=round(utilization, 4),
+        )
+    return {target: values[target] for target in plan.targets}
+
+
+def _execute_serial(
+    plan: BatchPlan,
+    arrays: Mapping[ElementId, np.ndarray],
+    counter: OpCounter,
+    target_keys: set,
+) -> tuple[dict[NodeKey, np.ndarray], float]:
+    values: dict[NodeKey, np.ndarray] = {}
+    remaining = dict(plan.consumers)
+    busy = 0.0
+    for key, node in plan.nodes.items():
+        deps = tuple(values[d] for d in node.deps)
+        t0 = time.perf_counter()
+        values[key] = _compute_node(node, deps, arrays, counter)
+        busy += time.perf_counter() - t0
+        for dep in node.deps:
+            remaining[dep] -= 1
+            if remaining[dep] == 0 and dep not in target_keys:
+                if plan.nodes[dep].kind != "stored":
+                    del values[dep]
+    return values, busy
+
+
+def _execute_pooled(
+    plan: BatchPlan,
+    arrays: Mapping[ElementId, np.ndarray],
+    counter: OpCounter,
+    target_keys: set,
+    max_workers: int,
+) -> tuple[dict[NodeKey, np.ndarray], float]:
+    """Scheduler loop: all bookkeeping on the calling thread, work on the
+    pool.  Each node gets its own :class:`OpCounter`, merged on completion,
+    so accounting stays exact without cross-thread contention."""
+    values: dict[NodeKey, np.ndarray] = {}
+    remaining = dict(plan.consumers)
+    pending_deps = {key: len(node.deps) for key, node in plan.nodes.items()}
+    dependents: dict[NodeKey, list[NodeKey]] = {key: [] for key in plan.nodes}
+    for key, node in plan.nodes.items():
+        for dep in node.deps:
+            dependents[dep].append(key)
+    ready = deque(key for key, n in pending_deps.items() if n == 0)
+    busy = 0.0
+
+    def work(key: NodeKey):
+        node = plan.nodes[key]
+        deps = tuple(values[d] for d in node.deps)
+        local = OpCounter()
+        t0 = time.perf_counter()
+        out = _compute_node(node, deps, arrays, local)
+        return key, out, local, time.perf_counter() - t0
+
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures: set = set()
+        while ready or futures:
+            while ready:
+                futures.add(pool.submit(work, ready.popleft()))
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                key, out, local, elapsed = future.result()
+                values[key] = out
+                busy += elapsed
+                _merge_counter(counter, local)
+                for dep in plan.nodes[key].deps:
+                    remaining[dep] -= 1
+                    if remaining[dep] == 0 and dep not in target_keys:
+                        if plan.nodes[dep].kind != "stored":
+                            del values[dep]
+                for consumer in dependents[key]:
+                    pending_deps[consumer] -= 1
+                    if pending_deps[consumer] == 0:
+                        ready.append(consumer)
+    return values, busy

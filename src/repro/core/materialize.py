@@ -24,7 +24,9 @@ import numpy as np
 
 from ..obs import current_registry, span
 from .element import CubeShape, ElementId
+from .exec import BatchPlan, execute_plan, plan_batch
 from .operators import OpCounter, partial_residual, partial_sum, synthesize
+from .planning import best_route, sorted_by_volume
 from .select_redundant import generation_cost
 
 __all__ = ["compute_element", "MaterializedSet"]
@@ -87,9 +89,16 @@ class MaterializedSet:
     particular aggregated views) on demand.
     """
 
+    #: Batch plans retained per distinct target tuple (prepared-statement
+    #: style).  A plan depends only on the stored element *ids*, never on
+    #: their values, so it survives in-place updates and is dropped only
+    #: when :meth:`store` changes the element set.
+    _PLAN_CACHE_ENTRIES = 32
+
     def __init__(self, shape: CubeShape):
         self.shape = shape
         self._arrays: dict[ElementId, np.ndarray] = {}
+        self._plan_cache: dict[tuple[ElementId, ...], "BatchPlan"] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -156,6 +165,8 @@ class MaterializedSet:
             )
         if element.shape != self.shape:
             raise ValueError("element belongs to a different cube shape")
+        if element not in self._arrays:
+            self._plan_cache.clear()
         self._arrays[element] = values
 
     # ------------------------------------------------------------------
@@ -209,12 +220,15 @@ class MaterializedSet:
             own = counter if counter is not None else OpCounter()
             ops_before = own.total
             cost_memo: dict = {}
-            cost = generation_cost(target, self.elements, _memo=cost_memo)
+            stored = self.elements
+            cost = generation_cost(target, stored, _memo=cost_memo)
             if cost == float("inf"):
                 raise ValueError(
                     f"stored set is not complete with respect to {target!r}"
                 )
-            values = self._assemble(target, cost_memo, own)
+            values = self._assemble(
+                target, cost_memo, own, stored, sorted_by_volume(stored)
+            )
             ops = own.total - ops_before
             registry = current_registry()
             registry.counter(
@@ -236,35 +250,95 @@ class MaterializedSet:
         target: ElementId,
         cost_memo: dict,
         counter: OpCounter | None,
+        stored: tuple[ElementId, ...],
+        sorted_stored: list[ElementId],
     ) -> np.ndarray:
+        """Recursive Procedure 3 execution.
+
+        ``stored``/``sorted_stored`` are computed once per
+        :meth:`assemble`/:meth:`assemble_batch` call so the recursion never
+        rescans the stored set: the best aggregation ancestor is the first
+        containing element of the volume-sorted list.
+        """
         if target in self._arrays:
             return self._arrays[target]
 
-        stored = self.elements
-        agg_cost = float("inf")
-        agg_source: ElementId | None = None
-        for s in stored:
-            if s.contains(target) and s.volume - target.volume < agg_cost:
-                agg_cost = s.volume - target.volume
-                agg_source = s
-
-        synth_cost = float("inf")
-        synth_dim = -1
-        for dim in target.splittable_dims():
-            p_cost = generation_cost(target.partial_child(dim), stored, _memo=cost_memo)
-            r_cost = generation_cost(target.residual_child(dim), stored, _memo=cost_memo)
-            candidate = target.volume + p_cost + r_cost
-            if candidate < synth_cost:
-                synth_cost = candidate
-                synth_dim = dim
+        agg_source, agg_cost, synth_dim, synth_cost = best_route(
+            target, stored, sorted_stored, cost_memo
+        )
 
         if agg_source is not None and agg_cost <= synth_cost:
             return _descend(self._arrays[agg_source], agg_source, target, counter)
         if synth_dim < 0:
             raise ValueError(f"cannot assemble {target!r} from the stored set")
-        p_values = self._assemble(target.partial_child(synth_dim), cost_memo, counter)
-        r_values = self._assemble(target.residual_child(synth_dim), cost_memo, counter)
+        p_values = self._assemble(
+            target.partial_child(synth_dim), cost_memo, counter, stored, sorted_stored
+        )
+        r_values = self._assemble(
+            target.residual_child(synth_dim), cost_memo, counter, stored, sorted_stored
+        )
         return synthesize(p_values, r_values, synth_dim, counter=counter)
+
+    def assemble_batch(
+        self,
+        targets: Iterable[ElementId],
+        counter: OpCounter | None = None,
+        max_workers: int = 1,
+        cost_memo: dict | None = None,
+    ) -> dict[ElementId, np.ndarray]:
+        """Assemble several targets as one shared-plan DAG.
+
+        The batch planner (:func:`repro.core.exec.plan_batch`) merges every
+        target's Procedure 3 route into one DAG with common-subexpression
+        elimination, so intermediates shared between targets — e.g. the
+        partial-sum ancestors common to the ``2^d`` group-by views — are
+        computed once; the executor then runs ready nodes on up to
+        ``max_workers`` threads.  Results are bit-identical to per-target
+        :meth:`assemble` calls and never cost more scalar operations; the
+        total is usually strictly lower.  ``cost_memo`` optionally reuses
+        Procedure 3 prices across batches of the same stored set.
+
+        Returns ``{target: values}`` (duplicates deduplicated).  Raises
+        :class:`ValueError` when the stored set cannot produce some target.
+        """
+        targets = list(targets)
+        if not targets:
+            return {}
+        for target in targets:
+            if target.shape != self.shape:
+                raise ValueError("target belongs to a different cube shape")
+        with span("materialize.assemble_batch", targets=len(targets)) as sp:
+            own = counter if counter is not None else OpCounter()
+            ops_before = own.total
+            cache_key = tuple(dict.fromkeys(targets))
+            plan = self._plan_cache.get(cache_key)
+            if plan is None:
+                plan = plan_batch(targets, self.elements, cost_memo=cost_memo)
+                if len(self._plan_cache) >= self._PLAN_CACHE_ENTRIES:
+                    self._plan_cache.clear()
+                self._plan_cache[cache_key] = plan
+            results = execute_plan(
+                plan, self._arrays, counter=own, max_workers=max_workers
+            )
+            ops = own.total - ops_before
+            registry = current_registry()
+            registry.counter(
+                "assemble_batch_total", "shared-plan batch assemblies"
+            ).inc()
+            registry.counter(
+                "assemble_total", "view element assemblies"
+            ).inc(len(results))
+            registry.histogram(
+                "assemble_batch_operations", "scalar operations per batch"
+            ).observe(ops)
+            sp.set(
+                operations=ops,
+                planned_cost=plan.planned_cost,
+                naive_cost=plan.naive_cost,
+                cse_ratio=round(plan.cse_ratio, 4),
+                dag_nodes=len(plan.nodes),
+            )
+        return results
 
     # ------------------------------------------------------------------
     # Incremental maintenance

@@ -127,9 +127,11 @@ def partial_residual(a: np.ndarray, axis: int, counter: OpCounter | None = None)
     """
     pairs = _pair_view(np.asarray(a), axis)
     ax = (axis % a.ndim) + 1
-    even = np.take(pairs, 0, axis=ax)
-    odd = np.take(pairs, 1, axis=ax)
-    out = even - odd
+    # Basic slicing yields views into the pair reshape, so the subtraction
+    # allocates the single output array rather than two np.take copies.
+    idx_even = (slice(None),) * ax + (0,)
+    idx_odd = (slice(None),) * ax + (1,)
+    out = pairs[idx_even] - pairs[idx_odd]
     if counter is not None:
         counter.add(subtractions=out.size, label=f"R1 axis={axis}")
     return out
@@ -164,12 +166,16 @@ def synthesize(
     axis = axis % p.ndim
     out_shape = p.shape[:axis] + (p.shape[axis] * 2,) + p.shape[axis + 1 :]
     pairs = np.empty(p.shape[:axis] + (p.shape[axis], 2) + p.shape[axis + 1 :], dtype=np.float64)
-    even = (p + r) / 2.0
-    odd = (p - r) / 2.0
     idx_even = (slice(None),) * (axis + 1) + (0,)
     idx_odd = (slice(None),) * (axis + 1) + (1,)
-    pairs[idx_even] = even
-    pairs[idx_odd] = odd
+    # Write the even/odd halves directly into sliced views of the output
+    # buffer; halving in place keeps the sums/differences temporary-free.
+    even = pairs[idx_even]
+    odd = pairs[idx_odd]
+    np.add(p, r, out=even)
+    even /= 2.0
+    np.subtract(p, r, out=odd)
+    odd /= 2.0
     if counter is not None:
         counter.add(additions=even.size, subtractions=odd.size, label=f"synth axis={axis}")
     return pairs.reshape(out_shape)

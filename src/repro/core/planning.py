@@ -23,7 +23,7 @@ from functools import cached_property
 from .element import ElementId
 from .select_redundant import generation_cost
 
-__all__ = ["AssemblyPlan", "explain", "render_plan"]
+__all__ = ["AssemblyPlan", "best_route", "explain", "render_plan"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,53 @@ class AssemblyPlan:
             yield from child.walk()
 
 
+def sorted_by_volume(selected) -> list[ElementId]:
+    """Stored elements ascending by volume, ties in original order.
+
+    Scanning this list and stopping at the first hit finds the same best
+    aggregation source as a full min-scan of ``selected`` (the sort is
+    stable, so equal-volume ties resolve to the earlier element either way)
+    without rescanning every stored element per plan node.
+    """
+    return sorted(selected, key=lambda e: e.volume)
+
+
+def best_route(
+    target: ElementId,
+    selected: tuple[ElementId, ...],
+    sorted_selected: list[ElementId],
+    memo: dict,
+) -> tuple[ElementId | None, float, int, float]:
+    """Price Procedure 3's two options for ``target``.
+
+    Returns ``(agg_source, agg_cost, synth_dim, synth_cost)`` — the smallest
+    selected ancestor and its Eq 28 aggregation cost (``None``/``inf`` when
+    no ancestor is selected), and the cheapest synthesis dimension with its
+    Eq 32 cost (``-1``/``inf`` when the target is terminal).  Aggregation
+    wins ties, matching :meth:`MaterializedSet._assemble` exactly — every
+    plan consumer must use the same rule so that plans, batch DAGs, and
+    direct assembly compute bit-identical arrays.
+    """
+    agg_cost = float("inf")
+    agg_source: ElementId | None = None
+    for s in sorted_selected:
+        if s.contains(target):
+            agg_source = s
+            agg_cost = float(s.volume - target.volume)
+            break
+
+    synth_cost = float("inf")
+    synth_dim = -1
+    for dim in target.splittable_dims():
+        p_cost = generation_cost(target.partial_child(dim), selected, _memo=memo)
+        r_cost = generation_cost(target.residual_child(dim), selected, _memo=memo)
+        candidate = target.volume + p_cost + r_cost
+        if candidate < synth_cost:
+            synth_cost = candidate
+            synth_dim = dim
+    return agg_source, agg_cost, synth_dim, synth_cost
+
+
 def explain(
     target: ElementId, selected: tuple[ElementId, ...] | list[ElementId]
 ) -> AssemblyPlan:
@@ -62,31 +109,21 @@ def explain(
     total = generation_cost(target, selected, _memo=memo)
     if total == float("inf"):
         raise ValueError(f"selection cannot generate {target!r}")
-    return _plan(target, selected, memo)
+    return _plan(target, selected, sorted_by_volume(selected), memo)
 
 
 def _plan(
-    target: ElementId, selected: tuple[ElementId, ...], memo: dict
+    target: ElementId,
+    selected: tuple[ElementId, ...],
+    sorted_selected: list[ElementId],
+    memo: dict,
 ) -> AssemblyPlan:
     if target in selected:
         return AssemblyPlan(target=target, kind="stored", cost=0.0)
 
-    best_agg = float("inf")
-    best_source: ElementId | None = None
-    for s in selected:
-        if s.contains(target) and s.volume - target.volume < best_agg:
-            best_agg = s.volume - target.volume
-            best_source = s
-
-    best_synth = float("inf")
-    best_dim = -1
-    for dim in target.splittable_dims():
-        p_cost = generation_cost(target.partial_child(dim), selected, _memo=memo)
-        r_cost = generation_cost(target.residual_child(dim), selected, _memo=memo)
-        candidate = target.volume + p_cost + r_cost
-        if candidate < best_synth:
-            best_synth = candidate
-            best_dim = dim
+    best_source, best_agg, best_dim, best_synth = best_route(
+        target, selected, sorted_selected, memo
+    )
 
     if best_source is not None and best_agg <= best_synth:
         return AssemblyPlan(
@@ -97,8 +134,8 @@ def _plan(
         )
     if best_dim < 0:
         raise ValueError(f"selection cannot generate {target!r}")
-    p_plan = _plan(target.partial_child(best_dim), selected, memo)
-    r_plan = _plan(target.residual_child(best_dim), selected, memo)
+    p_plan = _plan(target.partial_child(best_dim), selected, sorted_selected, memo)
+    r_plan = _plan(target.residual_child(best_dim), selected, sorted_selected, memo)
     return AssemblyPlan(
         target=target,
         kind="synthesize",

@@ -161,6 +161,69 @@ class RangeQueryEngine:
         self._cache[element] = values
         return values
 
+    def _levels_for(self, ranges) -> set[tuple[int, ...]]:
+        """Distinct intermediate level combinations one range query touches."""
+        ranges = tuple((int(lo), int(hi)) for lo, hi in ranges)
+        if len(ranges) != self.shape.ndim:
+            raise ValueError(
+                f"{len(ranges)} ranges for a {self.shape.ndim}-dimensional cube"
+            )
+        per_dim_blocks = [
+            dyadic_decomposition(lo, hi, n)
+            for (lo, hi), n in zip(ranges, self.shape.sizes)
+        ]
+        if any(not blocks for blocks in per_dim_blocks):
+            return set()
+        per_dim_levels = [
+            sorted({level for level, _ in blocks}) for blocks in per_dim_blocks
+        ]
+        return set(itertools.product(*per_dim_levels))
+
+    def prefetch(
+        self,
+        ranges_batch,
+        counter: OpCounter | None = None,
+        max_workers: int = 1,
+    ) -> int:
+        """Batch-assemble every intermediate element a range workload needs.
+
+        Collects the distinct intermediate level combinations that the
+        queries in ``ranges_batch`` would look up, drops the ones already
+        stored or cached, and assembles the rest as one shared-plan DAG
+        (:meth:`MaterializedSet.assemble_batch`) — the per-dimension
+        partial-sum cascades that different levels share are computed once
+        instead of once per intermediate.  Subsequent :meth:`range_sum`
+        calls then run entirely on single-cell reads.
+
+        Returns the number of intermediate elements assembled.
+        """
+        needed: set[tuple[int, ...]] = set()
+        for ranges in ranges_batch:
+            needed |= self._levels_for(ranges)
+        missing = []
+        for levels in sorted(needed):
+            element = ElementId(self.shape, tuple((k, 0) for k in levels))
+            if element in self.materialized or element in self._cache:
+                continue
+            missing.append(element)
+        if not missing:
+            return 0
+        with span("range.prefetch", elements=len(missing)) as sp:
+            results = self.materialized.assemble_batch(
+                missing, counter=counter, max_workers=max_workers
+            )
+            self._cache.update(results)
+            registry = current_registry()
+            registry.counter(
+                "range_prefetches_total", "batch prefetches of intermediates"
+            ).inc()
+            registry.counter(
+                "range_prefetched_elements_total",
+                "intermediate elements assembled by batch prefetch",
+            ).inc(len(missing))
+            sp.set(assembled=len(missing))
+        return len(missing)
+
     def range_sum(
         self,
         ranges,

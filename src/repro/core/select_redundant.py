@@ -31,6 +31,7 @@ from .graph import ViewElementGraph
 from .population import QueryPopulation
 
 __all__ = [
+    "ENGINE_DELEGATION_THRESHOLD",
     "generation_cost",
     "total_processing_cost",
     "GreedyStage",
@@ -39,6 +40,14 @@ __all__ = [
 ]
 
 _INF = float("inf")
+
+#: Graph size (``N_ve``) above which :func:`greedy_redundant_selection`
+#: delegates to the vectorized :class:`~repro.core.engine.SelectionEngine`.
+#: The explicit recursion below stays authoritative for small shapes (all
+#: paper examples and the test-suite), but a greedy stage over thousands of
+#: candidates is many full Procedure 3 recursions per candidate — on the
+#: Figure 9 graph that dominates server reconfiguration wall time.
+ENGINE_DELEGATION_THRESHOLD = 512
 
 
 def _min_selected_ancestor_volume(
@@ -146,6 +155,7 @@ def greedy_redundant_selection(
     candidates: Iterable[ElementId] | None = None,
     stop_at_zero: bool = True,
     remove_obsolete: bool = False,
+    engine: str = "auto",
 ) -> GreedyResult:
     """Algorithm 2: greedily add redundant elements under a storage budget.
 
@@ -169,14 +179,38 @@ def greedy_redundant_selection(
         The Section 7.2.2 refinement: after each addition, drop selected
         elements whose removal leaves the total cost unchanged (largest
         volume first), freeing storage for later stages.
+    engine:
+        ``"auto"`` (default) delegates to the vectorized
+        :class:`~repro.core.engine.SelectionEngine` when the graph exceeds
+        :data:`ENGINE_DELEGATION_THRESHOLD` view elements (both compute
+        identical trajectories; the engine evaluates a whole greedy stage
+        in a few dense array passes).  ``"reference"`` forces the explicit
+        recursion here; ``"vectorized"`` forces the engine.
 
     Returns
     -------
     GreedyResult
         The stage-by-stage storage/cost trajectory and final selection.
     """
-    selected = list(initial)
     shape = population.shape
+    if engine not in ("auto", "reference", "vectorized"):
+        raise ValueError(f"unknown engine {engine!r}")
+    use_engine = engine == "vectorized" or (
+        engine == "auto"
+        and shape.num_view_elements() > ENGINE_DELEGATION_THRESHOLD
+    )
+    if use_engine:
+        from .engine import SelectionEngine
+
+        return SelectionEngine(shape).greedy_redundant_selection(
+            initial,
+            population,
+            storage_budget,
+            candidates=candidates,
+            stop_at_zero=stop_at_zero,
+            remove_obsolete=remove_obsolete,
+        )
+    selected = list(initial)
     if candidates is None:
         candidates = ViewElementGraph(shape).elements()
     pool = [c for c in candidates if c not in set(selected)]

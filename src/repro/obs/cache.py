@@ -8,6 +8,7 @@ under a configurable name prefix so several caches can share a registry.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable
 from typing import Any
@@ -36,6 +37,10 @@ class LRUCache:
         ``{name}_hits_total``, ``{name}_misses_total``,
         ``{name}_evictions_total``, ``{name}_clears_total`` and the gauges
         ``{name}_size`` / ``{name}_weight``.
+
+    All operations take an internal lock, so concurrent query threads can
+    share one cache; racing writers at worst recompute a value, never
+    corrupt the recency order or the weight accounting.
     """
 
     def __init__(
@@ -50,6 +55,7 @@ class LRUCache:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self.max_weight = max_weight
+        self._lock = threading.RLock()
         self._weigh = weigh or (lambda _value: 1.0)
         self._entries: OrderedDict[Any, tuple[Any, float]] = OrderedDict()
         self._weight = 0.0
@@ -80,41 +86,44 @@ class LRUCache:
 
     def get(self, key, default=None):
         """The cached value (refreshing recency), or ``default`` on a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses.inc()
-            return default
-        self._entries.move_to_end(key)
-        self._hits.inc()
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses.inc()
+                return default
+            self._entries.move_to_end(key)
+            self._hits.inc()
+            return entry[0]
 
     def put(self, key, value) -> None:
         """Insert (or refresh) ``key``; evicts LRU entries to fit."""
         weight = float(self._weigh(value))
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._weight -= old[1]
-        if self.max_weight is not None and weight > self.max_weight:
-            # Heavier than the whole budget: drop rather than thrash.
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._weight -= old[1]
+            if self.max_weight is not None and weight > self.max_weight:
+                # Heavier than the whole budget: drop rather than thrash.
+                self._sync_gauges()
+                return
+            self._entries[key] = (value, weight)
+            self._weight += weight
+            while len(self._entries) > self.max_entries or (
+                self.max_weight is not None and self._weight > self.max_weight
+            ):
+                _, (_, evicted_weight) = self._entries.popitem(last=False)
+                self._weight -= evicted_weight
+                self._evictions.inc()
             self._sync_gauges()
-            return
-        self._entries[key] = (value, weight)
-        self._weight += weight
-        while len(self._entries) > self.max_entries or (
-            self.max_weight is not None and self._weight > self.max_weight
-        ):
-            _, (_, evicted_weight) = self._entries.popitem(last=False)
-            self._weight -= evicted_weight
-            self._evictions.inc()
-        self._sync_gauges()
 
     def clear(self) -> None:
         """Invalidate everything (counted separately from evictions)."""
-        if self._entries:
-            self._clears.inc()
-        self._entries.clear()
-        self._weight = 0.0
-        self._sync_gauges()
+        with self._lock:
+            if self._entries:
+                self._clears.inc()
+            self._entries.clear()
+            self._weight = 0.0
+            self._sync_gauges()
 
     def _sync_gauges(self) -> None:
         self._size_gauge.set(len(self._entries))
@@ -123,15 +132,18 @@ class LRUCache:
     # ------------------------------------------------------------------
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def weight(self) -> float:
         """Current summed weight of the cached values."""
-        return self._weight
+        with self._lock:
+            return self._weight
 
     @property
     def hit_rate(self) -> float:
@@ -142,4 +154,5 @@ class LRUCache:
 
     def keys(self) -> tuple:
         """Cached keys, least recently used first."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)

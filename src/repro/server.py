@@ -27,6 +27,7 @@ Two serving amenities live only here:
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 
@@ -88,6 +89,10 @@ class OLAPServer:
         self.smoothing = smoothing
         self.tracker = AccessTracker(decay=decay)
         self.stats = ServerStats()
+        #: Guards ``stats`` and ``tracker`` so concurrent queries (client
+        #: threads, or :meth:`query_batch` callers) account exactly.  The
+        #: metrics registry and the result cache carry their own locks.
+        self._stats_lock = threading.Lock()
         self.obs = observability if observability is not None else Observability()
         self.metrics = self.obs.registry
         self.tracer = self.obs.tracer
@@ -149,6 +154,36 @@ class OLAPServer:
         """Roll-up to named or numeric hierarchy levels per dimension."""
         return self._serve_element(rollup_element(self.cube, levels), "rollup")
 
+    def query_batch(
+        self,
+        requests: Sequence[Iterable[str]],
+        max_workers: int = 1,
+    ) -> list[np.ndarray]:
+        """Serve several aggregated views as one shared assembly plan.
+
+        ``requests`` is a sequence of retained-dimension sets (one per
+        query, as :meth:`view` takes).  Stored and epoch-cached targets are
+        answered from the result cache; the remaining distinct elements are
+        assembled together (:meth:`MaterializedSet.assemble_batch`), so
+        intermediates shared between queries are computed once.  Answers
+        come back in request order, bit-identical to individual
+        :meth:`view` calls, and land in the result cache.
+        """
+        elements = [self._element_for(dims) for dims in requests]
+        return self._serve_batch(elements, "view", max_workers)
+
+    def rollup_batch(
+        self,
+        levels_list: Sequence[Mapping[str, str | int]],
+        max_workers: int = 1,
+    ) -> list[np.ndarray]:
+        """Serve several roll-ups as one shared assembly plan.
+
+        Batch analogue of :meth:`rollup`; see :meth:`query_batch`.
+        """
+        elements = [rollup_element(self.cube, levels) for levels in levels_list]
+        return self._serve_batch(elements, "rollup", max_workers)
+
     def _serve_element(self, element: ElementId, kind: str) -> np.ndarray:
         """Serve one assembled element, consulting the result cache.
 
@@ -175,6 +210,60 @@ class OLAPServer:
             sp.set(cache="miss", operations=counter.total)
             return values
 
+    def _serve_batch(
+        self,
+        elements: Sequence[ElementId],
+        kind: str,
+        max_workers: int,
+    ) -> list[np.ndarray]:
+        """Serve a batch of elements through one shared plan.
+
+        Cache-aware: epoch-cached targets are pruned before planning (and
+        stored targets cost the plan nothing), so only genuinely missing
+        work reaches the executor.
+        """
+        with self.obs.activate(), span(
+            "server.query_batch", kind=kind, requests=len(elements)
+        ) as sp:
+            self.metrics.counter(
+                "server_queries_total", "queries served, by kind"
+            ).inc(len(elements), kind=kind)
+            answers: dict[ElementId, np.ndarray] = {}
+            missing: list[ElementId] = []
+            hits = 0
+            for element in dict.fromkeys(elements):
+                cached = self._view_cache.get((element, self.epoch))
+                if cached is not None:
+                    answers[element] = cached
+                    hits += 1
+                else:
+                    missing.append(element)
+            counter = OpCounter()
+            if missing:
+                assembled = self.materialized.assemble_batch(
+                    missing, counter=counter, max_workers=max_workers
+                )
+                for element, values in assembled.items():
+                    self._view_cache.put((element, self.epoch), values)
+                    answers[element] = values
+            with self._stats_lock:
+                self.stats.queries += len(elements)
+                self.stats.operations += counter.total
+                for element in elements:
+                    self.tracker.record(element)
+            self.metrics.counter(
+                "server_operations_total", "scalar operations spent serving"
+            ).inc(counter.total)
+            self.metrics.counter(
+                "server_batches_total", "batch requests served, by kind"
+            ).inc(kind=kind)
+            sp.set(
+                cache_hits=hits,
+                assembled=len(missing),
+                operations=counter.total,
+            )
+            return [answers[element] for element in elements]
+
     def range_sum(self, ranges) -> float:
         """SUM over a multi-dimensional half-open coordinate range."""
         with self.obs.activate(), span("server.query", kind="range") as sp:
@@ -183,8 +272,9 @@ class OLAPServer:
             ).inc(kind="range")
             counter = OpCounter()
             answer = self._range_engine.range_sum(ranges, counter=counter)
-            self.stats.queries += 1
-            self.stats.operations += counter.total
+            with self._stats_lock:
+                self.stats.queries += 1
+                self.stats.operations += counter.total
             self.metrics.counter(
                 "server_operations_total", "scalar operations spent serving"
             ).inc(counter.total)
@@ -196,12 +286,13 @@ class OLAPServer:
         return self.cube.cell(**coordinates)
 
     def _account(self, element: ElementId, counter: OpCounter) -> None:
-        self.stats.queries += 1
-        self.stats.operations += counter.total
+        with self._stats_lock:
+            self.stats.queries += 1
+            self.stats.operations += counter.total
+            self.tracker.record(element)
         self.metrics.counter(
             "server_operations_total", "scalar operations spent serving"
         ).inc(counter.total)
-        self.tracker.record(element)
 
     # ------------------------------------------------------------------
     # Reconfiguration

@@ -142,3 +142,68 @@ class TestRangeQueryEngine:
         engine = RangeQueryEngine.with_gaussian_pyramid(cube_4x4, shape_4x4)
         # sum over level pairs of (4/2^k0)*(4/2^k1) = (4+2+1)^2 = 49.
         assert engine.materialized.storage == 49
+
+
+class TestPrefetch:
+    """Batch prefetch assembles a workload's intermediates as one plan."""
+
+    def _engine(self, rng):
+        shape = CubeShape((8, 4))
+        data = rng.standard_normal((8, 4))
+        ms = MaterializedSet(shape)
+        ms.store(shape.root(), data)
+        return data, RangeQueryEngine(ms)
+
+    WORKLOAD = [
+        ((1, 7), (0, 3)),
+        ((0, 5), (1, 4)),
+        ((2, 8), (0, 4)),
+        ((3, 4), (2, 3)),
+    ]
+
+    def test_prefetch_then_answers_match_direct_scan(self, rng):
+        data, engine = self._engine(rng)
+        assembled = engine.prefetch(self.WORKLOAD)
+        assert assembled > 0
+        for ranges in self.WORKLOAD:
+            answer = engine.range_sum(ranges)
+            slices = tuple(slice(lo, hi) for lo, hi in ranges)
+            assert answer.value == pytest.approx(float(data[slices].sum()))
+
+    def test_prefetch_is_idempotent(self, rng):
+        _, engine = self._engine(rng)
+        engine.prefetch(self.WORKLOAD)
+        assert engine.prefetch(self.WORKLOAD) == 0
+
+    def test_prefetch_spends_fewer_ops_than_on_demand(self, rng):
+        data, cold = self._engine(rng)
+        on_demand = OpCounter()
+        for ranges in self.WORKLOAD:
+            cold.range_sum(ranges, counter=on_demand)
+
+        _, warmed = self._engine(rng)
+        batch = OpCounter()
+        warmed.prefetch(self.WORKLOAD, counter=batch)
+        for ranges in self.WORKLOAD:
+            warmed.range_sum(ranges, counter=batch)
+        assert batch.total <= on_demand.total
+
+    def test_prefetch_threaded_matches_serial(self, rng):
+        shape = CubeShape((8, 4))
+        data = rng.standard_normal((8, 4))
+        sets = []
+        for _ in range(2):
+            ms = MaterializedSet(shape)
+            ms.store(shape.root(), data)
+            sets.append(RangeQueryEngine(ms))
+        serial, threaded = sets
+        serial.prefetch(self.WORKLOAD)
+        threaded.prefetch(self.WORKLOAD, max_workers=3)
+        for ranges in self.WORKLOAD:
+            a = serial.range_sum(ranges)
+            b = threaded.range_sum(ranges)
+            assert a.value == b.value  # bit-identical assemblies
+
+    def test_empty_workload(self, rng):
+        _, engine = self._engine(rng)
+        assert engine.prefetch([]) == 0

@@ -153,3 +153,61 @@ class TestGreedy:
         storage, cost = result.stages[0].normalized(shape_4x4.volume)
         assert storage == pytest.approx(1.0)
         assert cost == result.stages[0].cost
+
+
+class TestEngineDelegation:
+    """``engine="auto"`` hands large graphs to the vectorized engine."""
+
+    def _setting(self, shape_4x4, rng):
+        population = QueryPopulation.random_over_views(shape_4x4, rng)
+        basis = select_minimum_cost_basis(shape_4x4, population)
+        return list(basis.elements), population
+
+    def test_auto_delegates_above_threshold(self, shape_4x4, rng, monkeypatch):
+        import repro.core.select_redundant as sr
+
+        initial, population = self._setting(shape_4x4, rng)
+        budget = 1.5 * shape_4x4.volume
+        reference = greedy_redundant_selection(
+            initial, population, budget, engine="reference"
+        )
+        # Force delegation on this small shape and check the trajectories
+        # agree stage by stage.
+        monkeypatch.setattr(sr, "ENGINE_DELEGATION_THRESHOLD", 0)
+        delegated = greedy_redundant_selection(
+            initial, population, budget, engine="auto"
+        )
+        assert delegated.final_storage == reference.final_storage
+        assert delegated.final_cost == pytest.approx(reference.final_cost)
+        assert len(delegated.stages) == len(reference.stages)
+        for ours, theirs in zip(delegated.stages, reference.stages):
+            assert ours.added == theirs.added
+            assert ours.storage == theirs.storage
+            assert ours.cost == pytest.approx(theirs.cost)
+
+    def test_auto_stays_reference_below_threshold(self, shape_4x4, rng):
+        """Small shapes (49 elements) never delegate under the default."""
+        import repro.core.select_redundant as sr
+
+        assert shape_4x4.num_view_elements() <= sr.ENGINE_DELEGATION_THRESHOLD
+
+    def test_explicit_vectorized_matches_reference(self, shape_4x4, rng):
+        initial, population = self._setting(shape_4x4, rng)
+        budget = 1.5 * shape_4x4.volume
+        reference = greedy_redundant_selection(
+            initial, population, budget, engine="reference"
+        )
+        vectorized = greedy_redundant_selection(
+            initial, population, budget, engine="vectorized"
+        )
+        assert vectorized.final_cost == pytest.approx(reference.final_cost)
+        assert [s.added for s in vectorized.stages] == [
+            s.added for s in reference.stages
+        ]
+
+    def test_unknown_engine_rejected(self, shape_4x4, rng):
+        initial, population = self._setting(shape_4x4, rng)
+        with pytest.raises(ValueError, match="unknown engine"):
+            greedy_redundant_selection(
+                initial, population, 2 * shape_4x4.volume, engine="numpy"
+            )

@@ -1,0 +1,183 @@
+"""OLAPServer batch serving and thread-safety.
+
+``query_batch`` / ``rollup_batch`` must answer exactly like their
+one-at-a-time counterparts (bit-identical arrays, correct accounting)
+while spending fewer scalar operations thanks to the shared plan; and the
+single-query path must tolerate concurrent callers — the result cache,
+stats, and metric counters all stay exact under N threads.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.cube.builder import build_cube
+from repro.server import OLAPServer
+
+
+def records_for(n_regions=4, n_products=4, n_quarters=2):
+    regions = [f"r{i}" for i in range(n_regions)]
+    products = [f"p{i}" for i in range(n_products)]
+    quarters = [f"q{i}" for i in range(n_quarters)]
+    rows = []
+    value = 0
+    for r in regions:
+        for p in products:
+            for q in quarters:
+                value += 1
+                rows.append(
+                    {"region": r, "product": p, "quarter": q, "sales": value * 1.5}
+                )
+    return rows
+
+
+@pytest.fixture()
+def server():
+    cube = build_cube(records_for(), ["region", "product", "quarter"], "sales")
+    return OLAPServer(cube)
+
+
+REQUESTS = [
+    [],
+    ["region"],
+    ["product"],
+    ["quarter"],
+    ["region", "product"],
+    ["region", "quarter"],
+    ["product", "quarter"],
+    ["region", "product", "quarter"],
+]
+
+
+class TestQueryBatch:
+    def test_batch_matches_individual_views(self, server):
+        cube = build_cube(records_for(), ["region", "product", "quarter"], "sales")
+        reference = OLAPServer(cube)
+        expected = [reference.view(dims) for dims in REQUESTS]
+        batch = server.query_batch(REQUESTS)
+        for want, got in zip(expected, batch):
+            np.testing.assert_array_equal(want, got)
+
+    def test_batch_spends_fewer_operations(self, server):
+        cube = build_cube(records_for(), ["region", "product", "quarter"], "sales")
+        reference = OLAPServer(cube)
+        for dims in REQUESTS:
+            reference.view(dims)
+        server.query_batch(REQUESTS)
+        assert server.stats.operations < reference.stats.operations
+        assert server.stats.queries == reference.stats.queries == len(REQUESTS)
+
+    def test_batch_results_land_in_cache(self, server):
+        server.query_batch(REQUESTS)
+        ops = server.stats.operations
+        again = server.query_batch(REQUESTS)
+        assert server.stats.operations == ops  # all hits, zero new work
+        for dims, values in zip(REQUESTS, again):
+            np.testing.assert_array_equal(values, server.view(dims))
+
+    def test_cached_targets_pruned_from_plan(self, server):
+        server.view(["region"])  # warm one target
+        ops_single = server.stats.operations
+        server.query_batch([["region"], ["region", "product"]])
+        # The warm target contributed nothing; only the miss was assembled.
+        cold = OLAPServer(
+            build_cube(records_for(), ["region", "product", "quarter"], "sales")
+        )
+        cold.view(["region", "product"])
+        assert (
+            server.stats.operations - ops_single == cold.stats.operations
+        )
+
+    def test_reconfigure_epoch_invalidates_batch_cache(self, server):
+        before = server.query_batch(REQUESTS)
+        server.reconfigure()
+        ops = server.stats.operations
+        after = server.query_batch(REQUESTS)
+        assert server.stats.operations >= ops  # re-assembled (new epoch keys)
+        for want, got in zip(before, after):
+            np.testing.assert_array_equal(want, got)
+
+    def test_threaded_batch_identical(self, server):
+        serial = server.query_batch(REQUESTS)
+        fresh = OLAPServer(
+            build_cube(records_for(), ["region", "product", "quarter"], "sales")
+        )
+        threaded = fresh.query_batch(REQUESTS, max_workers=4)
+        for want, got in zip(serial, threaded):
+            np.testing.assert_array_equal(want, got)
+
+    def test_rollup_batch_matches_individual(self, server):
+        levels_list = [
+            {"region": 0},
+            {"region": 1},
+            {"region": 1, "product": 1},
+        ]
+        cube = build_cube(records_for(), ["region", "product", "quarter"], "sales")
+        reference = OLAPServer(cube)
+        expected = [reference.rollup(levels) for levels in levels_list]
+        batch = server.rollup_batch(levels_list)
+        for want, got in zip(expected, batch):
+            np.testing.assert_array_equal(want, got)
+
+
+class TestConcurrentQueries:
+    N_THREADS = 8
+    PER_THREAD = 4
+
+    def test_concurrent_queries_bit_identical_and_exactly_accounted(self, server):
+        """N threads issuing the same query mix get bit-identical answers,
+        and stats / cache metrics add up exactly."""
+        cube = build_cube(records_for(), ["region", "product", "quarter"], "sales")
+        reference = OLAPServer(cube)
+        expected = {
+            tuple(dims): reference.view(dims) for dims in REQUESTS[: self.PER_THREAD]
+        }
+
+        barrier = threading.Barrier(self.N_THREADS)
+        failures: list[str] = []
+
+        def worker():
+            barrier.wait()
+            for dims in REQUESTS[: self.PER_THREAD]:
+                got = server.view(dims)
+                want = expected[tuple(dims)]
+                if not np.array_equal(got, want):
+                    failures.append(f"mismatch for {dims}")
+
+        with ThreadPoolExecutor(max_workers=self.N_THREADS) as pool:
+            list(pool.map(lambda _: worker(), range(self.N_THREADS)))
+
+        assert not failures
+        total = self.N_THREADS * self.PER_THREAD
+        assert server.stats.queries == total
+        hits = server.metrics.counter(
+            "view_cache_hits_total", "result cache hits"
+        ).value()
+        misses = server.metrics.counter(
+            "view_cache_misses_total", "result cache misses"
+        ).value()
+        assert hits + misses == total
+        served = server.metrics.counter(
+            "server_queries_total", "queries served, by kind"
+        ).value(kind="view")
+        assert served == total
+
+    def test_concurrent_queries_on_warm_cache_cost_nothing(self, server):
+        for dims in REQUESTS:
+            server.view(dims)
+        ops = server.stats.operations
+
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker():
+            barrier.wait()
+            for dims in REQUESTS:
+                server.view(dims)
+
+        with ThreadPoolExecutor(max_workers=self.N_THREADS) as pool:
+            list(pool.map(lambda _: worker(), range(self.N_THREADS)))
+
+        assert server.stats.operations == ops
+        assert server.stats.queries == (self.N_THREADS + 1) * len(REQUESTS)
