@@ -1,0 +1,142 @@
+"""Overhead of the resilience layer on the fault-free hot path.
+
+The resilience tentpole threads four kinds of ambient checks through the
+serving path: fault points (one contextvar read when no injector is
+active), deadline checks (one contextvar read when no deadline is set),
+first-use integrity verification (one checksum per element per seal, then
+an empty set-difference), and the admission semaphore (absent when
+``max_in_flight`` is None).  This benchmark pins down what all of that
+costs when *nothing is injected* — the steady state every production query
+pays — by serving the same workload and comparing wall time against the
+measured work (scalar ops are identical by construction: the checks do not
+change routing).
+
+Also measured: the same workload with a generous deadline + admission
+bound active (the bounded-serving configuration), so the marginal cost of
+actually using the knobs is visible too.
+
+Runs standalone (writes ``BENCH_resilience.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience_overhead.py \
+        --output BENCH_resilience.json
+    ... --small --check   # CI smoke: tiny cube + assertions
+
+or under pytest-benchmark with the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.cube.datacube import DataCube
+from repro.cube.dimensions import Dimension
+from repro.server import OLAPServer
+
+REPEATS = 5
+
+
+def make_server(sizes, seed=2024, **kwargs) -> OLAPServer:
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 100, size=sizes).astype(np.float64)
+    dims = [Dimension(f"d{i}", list(range(n))) for i, n in enumerate(sizes)]
+    return OLAPServer(DataCube(values, dims, measure="amount"), **kwargs)
+
+
+def serve_round(server: OLAPServer, deadline_ms=None) -> int:
+    """One mixed serving round; returns the number of queries issued."""
+    names = [f"d{i}" for i in range(len(server.shape.sizes))]
+    queries = 0
+    for name in names:
+        server.view([name], deadline_ms=deadline_ms)
+        queries += 1
+    server.query_batch(
+        [[name] for name in names] + [names], deadline_ms=deadline_ms
+    )
+    queries += len(names) + 1
+    server.range_sum(
+        tuple((1, n - 1) for n in server.shape.sizes),
+        deadline_ms=deadline_ms,
+    )
+    queries += 1
+    return queries
+
+
+def timed_rounds(server: OLAPServer, rounds: int, deadline_ms=None) -> float:
+    """Min-of-N wall time of one serving round (steady state: warm cache
+    is defeated by an update between rounds so assembly really runs)."""
+    best = float("inf")
+    for _ in range(rounds):
+        server.update(1.0, **{f"d{i}": 0 for i in range(len(server.shape.sizes))})
+        t0 = time.perf_counter()
+        serve_round(server, deadline_ms=deadline_ms)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(sizes, rounds=REPEATS) -> dict:
+    plain = make_server(sizes)
+    plain.reconfigure()
+    bounded = make_server(sizes, max_in_flight=8, default_deadline_ms=None)
+    bounded.reconfigure()
+
+    plain_s = timed_rounds(plain, rounds)
+    bounded_s = timed_rounds(bounded, rounds, deadline_ms=60_000)
+    return {
+        "sizes": list(sizes),
+        "rounds": rounds,
+        "plain_round_s": plain_s,
+        "bounded_round_s": bounded_s,
+        "bounded_over_plain": bounded_s / plain_s if plain_s else float("nan"),
+        "queries_per_round": serve_round(make_server(sizes)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None)
+    parser.add_argument("--small", action="store_true")
+    parser.add_argument("--check", action="store_true")
+    args = parser.parse_args(argv)
+
+    sizes = (8, 8) if args.small else (16, 16, 16)
+    result = run(sizes)
+    print(json.dumps(result, indent=2))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=2)
+    if args.check:
+        # The bounded configuration must not blow up the fault-free path;
+        # the factor is loose because CI machines are noisy.
+        assert result["bounded_over_plain"] < 5.0, result
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+
+
+def test_fault_free_serving_plain(benchmark):
+    server = make_server((8, 8))
+    server.reconfigure()
+    benchmark.pedantic(
+        lambda: timed_rounds(server, 1), rounds=3, warmup_rounds=1
+    )
+
+
+def test_fault_free_serving_bounded(benchmark):
+    server = make_server((8, 8), max_in_flight=8)
+    server.reconfigure()
+    benchmark.pedantic(
+        lambda: timed_rounds(server, 1, deadline_ms=60_000),
+        rounds=3,
+        warmup_rounds=1,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,9 @@ materialize for a given query workload.  Sub-packages:
   the paper's evaluation.
 - :mod:`repro.obs` — metrics/tracing/caching observability layer threaded
   through the hot query path (``python -m repro stats``).
+- :mod:`repro.resilience` — fault injection, deadlines, and the chaos
+  acceptance replay (``python -m repro chaos``); the typed failure
+  taxonomy lives in :mod:`repro.errors`.
 """
 
 from .core import (
@@ -51,18 +54,36 @@ from .core import (
     view_hierarchy,
     wavelet_basis,
 )
+from .errors import (
+    AdmissionRejected,
+    IncompleteSetError,
+    IntegrityError,
+    QueryTimeout,
+    ReproError,
+    TransientFault,
+)
 from .obs import LRUCache, MetricsRegistry, Observability, Tracer
+from .resilience import Deadline, FaultInjector, FaultRule
 from .server import OLAPServer
 
 __version__ = "1.1.0"
 
 __all__ = [
     "AccessTracker",
+    "AdmissionRejected",
     "BasisSelection",
     "BatchPlan",
     "CompressedCube",
     "CubeShape",
+    "Deadline",
+    "FaultInjector",
+    "FaultRule",
+    "IncompleteSetError",
+    "IntegrityError",
     "OLAPServer",
+    "QueryTimeout",
+    "ReproError",
+    "TransientFault",
     "DynamicViewAssembler",
     "ElementId",
     "FastBasisResult",

@@ -8,11 +8,17 @@ Usage::
     python -m repro figure9 [--trials N] [--budgets N]
     python -m repro all [--quick]
     python -m repro stats [--json] [--queries N] [--seed N]
+    python -m repro chaos [--seed N] [--json] [--output report.json]
 
 ``stats`` drives an instrumented demo server (repeated views, roll-ups,
 range queries, one mid-run reconfiguration) and prints its metrics
-registry and span trace — the observability surface every real deployment
-of :class:`repro.server.OLAPServer` gets for free.
+registry, span trace, and health snapshot — the observability surface
+every real deployment of :class:`repro.server.OLAPServer` gets for free.
+
+``chaos`` replays a seeded fault plan (transient errors, latency, one
+corrupted stored element) against a deterministic workload and exits
+non-zero unless every answer is bit-identical to a fault-free run — the
+resilience acceptance gate, also run as a CI smoke job.
 """
 
 from __future__ import annotations
@@ -78,7 +84,7 @@ def _run_stats(json_output: bool, queries: int, seed: int) -> str:
         server.view(["product"])
         server.view(["store"])
     if json_output:
-        return render_json(server.metrics, server.tracer)
+        return render_json(server.metrics, server.tracer, health=server.health())
     header = (
         f"OLAP server demo: {server.stats.queries} queries, "
         f"{server.stats.operations} scalar ops, "
@@ -86,7 +92,23 @@ def _run_stats(json_output: bool, queries: int, seed: int) -> str:
         f"epoch {server.epoch}, "
         f"cache hit rate {server._view_cache.hit_rate:.1%}"
     )
-    return header + "\n\n" + render_text(server.metrics, server.tracer)
+    return header + "\n\n" + render_text(
+        server.metrics, server.tracer, health=server.health()
+    )
+
+
+def _run_chaos(seed: int, json_output: bool, output: str | None) -> int:
+    """Run the chaos acceptance replay; non-zero exit unless it survives."""
+    import json
+    from pathlib import Path
+
+    from .resilience.chaos import ChaosConfig, render_report, run_chaos
+
+    report = run_chaos(ChaosConfig(seed=seed))
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2) if json_output else render_report(report))
+    return 0 if report["ok"] else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,9 +122,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "table2", "figure8", "figure9", "all", "stats"],
+        choices=[
+            "table1",
+            "table2",
+            "figure8",
+            "figure9",
+            "all",
+            "stats",
+            "chaos",
+        ],
         help="which experiment to regenerate ('stats' runs the "
-        "instrumented server demo instead)",
+        "instrumented server demo; 'chaos' runs the seeded "
+        "fault-injection acceptance replay)",
     )
     parser.add_argument(
         "--trials",
@@ -124,7 +155,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="with 'stats': emit the metrics/span payload as JSON",
+        help="with 'stats'/'chaos': emit the payload/report as JSON",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="with 'chaos': also write the JSON report to this path",
     )
     parser.add_argument(
         "--queries",
@@ -135,14 +171,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed",
         type=int,
-        default=19,
-        help="with 'stats': demo data seed",
+        default=None,
+        help="with 'stats'/'chaos': demo data / fault plan seed",
     )
     args = parser.parse_args(argv)
 
     if args.experiment == "stats":
-        print(_run_stats(args.json, args.queries, args.seed))
+        seed = 19 if args.seed is None else args.seed
+        print(_run_stats(args.json, args.queries, seed))
         return 0
+    if args.experiment == "chaos":
+        seed = 7 if args.seed is None else args.seed
+        return _run_chaos(seed, args.json, args.output)
 
     outputs: list[str] = []
     if args.experiment in ("table1", "all"):

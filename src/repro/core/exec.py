@@ -40,6 +40,7 @@ sum of node volumes, and the executor's measured ops equal it exactly.
 
 from __future__ import annotations
 
+import contextvars
 import time
 from collections import deque
 from collections.abc import Iterable, Mapping
@@ -48,7 +49,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import IncompleteSetError
 from ..obs import current_registry, span
+from ..resilience.deadline import check_deadline, current_deadline
+from ..resilience.faults import fault_point
 from .element import ElementId
 from .operators import OpCounter, partial_residual, partial_sum, synthesize
 from .planning import best_route, sorted_by_volume
@@ -199,7 +203,7 @@ def plan_batch(
             _lay_chain(agg_source, element)
             return element
         if synth_dim < 0 or synth_cost == float("inf"):
-            raise ValueError(
+            raise IncompleteSetError(
                 f"stored set is not complete with respect to {element!r}"
             )
         p_key = ensure(element.partial_child(synth_dim))
@@ -262,7 +266,7 @@ def plan_batch(
         for target in targets:
             cost = generation_cost(target, stored, _memo=memo)
             if cost == float("inf"):
-                raise ValueError(
+                raise IncompleteSetError(
                     f"stored set is not complete with respect to {target!r}"
                 )
             naive_cost += cost
@@ -305,6 +309,7 @@ def _compute_node(
 ) -> np.ndarray:
     if node.kind == "stored":
         return arrays[node.element]
+    fault_point("exec.compute_node", element=node.element, kind=node.kind)
     if node.kind == "step":
         if node.residual:
             return partial_residual(deps[0], node.dim, counter=counter)
@@ -313,9 +318,7 @@ def _compute_node(
 
 
 def _merge_counter(into: OpCounter, part: OpCounter) -> None:
-    into.additions += part.additions
-    into.subtractions += part.subtractions
-    into.events.extend(part.events)
+    into.merge(part)
 
 
 def execute_plan(
@@ -381,6 +384,7 @@ def _execute_serial(
     remaining = dict(plan.consumers)
     busy = 0.0
     for key, node in plan.nodes.items():
+        check_deadline("exec.serial")
         deps = tuple(values[d] for d in node.deps)
         t0 = time.perf_counter()
         values[key] = _compute_node(node, deps, arrays, counter)
@@ -402,7 +406,14 @@ def _execute_pooled(
 ) -> tuple[dict[NodeKey, np.ndarray], float]:
     """Scheduler loop: all bookkeeping on the calling thread, work on the
     pool.  Each node gets its own :class:`OpCounter`, merged on completion,
-    so accounting stays exact without cross-thread contention."""
+    so accounting stays exact without cross-thread contention.
+
+    Failure discipline: on a worker exception (or an expired ambient
+    deadline, observed between dispatches), outstanding futures are
+    cancelled, the already-running ones are drained, and the counters of
+    every node that *did* complete are merged before re-raising — the pool
+    never leaks work past the batch, and accounting reflects exactly the
+    work performed."""
     values: dict[NodeKey, np.ndarray] = {}
     remaining = dict(plan.consumers)
     pending_deps = {key: len(node.deps) for key, node in plan.nodes.items()}
@@ -412,33 +423,87 @@ def _execute_pooled(
             dependents[dep].append(key)
     ready = deque(key for key, n in pending_deps.items() if n == 0)
     busy = 0.0
+    deadline = current_deadline()
 
     def work(key: NodeKey):
         node = plan.nodes[key]
         deps = tuple(values[d] for d in node.deps)
         local = OpCounter()
         t0 = time.perf_counter()
-        out = _compute_node(node, deps, arrays, local)
+        try:
+            out = _compute_node(node, deps, arrays, local)
+        except BaseException as exc:
+            # Keep the partial counter reachable for the drain path.
+            exc.partial_counter = local  # type: ignore[attr-defined]
+            raise
         return key, out, local, time.perf_counter() - t0
 
+    futures: set = set()
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        futures: set = set()
-        while ready or futures:
-            while ready:
-                futures.add(pool.submit(work, ready.popleft()))
-            done, futures = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                key, out, local, elapsed = future.result()
-                values[key] = out
-                busy += elapsed
-                _merge_counter(counter, local)
-                for dep in plan.nodes[key].deps:
-                    remaining[dep] -= 1
-                    if remaining[dep] == 0 and dep not in target_keys:
-                        if plan.nodes[dep].kind != "stored":
-                            del values[dep]
-                for consumer in dependents[key]:
-                    pending_deps[consumer] -= 1
-                    if pending_deps[consumer] == 0:
-                        ready.append(consumer)
+        try:
+            while ready or futures:
+                check_deadline("exec.dispatch")
+                while ready:
+                    # Pool threads do not inherit contextvars; hand each
+                    # node a copy of the dispatcher's context so ambient
+                    # state (metrics registry, fault injector) reaches the
+                    # worker.  A Context can only be entered once, hence
+                    # one copy per submission.
+                    futures.add(
+                        pool.submit(
+                            contextvars.copy_context().run,
+                            work,
+                            ready.popleft(),
+                        )
+                    )
+                timeout = (
+                    max(0.0, deadline.remaining())
+                    if deadline is not None
+                    else None
+                )
+                done, futures = wait(
+                    futures, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                failure: BaseException | None = None
+                for future in done:
+                    try:
+                        key, out, local, elapsed = future.result()
+                    except BaseException as exc:
+                        partial = getattr(exc, "partial_counter", None)
+                        if partial is not None:
+                            _merge_counter(counter, partial)
+                        if failure is None:
+                            failure = exc
+                        continue
+                    values[key] = out
+                    busy += elapsed
+                    _merge_counter(counter, local)
+                    for dep in plan.nodes[key].deps:
+                        remaining[dep] -= 1
+                        if remaining[dep] == 0 and dep not in target_keys:
+                            if plan.nodes[dep].kind != "stored":
+                                del values[dep]
+                    for consumer in dependents[key]:
+                        pending_deps[consumer] -= 1
+                        if pending_deps[consumer] == 0:
+                            ready.append(consumer)
+                if failure is not None:
+                    raise failure
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            settled, _ = wait(futures)
+            for future in settled:
+                if future.cancelled():
+                    continue
+                exc = future.exception()
+                if exc is None:
+                    _, _, local, elapsed = future.result()
+                    busy += elapsed
+                    _merge_counter(counter, local)
+                else:
+                    partial = getattr(exc, "partial_counter", None)
+                    if partial is not None:
+                        _merge_counter(counter, partial)
+            raise
     return values, busy

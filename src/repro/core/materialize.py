@@ -18,18 +18,28 @@ that).
 
 from __future__ import annotations
 
+import threading
+import zlib
 from collections.abc import Iterable
 
 import numpy as np
 
+from ..errors import IncompleteSetError
 from ..obs import current_registry, span
+from ..resilience.deadline import check_deadline
+from ..resilience.faults import corrupt_array, fault_point
 from .element import CubeShape, ElementId
 from .exec import BatchPlan, execute_plan, plan_batch
 from .operators import OpCounter, partial_residual, partial_sum, synthesize
 from .planning import best_route, sorted_by_volume
 from .select_redundant import generation_cost
 
-__all__ = ["compute_element", "MaterializedSet"]
+__all__ = ["compute_element", "MaterializedSet", "element_checksum"]
+
+
+def element_checksum(values: np.ndarray) -> int:
+    """CRC-32 of an element array's bytes (the stored-integrity seal)."""
+    return zlib.crc32(np.ascontiguousarray(values).tobytes())
 
 
 def _descend(
@@ -99,6 +109,15 @@ class MaterializedSet:
         self.shape = shape
         self._arrays: dict[ElementId, np.ndarray] = {}
         self._plan_cache: dict[tuple[ElementId, ...], "BatchPlan"] = {}
+        #: Integrity state: every stored array is *sealed* with a CRC-32 at
+        #: store time and verified on first use; a failed verification
+        #: quarantines the element, and assembly transparently re-routes
+        #: around it (perfect reconstruction keeps answers exact as long as
+        #: the surviving set is complete).
+        self._checksums: dict[ElementId, int] = {}
+        self._verified: set[ElementId] = set()
+        self._quarantined: dict[ElementId, str] = {}
+        self._integrity_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -154,6 +173,7 @@ class MaterializedSet:
                 # be owned so apply_update never mutates caller data.
                 values = values.copy()
             out._arrays[element] = values
+            out._seal(element)
 
     def store(self, element: ElementId, values: np.ndarray) -> None:
         """Store a precomputed element array (copied; the set owns it)."""
@@ -168,6 +188,97 @@ class MaterializedSet:
         if element not in self._arrays:
             self._plan_cache.clear()
         self._arrays[element] = values
+        with self._integrity_lock:
+            self._quarantined.pop(element, None)
+        self._seal(element)
+        # Fault site: simulated post-seal bit-rot of the stored array (the
+        # checksum no longer matches, so first use must quarantine it).
+        corrupt_array("materialize.store", values)
+
+    # ------------------------------------------------------------------
+    # Integrity
+
+    def _seal(self, element: ElementId) -> None:
+        """(Re)compute the element's checksum.
+
+        Sealing records what the array *should* look like; it does not mark
+        the element verified — the first use after a (re)seal rechecks it,
+        so bit-rot between storing and serving is caught, not trusted.
+        """
+        with self._integrity_lock:
+            self._checksums[element] = element_checksum(self._arrays[element])
+            self._verified.discard(element)
+
+    def checksum(self, element: ElementId) -> int:
+        """The stored seal of ``element`` (KeyError when absent)."""
+        with self._integrity_lock:
+            return self._checksums[element]
+
+    def verify(self, element: ElementId) -> bool:
+        """Recheck one stored element against its seal (True = intact)."""
+        values = self._arrays.get(element)
+        if values is None:
+            return False
+        with self._integrity_lock:
+            expected = self._checksums.get(element)
+        return expected is not None and element_checksum(values) == expected
+
+    def quarantine(self, element: ElementId, reason: str = "manual") -> None:
+        """Remove a damaged element from service (idempotent).
+
+        The array is dropped, batch plans referencing it are invalidated,
+        and subsequent assemblies route around it; the event is counted as
+        ``integrity_failures_total`` in the active metrics registry.
+        """
+        with self._integrity_lock:
+            if element not in self._arrays:
+                return
+            del self._arrays[element]
+            self._checksums.pop(element, None)
+            self._verified.discard(element)
+            self._quarantined[element] = reason
+            self._plan_cache.clear()
+        current_registry().counter(
+            "integrity_failures_total",
+            "stored elements quarantined by checksum verification",
+        ).inc(reason=reason)
+
+    @property
+    def quarantined(self) -> tuple[ElementId, ...]:
+        """Elements removed from service by integrity verification."""
+        with self._integrity_lock:
+            return tuple(self._quarantined)
+
+    def _verify_unverified(self) -> None:
+        """First-use verification: check every not-yet-verified element.
+
+        Runs before each assembly/update takes its consistent snapshot of
+        the stored set, so a corrupted array is quarantined before any
+        query can consume it.  Each element is checksummed once per seal —
+        steady-state cost is an empty set-difference.
+        """
+        with self._integrity_lock:
+            pending = [
+                e for e in self._arrays if e not in self._verified
+            ]
+        for element in pending:
+            if self.verify(element):
+                with self._integrity_lock:
+                    self._verified.add(element)
+            else:
+                self.quarantine(element, reason="checksum mismatch")
+
+    def integrity_report(self) -> dict:
+        """JSON-friendly ``{stored, verified, quarantined}`` summary."""
+        with self._integrity_lock:
+            return {
+                "stored": len(self._arrays),
+                "verified": len(self._verified & set(self._arrays)),
+                "quarantined": {
+                    e.describe(): reason
+                    for e, reason in self._quarantined.items()
+                },
+            }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,8 +300,20 @@ class MaterializedSet:
         return len(self._arrays)
 
     def array(self, element: ElementId) -> np.ndarray:
-        """The stored array of ``element`` (KeyError when absent)."""
-        return self._arrays[element]
+        """The stored array of ``element`` (KeyError when absent).
+
+        Verified on first use: a checksum mismatch quarantines the element
+        and raises :class:`KeyError`, exactly as if it were never stored —
+        callers already handle absence, so damage degrades to a re-route.
+        """
+        values = self._arrays[element]
+        if element not in self._verified:
+            if not self.verify(element):
+                self.quarantine(element, reason="checksum mismatch")
+                raise KeyError(element)
+            with self._integrity_lock:
+                self._verified.add(element)
+        return values
 
     # ------------------------------------------------------------------
     # Assembly
@@ -217,17 +340,24 @@ class MaterializedSet:
         if target.shape != self.shape:
             raise ValueError("target belongs to a different cube shape")
         with span("materialize.assemble", element=target.describe()) as sp:
+            fault_point("materialize.assemble", element=target)
+            check_deadline("materialize.assemble")
+            self._verify_unverified()
             own = counter if counter is not None else OpCounter()
             ops_before = own.total
             cost_memo: dict = {}
-            stored = self.elements
+            # Consistent snapshot: routing and reads use one view of the
+            # stored set, so a concurrent store/quarantine cannot strand
+            # the recursion between route choice and array access.
+            arrays = dict(self._arrays)
+            stored = tuple(arrays)
             cost = generation_cost(target, stored, _memo=cost_memo)
             if cost == float("inf"):
-                raise ValueError(
+                raise IncompleteSetError(
                     f"stored set is not complete with respect to {target!r}"
                 )
             values = self._assemble(
-                target, cost_memo, own, stored, sorted_by_volume(stored)
+                target, cost_memo, own, stored, sorted_by_volume(stored), arrays
             )
             ops = own.total - ops_before
             registry = current_registry()
@@ -252,30 +382,44 @@ class MaterializedSet:
         counter: OpCounter | None,
         stored: tuple[ElementId, ...],
         sorted_stored: list[ElementId],
+        arrays: dict[ElementId, np.ndarray],
     ) -> np.ndarray:
         """Recursive Procedure 3 execution.
 
-        ``stored``/``sorted_stored`` are computed once per
+        ``stored``/``sorted_stored``/``arrays`` are snapshotted once per
         :meth:`assemble`/:meth:`assemble_batch` call so the recursion never
         rescans the stored set: the best aggregation ancestor is the first
         containing element of the volume-sorted list.
         """
-        if target in self._arrays:
-            return self._arrays[target]
+        if target in arrays:
+            return arrays[target]
+        check_deadline("materialize.assemble")
 
         agg_source, agg_cost, synth_dim, synth_cost = best_route(
             target, stored, sorted_stored, cost_memo
         )
 
         if agg_source is not None and agg_cost <= synth_cost:
-            return _descend(self._arrays[agg_source], agg_source, target, counter)
+            return _descend(arrays[agg_source], agg_source, target, counter)
         if synth_dim < 0:
-            raise ValueError(f"cannot assemble {target!r} from the stored set")
+            raise IncompleteSetError(
+                f"cannot assemble {target!r} from the stored set"
+            )
         p_values = self._assemble(
-            target.partial_child(synth_dim), cost_memo, counter, stored, sorted_stored
+            target.partial_child(synth_dim),
+            cost_memo,
+            counter,
+            stored,
+            sorted_stored,
+            arrays,
         )
         r_values = self._assemble(
-            target.residual_child(synth_dim), cost_memo, counter, stored, sorted_stored
+            target.residual_child(synth_dim),
+            cost_memo,
+            counter,
+            stored,
+            sorted_stored,
+            arrays,
         )
         return synthesize(p_values, r_values, synth_dim, counter=counter)
 
@@ -308,17 +452,28 @@ class MaterializedSet:
             if target.shape != self.shape:
                 raise ValueError("target belongs to a different cube shape")
         with span("materialize.assemble_batch", targets=len(targets)) as sp:
+            fault_point("materialize.assemble", batch=len(targets))
+            check_deadline("materialize.assemble_batch")
+            self._verify_unverified()
             own = counter if counter is not None else OpCounter()
             ops_before = own.total
+            arrays = dict(self._arrays)
             cache_key = tuple(dict.fromkeys(targets))
             plan = self._plan_cache.get(cache_key)
+            if plan is not None and any(
+                node.kind == "stored" and node.element not in arrays
+                for node in plan.nodes.values()
+            ):
+                # A cached plan can outlive a quarantine that raced the
+                # cache clear; never execute against missing arrays.
+                plan = None
             if plan is None:
-                plan = plan_batch(targets, self.elements, cost_memo=cost_memo)
+                plan = plan_batch(targets, tuple(arrays), cost_memo=cost_memo)
                 if len(self._plan_cache) >= self._PLAN_CACHE_ENTRIES:
                     self._plan_cache.clear()
                 self._plan_cache[cache_key] = plan
             results = execute_plan(
-                plan, self._arrays, counter=own, max_workers=max_workers
+                plan, arrays, counter=own, max_workers=max_workers
             )
             ops = own.total - ops_before
             registry = current_registry()
@@ -366,7 +521,10 @@ class MaterializedSet:
         for coord, size in zip(coordinates, self.shape.sizes):
             if not 0 <= coord < size:
                 raise ValueError(f"coordinate {coord} outside [0, {size})")
-        for element, values in self._arrays.items():
+        # Verify before mutating (corruption folded into an update would be
+        # sealed over and become undetectable), reseal after.
+        self._verify_unverified()
+        for element, values in list(self._arrays.items()):
             cell = []
             sign = 1.0
             for (level, index), coord in zip(element.nodes, coordinates):
@@ -380,6 +538,7 @@ class MaterializedSet:
                     position >>= 1
                 cell.append(position)
             values[tuple(cell)] += sign * delta
+            self._seal(element)
             if counter is not None:
                 counter.add(additions=1, label="incremental update")
 
@@ -413,7 +572,8 @@ class MaterializedSet:
         if not coordinates.size:
             return
 
-        for element, values in self._arrays.items():
+        self._verify_unverified()
+        for element, values in list(self._arrays.items()):
             signs = np.ones(coordinates.shape[0], dtype=np.float64)
             cells = np.empty_like(coordinates)
             for m, (level, index) in enumerate(element.nodes):
@@ -425,6 +585,7 @@ class MaterializedSet:
                     position >>= 1
                 cells[:, m] = position
             np.add.at(values, tuple(cells.T), signs * deltas)
+            self._seal(element)
             if counter is not None:
                 counter.add(
                     additions=coordinates.shape[0], label="batch update"

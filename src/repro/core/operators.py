@@ -69,6 +69,17 @@ class OpCounter:
         if label:
             self.events.append((label, int(additions), int(subtractions)))
 
+    def merge(self, other: "OpCounter") -> None:
+        """Fold another counter's totals and events into this one.
+
+        Used to combine per-worker counters (exact accounting without
+        cross-thread contention) and to keep partial work visible when a
+        batch aborts mid-execution.
+        """
+        self.additions += other.additions
+        self.subtractions += other.subtractions
+        self.events.extend(other.events)
+
     def reset(self) -> None:
         """Zero all counters and drop the event log."""
         self.additions = 0

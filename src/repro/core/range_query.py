@@ -139,11 +139,18 @@ class RangeQueryEngine:
         element = ElementId(self.shape, tuple((k, 0) for k in levels))
         registry = current_registry()
         if element in self.materialized:
-            registry.counter(
-                "range_intermediate_stored_total",
-                "dyadic lookups served by a stored intermediate element",
-            ).inc()
-            return self.materialized.array(element)
+            try:
+                values = self.materialized.array(element)
+            except KeyError:
+                # Quarantined by first-use verification between the
+                # membership check and the read: fall through to assembly.
+                pass
+            else:
+                registry.counter(
+                    "range_intermediate_stored_total",
+                    "dyadic lookups served by a stored intermediate element",
+                ).inc()
+                return values
         cached = self._cache.get(element)
         if cached is not None:
             registry.counter(

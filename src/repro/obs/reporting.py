@@ -18,13 +18,22 @@ __all__ = ["stats_payload", "render_json", "render_text"]
 
 
 def stats_payload(
-    registry: MetricsRegistry, tracer: Tracer | None = None
+    registry: MetricsRegistry,
+    tracer: Tracer | None = None,
+    health: dict | None = None,
 ) -> dict:
-    """JSON-friendly ``{"metrics": ..., "spans": ..., "span_summary": ...}``."""
+    """JSON-friendly ``{"metrics", "spans", "span_summary", "health"}``.
+
+    ``health`` is the server's :meth:`~repro.server.OLAPServer.health`
+    snapshot (serving status, quarantine, timeout/retry/degradation
+    counts); omitted when not provided.
+    """
     payload: dict = {"metrics": registry.snapshot()}
     if tracer is not None:
         payload["spans"] = [s.to_dict() for s in tracer.spans()]
         payload["span_summary"] = tracer.summary()
+    if health is not None:
+        payload["health"] = health
     return payload
 
 
@@ -32,9 +41,12 @@ def render_json(
     registry: MetricsRegistry,
     tracer: Tracer | None = None,
     indent: int | None = 2,
+    health: dict | None = None,
 ) -> str:
     """The stats payload as a JSON document."""
-    return json.dumps(stats_payload(registry, tracer), indent=indent)
+    return json.dumps(
+        stats_payload(registry, tracer, health=health), indent=indent
+    )
 
 
 def _scalar_rows(snapshot: dict) -> list[list]:
@@ -68,12 +80,27 @@ def _histogram_rows(snapshot: dict) -> list[list]:
     return rows
 
 
+def _health_rows(health: dict) -> list[list]:
+    rows = []
+    for field, value in health.items():
+        if isinstance(value, list):
+            value = ", ".join(str(v) for v in value) or "-"
+        rows.append([field, value])
+    return rows
+
+
 def render_text(
-    registry: MetricsRegistry, tracer: Tracer | None = None
+    registry: MetricsRegistry,
+    tracer: Tracer | None = None,
+    health: dict | None = None,
 ) -> str:
     """Counters/gauges, histograms, and per-span-name aggregates as tables."""
     snapshot = registry.snapshot()
     sections = []
+    if health is not None:
+        sections.append(
+            ascii_table(["field", "value"], _health_rows(health), title="health")
+        )
     scalar_rows = _scalar_rows(snapshot)
     if scalar_rows:
         sections.append(

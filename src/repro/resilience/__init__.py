@@ -1,0 +1,49 @@
+"""Resilience: fault injection, deadlines, and chaos replay.
+
+The serving stack (``repro.server``, ``repro.core.exec``,
+``repro.core.materialize``, ``repro.io``) is hardened against partial
+failure; this package holds the machinery that exercises and bounds it:
+
+- :mod:`repro.resilience.faults` — a deterministic, seeded fault-injection
+  harness.  Named sites in the hot path call :func:`fault_point`, which
+  no-ops unless a :class:`FaultInjector` is activated (contextvar-scoped,
+  like :mod:`repro.obs`), and then injects exceptions, latency, or array
+  corruption on a reproducible schedule.
+- :mod:`repro.resilience.deadline` — per-query/batch deadlines, propagated
+  by contextvar so the DAG executor can observe them between node
+  dispatches without signature plumbing.
+- :mod:`repro.resilience.chaos` — the ``python -m repro chaos`` driver:
+  replays a seeded fault plan against a workload on a live server and
+  reports survival (every answer bit-identical to a fault-free run).
+
+The error types these raise live in :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+from .chaos import ChaosConfig, render_report, run_chaos
+from .deadline import Deadline, check_deadline, current_deadline, deadline_scope
+from .faults import (
+    FaultInjector,
+    FaultRule,
+    FiredFault,
+    corrupt_array,
+    current_injector,
+    fault_point,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "Deadline",
+    "FaultInjector",
+    "FaultRule",
+    "FiredFault",
+    "check_deadline",
+    "corrupt_array",
+    "current_deadline",
+    "current_injector",
+    "deadline_scope",
+    "fault_point",
+    "render_report",
+    "run_chaos",
+]

@@ -1,0 +1,307 @@
+"""Seeded chaos replay: prove queries survive faults bit-identically.
+
+The acceptance harness for the resilience layer.  It runs the *same*
+deterministic OLAP workload twice over the same integer-valued cube —
+
+- a **reference** run on a plain server with no faults, and
+- a **chaos** run with a seeded :class:`~repro.resilience.faults.
+  FaultInjector` active: transient errors at the executor's compute nodes
+  and the assembly entry points, injected latency, and one post-seal
+  corruption of a stored element array —
+
+and then compares every answer byte-for-byte.  Because the cube holds
+integer values (exact in float64) and quarantine re-routes through the
+paper's perfect-reconstruction algebra, the chaos run must produce the
+*identical* bytes for every view, roll-up, batch, and range sum: retries
+absorb the transient faults, first-use verification quarantines the
+corrupted element, and degradation falls back to the base cube when the
+surviving set is incomplete.
+
+A separate **deadline probe** checks the timeout path: a query with a
+10 ms deadline against a 50 ms injected stall must raise
+:class:`~repro.errors.QueryTimeout` and release its admission slot (a
+follow-up query on the same one-slot server must be admitted).
+
+``python -m repro chaos [--seed N] [--json] [--output report.json]``
+drives this and exits non-zero unless survival is 100%.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AdmissionRejected, QueryTimeout
+from .faults import FaultInjector, FaultRule
+
+
+def _server_cls():
+    # Imported lazily: repro.server (and repro.cube / repro.core below it)
+    # imports this package for its deadline and fault plumbing, so a
+    # module-level import would be circular.
+    from ..server import OLAPServer
+
+    return OLAPServer
+
+__all__ = ["ChaosConfig", "run_chaos", "render_report"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of one chaos replay (all defaults are the CI smoke gate)."""
+
+    seed: int = 7
+    queries: int = 60
+    sizes: tuple[int, ...] = (8, 8, 8)
+    #: Probability of a transient error per executor node / assembly call.
+    fault_probability: float = 0.05
+    #: Injected stall per latency fire (kept small: the suite runs it).
+    latency_ms: float = 0.5
+    latency_probability: float = 0.1
+    #: Retry budget of the chaos server (transient faults only).
+    max_retries: int = 3
+    #: Deadline and stall used by the timeout probe.
+    probe_deadline_ms: float = 10.0
+    probe_stall_ms: float = 50.0
+
+
+def _build_cube(config: ChaosConfig):
+    """An integer-valued cube (exact in float64 → bit-identical routes)."""
+    from ..cube.datacube import DataCube
+    from ..cube.dimensions import Dimension
+
+    rng = np.random.default_rng(config.seed)
+    values = rng.integers(0, 100, size=config.sizes).astype(np.float64)
+    dims = [
+        Dimension(f"d{i}", list(range(n)))
+        for i, n in enumerate(config.sizes)
+    ]
+    return DataCube(values, dims, measure="amount")
+
+
+def _build_workload(config: ChaosConfig) -> list[tuple]:
+    """A deterministic op script replayed identically by both runs."""
+    rng = random.Random(config.seed)
+    names = [f"d{i}" for i in range(len(config.sizes))]
+    depths = [n.bit_length() - 1 for n in config.sizes]
+    ops: list[tuple] = []
+    for q in range(config.queries):
+        # Fixed reconfiguration points keep the scenario stable: the first
+        # one is where the store-corruption fault lands (the migration
+        # stores are the first stores after the constructor's root).
+        if q in (config.queries // 3, (2 * config.queries) // 3):
+            ops.append(("reconfigure",))
+            continue
+        roll = rng.random()
+        if roll < 0.30:
+            retained = rng.sample(names, rng.randint(0, len(names) - 1))
+            ops.append(("view", tuple(sorted(retained))))
+        elif roll < 0.50:
+            requests = [
+                tuple(sorted(rng.sample(names, rng.randint(0, len(names) - 1))))
+                for _ in range(3)
+            ]
+            ops.append(("batch", tuple(requests)))
+        elif roll < 0.65:
+            levels = {
+                name: rng.randint(0, depth)
+                for name, depth in zip(names, depths)
+                if rng.random() < 0.7
+            }
+            ops.append(("rollup", tuple(sorted(levels.items()))))
+        elif roll < 0.85:
+            ranges = []
+            for n in config.sizes:
+                lo = rng.randrange(n)
+                hi = rng.randrange(lo + 1, n + 1)
+                ranges.append((lo, hi))
+            ops.append(("range", tuple(ranges)))
+        else:
+            coords = tuple(rng.randrange(n) for n in config.sizes)
+            ops.append(("update", coords, float(rng.randint(-50, 50))))
+    return ops
+
+
+def _replay(server: OLAPServer, ops: list[tuple], names: list[str]) -> list:
+    """Execute the op script; answers are bytes so comparison is exact."""
+    answers: list = []
+    for op in ops:
+        kind = op[0]
+        if kind == "view":
+            answers.append(server.view(list(op[1])).tobytes())
+        elif kind == "batch":
+            results = server.query_batch([list(dims) for dims in op[1]])
+            answers.append(tuple(values.tobytes() for values in results))
+        elif kind == "rollup":
+            answers.append(server.rollup(dict(op[1])).tobytes())
+        elif kind == "range":
+            answers.append(server.range_sum(op[1]))
+        elif kind == "update":
+            coords, delta = op[1], op[2]
+            server.update(delta, **dict(zip(names, coords)))
+            answers.append(("update", coords, delta))
+        elif kind == "reconfigure":
+            storage, _cost = server.reconfigure()
+            answers.append(("reconfigure", storage))
+        else:  # pragma: no cover - the script above is the only producer
+            raise ValueError(f"unknown chaos op {kind!r}")
+    return answers
+
+
+def _chaos_rules(config: ChaosConfig) -> list[FaultRule]:
+    return [
+        FaultRule(
+            site="exec.compute_node",
+            kind="error",
+            probability=config.fault_probability,
+        ),
+        FaultRule(
+            site="materialize.assemble",
+            kind="error",
+            probability=config.fault_probability,
+        ),
+        FaultRule(
+            site="materialize.assemble",
+            kind="latency",
+            probability=config.latency_probability,
+            latency_ms=config.latency_ms,
+        ),
+        # One post-seal corruption of the first store made while the
+        # injector is active — i.e. the first element migrated by the first
+        # reconfigure (the constructor's root copy happens before
+        # activation).  First-use verification must quarantine it.
+        FaultRule(
+            site="materialize.store",
+            kind="corrupt",
+            probability=1.0,
+            max_fires=1,
+        ),
+    ]
+
+
+def _deadline_probe(config: ChaosConfig) -> dict:
+    """A 10 ms deadline against a 50 ms stall: timeout + slot release."""
+    server = _server_cls()(
+        _build_cube(config), max_in_flight=1, max_retries=0
+    )
+    injector = FaultInjector(
+        [
+            FaultRule(
+                site="materialize.assemble",
+                kind="latency",
+                probability=1.0,
+                latency_ms=config.probe_stall_ms,
+            )
+        ],
+        seed=config.seed,
+    )
+    raised = False
+    with injector.activate():
+        try:
+            server.view(["d0"], deadline_ms=config.probe_deadline_ms)
+        except QueryTimeout:
+            raised = True
+    slot_freed = True
+    try:
+        server.view(["d0"])
+    except AdmissionRejected:
+        slot_freed = False
+    return {
+        "deadline_ms": config.probe_deadline_ms,
+        "stall_ms": config.probe_stall_ms,
+        "timeout_raised": raised,
+        "slot_freed": slot_freed,
+        "timeouts_counted": server.metrics.counter(
+            "server_timeouts_total"
+        ).total(),
+    }
+
+
+def run_chaos(config: ChaosConfig | None = None) -> dict:
+    """Replay the workload fault-free and under faults; report survival."""
+    config = config if config is not None else ChaosConfig()
+    names = [f"d{i}" for i in range(len(config.sizes))]
+    ops = _build_workload(config)
+
+    reference_server = _server_cls()(_build_cube(config))
+    reference = _replay(reference_server, ops, names)
+
+    chaos_server = _server_cls()(
+        _build_cube(config),
+        max_in_flight=8,
+        max_retries=config.max_retries,
+    )
+    injector = FaultInjector(_chaos_rules(config), seed=config.seed)
+    uncaught: str | None = None
+    answers: list = []
+    with injector.activate():
+        try:
+            answers = _replay(chaos_server, ops, names)
+        except Exception as exc:  # the gate: nothing may escape
+            uncaught = f"{type(exc).__name__}: {exc}"
+
+    mismatches = [
+        index
+        for index, (got, want) in enumerate(zip(answers, reference))
+        if got != want
+    ]
+    answered = len(answers)
+    survived = answered - len(mismatches) if uncaught is None else 0
+    probe = _deadline_probe(config)
+    integrity_failures = chaos_server.metrics.counter(
+        "integrity_failures_total"
+    ).total()
+    ok = (
+        uncaught is None
+        and not mismatches
+        and answered == len(ops)
+        and probe["timeout_raised"]
+        and probe["slot_freed"]
+        and integrity_failures > 0
+    )
+    return {
+        "ok": ok,
+        "seed": config.seed,
+        "operations": len(ops),
+        "answered": answered,
+        "mismatches": mismatches,
+        "survival_rate": survived / len(ops) if ops else 1.0,
+        "uncaught_exception": uncaught,
+        "faults_injected": injector.summary(),
+        "integrity_failures": integrity_failures,
+        "retries": chaos_server.metrics.counter(
+            "server_retries_total"
+        ).total(),
+        "degraded_serves": chaos_server.metrics.counter(
+            "server_degraded_total"
+        ).total(),
+        "deadline_probe": probe,
+        "health": chaos_server.health(),
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_chaos` output."""
+    probe = report["deadline_probe"]
+    lines = [
+        f"chaos replay (seed {report['seed']}): "
+        f"{report['answered']}/{report['operations']} operations answered, "
+        f"survival {report['survival_rate']:.1%}",
+        f"faults injected: {report['faults_injected']}",
+        f"retries: {report['retries']:.0f}, "
+        f"degraded serves: {report['degraded_serves']:.0f}, "
+        f"elements quarantined: {report['integrity_failures']:.0f}",
+        f"deadline probe ({probe['deadline_ms']:.0f} ms vs "
+        f"{probe['stall_ms']:.0f} ms stall): "
+        f"timeout_raised={probe['timeout_raised']} "
+        f"slot_freed={probe['slot_freed']}",
+        f"server health: {report['health']['status']}",
+        "RESULT: " + ("SURVIVED" if report["ok"] else "FAILED"),
+    ]
+    if report["uncaught_exception"]:
+        lines.insert(1, f"uncaught exception: {report['uncaught_exception']}")
+    if report["mismatches"]:
+        lines.insert(1, f"mismatched answers at ops {report['mismatches']}")
+    return "\n".join(lines)

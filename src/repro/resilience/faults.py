@@ -1,0 +1,256 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+The hot path exposes **named fault sites** — ``exec.compute_node``
+(:func:`repro.core.exec._compute_node`), ``materialize.assemble`` and
+``materialize.store`` (:class:`~repro.core.materialize.MaterializedSet`),
+``io.load`` (:mod:`repro.io` archive reads), and ``server.cache_lookup``
+(the view result cache consult).  Each site calls :func:`fault_point` (or
+:func:`corrupt_array` where an array is in hand), which is a single
+contextvar read when no injector is active — production cost is one
+dictionary-free branch per call.
+
+A :class:`FaultInjector` holds :class:`FaultRule`\\ s and a seed.  Whether a
+given rule fires at the *n*-th invocation of its site is a pure function of
+``(seed, site, rule, n)`` — not of thread interleaving or wall time — so a
+fault plan replays identically across runs: the same number of faults fire
+at each site for the same invocation counts, which is what makes the chaos
+gate's "bit-identical to a fault-free run" assertion meaningful.
+
+Three fault kinds are supported:
+
+- ``"error"`` — raise ``rule.error`` (default
+  :class:`~repro.errors.TransientFault`, which the server retries).
+- ``"latency"`` — sleep ``rule.latency_ms`` (exercises deadlines).
+- ``"corrupt"`` — add ``rule.magnitude`` to one deterministic cell of the
+  array at the site (exercises checksum quarantine + degradation).
+
+Every fired fault is recorded (:class:`FiredFault`) and counted in the
+active metrics registry as ``faults_injected_total{site=,kind=}``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TransientFault
+from ..obs import current_registry
+
+__all__ = [
+    "FaultRule",
+    "FiredFault",
+    "FaultInjector",
+    "current_injector",
+    "fault_point",
+    "corrupt_array",
+]
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: where, what, how often.
+
+    ``site`` names the fault point (``"*"`` matches every site);
+    ``probability`` is the per-invocation fire chance; ``start_after``
+    skips the first N invocations of the site and ``max_fires`` bounds the
+    total number of firings (``None`` = unbounded).
+    """
+
+    site: str
+    kind: str  # "error" | "latency" | "corrupt"
+    probability: float = 1.0
+    error: type[Exception] = TransientFault
+    latency_ms: float = 0.0
+    magnitude: float = 1e6
+    max_fires: int | None = None
+    start_after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "latency", "corrupt"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability {self.probability} outside [0, 1]")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly description (for chaos reports)."""
+        out = {
+            "site": self.site,
+            "kind": self.kind,
+            "probability": self.probability,
+        }
+        if self.kind == "error":
+            out["error"] = self.error.__name__
+        if self.kind == "latency":
+            out["latency_ms"] = self.latency_ms
+        if self.kind == "corrupt":
+            out["magnitude"] = self.magnitude
+        if self.max_fires is not None:
+            out["max_fires"] = self.max_fires
+        if self.start_after:
+            out["start_after"] = self.start_after
+        return out
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """A fault that actually fired (for the injector's replay log)."""
+
+    site: str
+    kind: str
+    invocation: int
+    detail: str = ""
+
+
+class FaultInjector:
+    """Applies a seeded :class:`FaultRule` schedule at named fault sites.
+
+    Thread-safe: invocation counting takes an internal lock, and fire
+    decisions derive from ``(seed, site, rule index, invocation)`` alone so
+    concurrent query threads cannot perturb the schedule.
+    """
+
+    def __init__(self, rules: list[FaultRule] | tuple[FaultRule, ...], seed: int = 0):
+        self.rules = tuple(rules)
+        self.seed = int(seed)
+        self.fired: list[FiredFault] = []
+        self._lock = threading.Lock()
+        self._invocations: dict[str, int] = {}
+        self._fires: dict[int, int] = {i: 0 for i in range(len(self.rules))}
+
+    # ------------------------------------------------------------------
+
+    def _decide(self, rule_index: int, site: str, invocation: int) -> bool:
+        rule = self.rules[rule_index]
+        if invocation < rule.start_after:
+            return False
+        if rule.probability >= 1.0:
+            return True
+        key = f"{self.seed}:{site}:{rule_index}:{invocation}"
+        return random.Random(key).random() < rule.probability
+
+    def _due(self, site: str, kinds: tuple[str, ...]) -> list[tuple[int, int]]:
+        """Fire decisions for one site visit: ``[(rule_index, invocation)]``.
+
+        One site invocation is counted per visit regardless of how many
+        rules watch it, so schedules for different kinds stay independent.
+        """
+        with self._lock:
+            invocation = self._invocations.get(site, 0)
+            self._invocations[site] = invocation + 1
+            due = []
+            for i, rule in enumerate(self.rules):
+                if rule.kind not in kinds:
+                    continue
+                if rule.site != "*" and rule.site != site:
+                    continue
+                if rule.max_fires is not None and self._fires[i] >= rule.max_fires:
+                    continue
+                if self._decide(i, site, invocation):
+                    self._fires[i] += 1
+                    due.append((i, invocation))
+        return due
+
+    def _record(self, site: str, kind: str, invocation: int, detail: str) -> None:
+        with self._lock:
+            self.fired.append(FiredFault(site, kind, invocation, detail))
+        current_registry().counter(
+            "faults_injected_total", "faults fired by the injection harness"
+        ).inc(site=site, kind=kind)
+
+    def hit(self, site: str, **context) -> None:
+        """Apply latency/error rules due at this visit of ``site``.
+
+        Latency is applied before any error, so a site can be both slow and
+        failing under one plan.
+        """
+        for rule_index, invocation in self._due(site, ("latency", "error")):
+            rule = self.rules[rule_index]
+            if rule.kind == "latency":
+                self._record(
+                    site, "latency", invocation, f"{rule.latency_ms:g}ms"
+                )
+                time.sleep(rule.latency_ms / 1e3)
+            else:
+                self._record(site, "error", invocation, rule.error.__name__)
+                if issubclass(rule.error, TransientFault):
+                    raise rule.error(f"injected fault at {site}", site=site)
+                raise rule.error(f"injected fault at {site}")
+
+    def corrupt(self, site: str, array: np.ndarray) -> np.ndarray:
+        """Apply corruption rules due at this visit of ``site``.
+
+        Mutates ``array`` in place (the sites passing arrays here own them)
+        and returns it; the damaged cell index is deterministic in the seed.
+        """
+        for rule_index, invocation in self._due(site, ("corrupt",)):
+            rule = self.rules[rule_index]
+            if array.size == 0:
+                continue
+            index = random.Random(
+                f"{self.seed}:{site}:{rule_index}:{invocation}:cell"
+            ).randrange(array.size)
+            array.reshape(-1)[index] += rule.magnitude
+            self._record(site, "corrupt", invocation, f"cell {index}")
+        return array
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def activate(self):
+        """Make this injector ambient for the block (nests; innermost wins)."""
+        token = _ACTIVE_INJECTOR.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_INJECTOR.reset(token)
+
+    def invocations(self, site: str) -> int:
+        """How many times ``site`` has been visited."""
+        with self._lock:
+            return self._invocations.get(site, 0)
+
+    def summary(self) -> dict:
+        """JSON-friendly ``{site: {kind: fires}}`` plus totals."""
+        with self._lock:
+            by_site: dict[str, dict[str, int]] = {}
+            for f in self.fired:
+                by_site.setdefault(f.site, {}).setdefault(f.kind, 0)
+                by_site[f.site][f.kind] += 1
+            return {
+                "seed": self.seed,
+                "rules": [r.to_dict() for r in self.rules],
+                "fired_total": len(self.fired),
+                "fired_by_site": by_site,
+                "invocations": dict(self._invocations),
+            }
+
+
+_ACTIVE_INJECTOR: ContextVar[FaultInjector | None] = ContextVar(
+    "repro_fault_injector", default=None
+)
+
+
+def current_injector() -> FaultInjector | None:
+    """The innermost activated injector, or ``None``."""
+    return _ACTIVE_INJECTOR.get()
+
+
+def fault_point(site: str, **context) -> None:
+    """Latency/error fault site; a single contextvar read when inactive."""
+    injector = _ACTIVE_INJECTOR.get()
+    if injector is not None:
+        injector.hit(site, **context)
+
+
+def corrupt_array(site: str, array: np.ndarray) -> np.ndarray:
+    """Corruption fault site; returns ``array`` (damaged in place if due)."""
+    injector = _ACTIVE_INJECTOR.get()
+    if injector is not None:
+        return injector.corrupt(site, array)
+    return array

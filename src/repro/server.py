@@ -10,25 +10,53 @@ It is a thin composition of the public pieces (``repro.cube``,
 ``repro.core``), so everything it does can also be done directly; the value
 is a single object with sane defaults for applications and examples.
 
-Two serving amenities live only here:
+Serving amenities that live only here:
 
 - **Observability** — every server owns a :class:`~repro.obs.Observability`
   pair (metrics registry + tracer).  Query and reconfiguration paths run
   with it activated, so the ambient instrumentation in ``repro.core``
   (assembly spans, engine sweeps, range lookups) lands in the server's own
-  registry.  ``python -m repro stats`` renders it.
+  registry.  ``python -m repro stats`` renders it, including a ``health``
+  section (:meth:`health`).
 - **Result cache** — assembled aggregated views and roll-ups are kept in a
   bounded LRU keyed by ``(ElementId, selection epoch)``.  The epoch is
   bumped by :meth:`reconfigure` (so Algorithm-2 re-selections atomically
   invalidate every cached answer) and the cache is cleared by
   :meth:`update` (stored arrays change in place).  Hits, misses, and
   evictions are exposed through the same registry.
+- **Resilience** — the serving surface is bounded and failure-tolerant:
+
+  * *Snapshot serving state.*  ``(materialized, range_engine, epoch,
+    cache)`` live in one immutable :class:`_ServingState`; every query
+    reads the reference once and :meth:`reconfigure` swaps a fully built
+    replacement in a single assignment, so concurrent queries see either
+    the old or the new selection, never a mix.
+  * *Admission control.*  ``max_in_flight`` bounds concurrently admitted
+    queries with a semaphore; at capacity the server fail-fasts with
+    :class:`~repro.errors.AdmissionRejected` (or waits up to
+    ``admission_wait_ms``).
+  * *Deadlines.*  A per-call ``deadline_ms`` (or the constructor's
+    ``default_deadline_ms``) propagates by contextvar into the assembly
+    recursion and the DAG executor, which checks it between node
+    dispatches and cancels outstanding work; expiry raises
+    :class:`~repro.errors.QueryTimeout` and frees the admission slot.
+  * *Retries.*  :class:`~repro.errors.TransientFault`\\ s (fault injection,
+    flaky substrate) are retried up to ``max_retries`` times with
+    exponential backoff bounded by the remaining deadline.
+  * *Graceful degradation.*  Stored elements are checksummed at store time
+    and verified on first use; damaged elements are quarantined and
+    queries transparently re-route to surviving ancestors — or, when the
+    remaining set is incomplete, to the base cube itself
+    (``degrade_to_base``), which the paper's perfect-reconstruction
+    property guarantees can answer anything.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable, Mapping, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,15 +64,27 @@ import numpy as np
 from .core.adaptive import AccessTracker
 from .core.element import ElementId
 from .core.engine import SelectionEngine
-from .core.materialize import MaterializedSet
+from .core.materialize import MaterializedSet, compute_element
 from .core.operators import OpCounter
 from .core.population import QueryPopulation
-from .core.range_query import RangeQueryEngine
+from .core.range_query import RangeQueryEngine, range_sum_direct
 from .core.select_basis import select_minimum_cost_basis
 from .cube.builder import build_cube
 from .cube.datacube import DataCube
 from .cube.hierarchy import rollup_element
+from .errors import (
+    AdmissionRejected,
+    IncompleteSetError,
+    QueryTimeout,
+    TransientFault,
+)
 from .obs import LRUCache, Observability, span
+from .resilience.deadline import (
+    Deadline,
+    current_deadline,
+    deadline_scope,
+)
+from .resilience.faults import fault_point
 
 __all__ = ["OLAPServer", "ServerStats"]
 
@@ -64,6 +104,23 @@ class ServerStats:
         return self.operations / self.queries if self.queries else 0.0
 
 
+@dataclass(frozen=True)
+class _ServingState:
+    """One consistent serving configuration, swapped atomically.
+
+    Queries read ``server._state`` exactly once and work against that
+    snapshot; :meth:`OLAPServer.reconfigure` builds a complete replacement
+    off to the side and publishes it with a single reference assignment
+    (atomic under the GIL), so no query can observe a new materialized set
+    with an old epoch or a stale range engine.
+    """
+
+    materialized: MaterializedSet
+    range_engine: RangeQueryEngine
+    epoch: int
+    cache: LRUCache
+
+
 class OLAPServer:
     """Serve OLAP queries from a dynamically selected view element set."""
 
@@ -76,13 +133,28 @@ class OLAPServer:
         cache_entries: int = 128,
         cache_cells: int | None = None,
         observability: Observability | None = None,
+        max_in_flight: int | None = None,
+        admission_wait_ms: float = 0.0,
+        default_deadline_ms: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_ms: float = 5.0,
+        degrade_to_base: bool = True,
     ):
         """``storage_budget`` (cells) enables Algorithm 2 redundancy when it
         exceeds the cube volume; ``decay``/``smoothing`` configure workload
         tracking.  ``cache_entries``/``cache_cells`` bound the assembled-view
         result cache (entries and total cached cells); ``observability``
         supplies a shared metrics registry + tracer (one is created
-        otherwise)."""
+        otherwise).
+
+        Resilience knobs: ``max_in_flight`` bounds admitted queries
+        (``None`` = unbounded) with ``admission_wait_ms`` of bounded wait
+        before :class:`AdmissionRejected` (0 = fail-fast);
+        ``default_deadline_ms`` applies to calls that pass no deadline;
+        ``max_retries``/``retry_backoff_ms`` govern
+        :class:`TransientFault` retries; ``degrade_to_base`` allows
+        falling back to recomputation from the base cube when quarantine
+        leaves the stored set incomplete."""
         self.cube = cube
         self.shape = cube.shape_id
         self.storage_budget = storage_budget
@@ -93,27 +165,69 @@ class OLAPServer:
         #: threads, or :meth:`query_batch` callers) account exactly.  The
         #: metrics registry and the result cache carry their own locks.
         self._stats_lock = threading.Lock()
+        #: Serializes reconfigurations (queries are never blocked by it).
+        self._reconfigure_lock = threading.Lock()
         self.obs = observability if observability is not None else Observability()
         self.metrics = self.obs.registry
         self.tracer = self.obs.tracer
-        #: Selection epoch: bumped by every :meth:`reconfigure`, part of the
-        #: result-cache key so stale answers can never be served.
-        self.epoch = 0
-        self._view_cache = LRUCache(
-            max_entries=cache_entries,
-            max_weight=cache_cells,
-            weigh=lambda values: values.size,
-            registry=self.metrics,
-            name="view_cache",
+        self.max_in_flight = max_in_flight
+        self.admission_wait_ms = admission_wait_ms
+        self.default_deadline_ms = default_deadline_ms
+        self.max_retries = max_retries
+        self.retry_backoff_ms = retry_backoff_ms
+        self.degrade_to_base = degrade_to_base
+        self._admission = (
+            threading.BoundedSemaphore(max_in_flight)
+            if max_in_flight is not None
+            else None
         )
+        self._cache_entries = cache_entries
+        self._cache_cells = cache_cells
         self.metrics.gauge(
             "server_epoch", "current selection epoch of the result cache"
         ).set(0)
         self._engine: SelectionEngine | None = None
         # Start with the trivial selection: the cube itself.
-        self.materialized = MaterializedSet(self.shape)
-        self.materialized.store(self.shape.root(), cube.values)
-        self._range_engine = RangeQueryEngine(self.materialized)
+        materialized = MaterializedSet(self.shape)
+        materialized.store(self.shape.root(), cube.values)
+        self._state = _ServingState(
+            materialized=materialized,
+            range_engine=RangeQueryEngine(materialized),
+            epoch=0,
+            cache=self._new_cache(),
+        )
+
+    def _new_cache(self) -> LRUCache:
+        return LRUCache(
+            max_entries=self._cache_entries,
+            max_weight=self._cache_cells,
+            weigh=lambda values: values.size,
+            registry=self.metrics,
+            name="view_cache",
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot-state accessors (kept for compatibility: these always read
+    # the *current* state; hold ``self._state`` yourself for a consistent
+    # multi-field view).
+
+    @property
+    def materialized(self) -> MaterializedSet:
+        """The currently serving materialized element set."""
+        return self._state.materialized
+
+    @property
+    def epoch(self) -> int:
+        """Current selection epoch (bumped by every reconfiguration)."""
+        return self._state.epoch
+
+    @property
+    def _view_cache(self) -> LRUCache:
+        return self._state.cache
+
+    @property
+    def _range_engine(self) -> RangeQueryEngine:
+        return self._state.range_engine
 
     # ------------------------------------------------------------------
     # Construction
@@ -132,6 +246,167 @@ class OLAPServer:
         return cls(cube, **kwargs)
 
     # ------------------------------------------------------------------
+    # Admission, deadlines, retries
+
+    @contextmanager
+    def _admit(self, kind: str):
+        """Hold one admission slot for the duration of a query.
+
+        With no ``max_in_flight`` this is free.  At capacity, waits up to
+        ``admission_wait_ms`` (0 = fail-fast) and then raises
+        :class:`AdmissionRejected`; the slot is always released on exit —
+        including when the query times out or fails."""
+        if self._admission is None:
+            yield
+            return
+        wait = self.admission_wait_ms / 1e3
+        acquired = self._admission.acquire(
+            blocking=wait > 0, timeout=wait if wait > 0 else None
+        )
+        gauge = self.metrics.gauge(
+            "server_in_flight", "queries currently admitted"
+        )
+        if not acquired:
+            self.metrics.counter(
+                "server_admission_rejected_total",
+                "queries rejected at the admission bound",
+            ).inc(kind=kind)
+            raise AdmissionRejected(
+                f"server at capacity ({self.max_in_flight} in flight)",
+                limit=self.max_in_flight,
+            )
+        gauge.inc(1)
+        try:
+            yield
+        finally:
+            self._admission.release()
+            gauge.inc(-1)
+
+    def _deadline_for(self, deadline_ms: float | None) -> Deadline | None:
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is None:
+            return None
+        return Deadline.after(deadline_ms / 1e3)
+
+    @contextmanager
+    def _serving(self, kind: str, deadline_ms: float | None):
+        """Admission + deadline + timeout accounting around one query."""
+        try:
+            with self._admit(kind), deadline_scope(
+                self._deadline_for(deadline_ms)
+            ):
+                yield
+        except QueryTimeout:
+            self.metrics.counter(
+                "server_timeouts_total", "queries cancelled by their deadline"
+            ).inc(kind=kind)
+            raise
+
+    def _backoff(self, attempt: int) -> None:
+        """Exponential backoff bounded by the remaining deadline."""
+        delay = (self.retry_backoff_ms / 1e3) * (2 ** (attempt - 1))
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("server.retry")
+            delay = min(delay, max(0.0, deadline.remaining()))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _note_retry(self, attempt: int) -> None:
+        self.metrics.counter(
+            "server_retries_total", "transient-fault retries performed"
+        ).inc()
+        if attempt > self.max_retries:
+            self.metrics.counter(
+                "server_retry_exhausted_total",
+                "queries failed after exhausting retries",
+            ).inc()
+
+    def _note_degraded(self) -> None:
+        self.metrics.counter(
+            "server_degraded_total",
+            "queries answered from the base cube after quarantine",
+        ).inc()
+
+    def _assemble_resilient(
+        self,
+        materialized: MaterializedSet,
+        element: ElementId,
+        counter: OpCounter,
+    ) -> np.ndarray:
+        """Assemble one element with retries and base-cube degradation.
+
+        Each attempt uses a scratch counter merged only on success, so the
+        caller's accounting reflects the answer actually served; a
+        quarantine-induced incomplete set falls back to the perfect
+        reconstruction route from the base cube (bit-identical for the
+        integer-valued measures the chaos gate replays)."""
+        attempt = 0
+        while True:
+            scratch = OpCounter()
+            try:
+                values = materialized.assemble(element, counter=scratch)
+                counter.merge(scratch)
+                return values
+            except TransientFault:
+                attempt += 1
+                self._note_retry(attempt)
+                if attempt > self.max_retries:
+                    raise
+                self._backoff(attempt)
+            except IncompleteSetError:
+                if not self.degrade_to_base:
+                    raise
+                scratch = OpCounter()
+                values = compute_element(
+                    self.cube.values, element, counter=scratch
+                )
+                counter.merge(scratch)
+                self._note_degraded()
+                return values
+
+    def _assemble_batch_resilient(
+        self,
+        materialized: MaterializedSet,
+        missing: Sequence[ElementId],
+        counter: OpCounter,
+        max_workers: int,
+    ) -> dict[ElementId, np.ndarray]:
+        """Batch analogue of :meth:`_assemble_resilient`.
+
+        A shared-plan execution is all-or-nothing, and retrying the whole
+        batch re-rolls every node's fault dice — under a per-node fault
+        rate the batch-level failure probability does not shrink with the
+        batch's size.  So after the batch retry budget is spent (or the
+        set went incomplete mid-plan), recovery proceeds per element, where
+        each target gets its own independent retry/degradation budget.
+        """
+        attempt = 0
+        while True:
+            scratch = OpCounter()
+            try:
+                results = materialized.assemble_batch(
+                    missing, counter=scratch, max_workers=max_workers
+                )
+                counter.merge(scratch)
+                return results
+            except TransientFault:
+                attempt += 1
+                self._note_retry(attempt)
+                if attempt > self.max_retries:
+                    break
+                self._backoff(attempt)
+            except IncompleteSetError:
+                if not self.degrade_to_base:
+                    raise
+                break
+        return {
+            element: self._assemble_resilient(materialized, element, counter)
+            for element in dict.fromkeys(missing)
+        }
+
+    # ------------------------------------------------------------------
     # Query surface
 
     def _element_for(self, retained_dims: Iterable[str]) -> ElementId:
@@ -146,18 +421,31 @@ class OLAPServer:
         ]
         return self.shape.aggregated_view(aggregated)
 
-    def view(self, retained_dims: Iterable[str]) -> np.ndarray:
+    def view(
+        self,
+        retained_dims: Iterable[str],
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
         """Aggregated view retaining the named dimensions (SUM)."""
-        return self._serve_element(self._element_for(retained_dims), "view")
+        return self._serve_element(
+            self._element_for(retained_dims), "view", deadline_ms
+        )
 
-    def rollup(self, levels: Mapping[str, str | int]) -> np.ndarray:
+    def rollup(
+        self,
+        levels: Mapping[str, str | int],
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
         """Roll-up to named or numeric hierarchy levels per dimension."""
-        return self._serve_element(rollup_element(self.cube, levels), "rollup")
+        return self._serve_element(
+            rollup_element(self.cube, levels), "rollup", deadline_ms
+        )
 
     def query_batch(
         self,
         requests: Sequence[Iterable[str]],
         max_workers: int = 1,
+        deadline_ms: float | None = None,
     ) -> list[np.ndarray]:
         """Serve several aggregated views as one shared assembly plan.
 
@@ -167,46 +455,68 @@ class OLAPServer:
         assembled together (:meth:`MaterializedSet.assemble_batch`), so
         intermediates shared between queries are computed once.  Answers
         come back in request order, bit-identical to individual
-        :meth:`view` calls, and land in the result cache.
+        :meth:`view` calls, and land in the result cache.  The whole batch
+        holds one admission slot and shares one deadline.
         """
         elements = [self._element_for(dims) for dims in requests]
-        return self._serve_batch(elements, "view", max_workers)
+        return self._serve_batch(elements, "view", max_workers, deadline_ms)
 
     def rollup_batch(
         self,
         levels_list: Sequence[Mapping[str, str | int]],
         max_workers: int = 1,
+        deadline_ms: float | None = None,
     ) -> list[np.ndarray]:
         """Serve several roll-ups as one shared assembly plan.
 
         Batch analogue of :meth:`rollup`; see :meth:`query_batch`.
         """
         elements = [rollup_element(self.cube, levels) for levels in levels_list]
-        return self._serve_batch(elements, "rollup", max_workers)
+        return self._serve_batch(elements, "rollup", max_workers, deadline_ms)
 
-    def _serve_element(self, element: ElementId, kind: str) -> np.ndarray:
+    def _cache_get(self, state: _ServingState, key):
+        """Result-cache consult that degrades to a miss on cache faults."""
+        try:
+            fault_point("server.cache_lookup", key=key)
+            return state.cache.get(key)
+        except TransientFault:
+            self.metrics.counter(
+                "server_cache_bypass_total",
+                "cache lookups degraded to a recompute by a cache fault",
+            ).inc()
+            return None
+
+    def _serve_element(
+        self,
+        element: ElementId,
+        kind: str,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
         """Serve one assembled element, consulting the result cache.
 
         Cached answers are the same arrays a cold assembly produced (the
         assemble contract already says "treat as read-only"), so hits are
         bit-identical to misses and cost zero scalar operations.
         """
-        with self.obs.activate(), span(
+        with self.obs.activate(), self._serving(kind, deadline_ms), span(
             "server.query", kind=kind, element=element.describe()
         ) as sp:
             self.metrics.counter(
                 "server_queries_total", "queries served, by kind"
             ).inc(kind=kind)
-            key = (element, self.epoch)
-            cached = self._view_cache.get(key)
+            state = self._state
+            key = (element, state.epoch)
+            cached = self._cache_get(state, key)
             if cached is not None:
-                self._account(element, OpCounter())
+                self._account(element, OpCounter(), state)
                 sp.set(cache="hit", operations=0)
                 return cached
             counter = OpCounter()
-            values = self.materialized.assemble(element, counter=counter)
-            self._view_cache.put(key, values)
-            self._account(element, counter)
+            values = self._assemble_resilient(
+                state.materialized, element, counter
+            )
+            state.cache.put(key, values)
+            self._account(element, counter, state)
             sp.set(cache="miss", operations=counter.total)
             return values
 
@@ -215,6 +525,7 @@ class OLAPServer:
         elements: Sequence[ElementId],
         kind: str,
         max_workers: int,
+        deadline_ms: float | None = None,
     ) -> list[np.ndarray]:
         """Serve a batch of elements through one shared plan.
 
@@ -222,17 +533,18 @@ class OLAPServer:
         stored targets cost the plan nothing), so only genuinely missing
         work reaches the executor.
         """
-        with self.obs.activate(), span(
+        with self.obs.activate(), self._serving(kind, deadline_ms), span(
             "server.query_batch", kind=kind, requests=len(elements)
         ) as sp:
             self.metrics.counter(
                 "server_queries_total", "queries served, by kind"
             ).inc(len(elements), kind=kind)
+            state = self._state
             answers: dict[ElementId, np.ndarray] = {}
             missing: list[ElementId] = []
             hits = 0
             for element in dict.fromkeys(elements):
-                cached = self._view_cache.get((element, self.epoch))
+                cached = self._cache_get(state, (element, state.epoch))
                 if cached is not None:
                     answers[element] = cached
                     hits += 1
@@ -240,11 +552,11 @@ class OLAPServer:
                     missing.append(element)
             counter = OpCounter()
             if missing:
-                assembled = self.materialized.assemble_batch(
-                    missing, counter=counter, max_workers=max_workers
+                assembled = self._assemble_batch_resilient(
+                    state.materialized, missing, counter, max_workers
                 )
                 for element, values in assembled.items():
-                    self._view_cache.put((element, self.epoch), values)
+                    state.cache.put((element, state.epoch), values)
                     answers[element] = values
             with self._stats_lock:
                 self.stats.queries += len(elements)
@@ -257,6 +569,7 @@ class OLAPServer:
             self.metrics.counter(
                 "server_batches_total", "batch requests served, by kind"
             ).inc(kind=kind)
+            self._sync_degradation_gauge(state)
             sp.set(
                 cache_hits=hits,
                 assembled=len(missing),
@@ -264,28 +577,62 @@ class OLAPServer:
             )
             return [answers[element] for element in elements]
 
-    def range_sum(self, ranges) -> float:
+    def range_sum(self, ranges, deadline_ms: float | None = None) -> float:
         """SUM over a multi-dimensional half-open coordinate range."""
-        with self.obs.activate(), span("server.query", kind="range") as sp:
+        with self.obs.activate(), self._serving("range", deadline_ms), span(
+            "server.query", kind="range"
+        ) as sp:
             self.metrics.counter(
                 "server_queries_total", "queries served, by kind"
             ).inc(kind="range")
-            counter = OpCounter()
-            answer = self._range_engine.range_sum(ranges, counter=counter)
+            state = self._state
+            ranges = tuple((int(lo), int(hi)) for lo, hi in ranges)
+            attempt = 0
+            while True:
+                counter = OpCounter()
+                try:
+                    answer = state.range_engine.range_sum(
+                        ranges, counter=counter
+                    )
+                    value = answer.value
+                    cells_read = answer.cells_read
+                    break
+                except TransientFault:
+                    attempt += 1
+                    self._note_retry(attempt)
+                    if attempt > self.max_retries:
+                        raise
+                    self._backoff(attempt)
+                except IncompleteSetError:
+                    if not self.degrade_to_base:
+                        raise
+                    counter = OpCounter()
+                    value = range_sum_direct(
+                        self.cube.values, ranges, counter=counter
+                    )
+                    cells_read = 0
+                    self._note_degraded()
+                    break
             with self._stats_lock:
                 self.stats.queries += 1
                 self.stats.operations += counter.total
             self.metrics.counter(
                 "server_operations_total", "scalar operations spent serving"
             ).inc(counter.total)
-            sp.set(operations=counter.total, cells_read=answer.cells_read)
-            return answer.value
+            self._sync_degradation_gauge(state)
+            sp.set(operations=counter.total, cells_read=cells_read)
+            return value
 
     def cell(self, **coordinates) -> float:
         """One cube cell, addressed by dimension values."""
         return self.cube.cell(**coordinates)
 
-    def _account(self, element: ElementId, counter: OpCounter) -> None:
+    def _account(
+        self,
+        element: ElementId,
+        counter: OpCounter,
+        state: _ServingState | None = None,
+    ) -> None:
         with self._stats_lock:
             self.stats.queries += 1
             self.stats.operations += counter.total
@@ -293,6 +640,13 @@ class OLAPServer:
         self.metrics.counter(
             "server_operations_total", "scalar operations spent serving"
         ).inc(counter.total)
+        self._sync_degradation_gauge(state if state is not None else self._state)
+
+    def _sync_degradation_gauge(self, state: _ServingState) -> None:
+        self.metrics.gauge(
+            "server_quarantined_elements",
+            "stored elements currently quarantined by integrity checks",
+        ).set(len(state.materialized.quarantined))
 
     # ------------------------------------------------------------------
     # Reconfiguration
@@ -310,10 +664,16 @@ class OLAPServer:
         """Re-select and re-materialize; returns ``(storage, expected cost)``.
 
         Uses the observed workload by default.  The new set is computed
-        from the current one (assembly, not a cube rescan).  Bumps the
-        selection epoch, which invalidates every cached query answer.
+        from the current one (assembly, not a cube rescan).  The entire
+        serving state — materialized set, range engine, epoch, result
+        cache — is built off to the side and swapped in atomically, so
+        concurrent queries see either the old or the new configuration in
+        full; the epoch bump invalidates every cached query answer.
         """
-        with self.obs.activate(), span("server.reconfigure") as sp:
+        with self._reconfigure_lock, self.obs.activate(), span(
+            "server.reconfigure"
+        ) as sp:
+            state = self._state
             if population is None:
                 population = self.observed_population()
             selection = select_minimum_cost_basis(self.shape, population)
@@ -336,12 +696,20 @@ class OLAPServer:
             for element in sorted(set(elements), key=lambda e: e.depth):
                 new_set.store(
                     element,
-                    self.materialized.assemble(element, counter=migration),
+                    self._assemble_resilient(
+                        state.materialized, element, migration
+                    ),
                 )
-            self.materialized = new_set
-            self._range_engine = RangeQueryEngine(new_set)
-            self.epoch += 1
-            self._view_cache.clear()
+            new_state = _ServingState(
+                materialized=new_set,
+                range_engine=RangeQueryEngine(new_set),
+                epoch=state.epoch + 1,
+                cache=self._new_cache(),
+            )
+            self._state = new_state
+            # Release the superseded cache's arrays promptly; in-flight
+            # queries holding the old state at worst recompute on a miss.
+            state.cache.clear()
             self.stats.reconfigurations += 1
             self.stats.last_expected_cost = float(expected)
             self.metrics.counter(
@@ -349,18 +717,60 @@ class OLAPServer:
             ).inc()
             self.metrics.gauge(
                 "server_epoch", "current selection epoch of the result cache"
-            ).set(self.epoch)
+            ).set(new_state.epoch)
             self.metrics.histogram(
                 "reconfigure_migration_operations",
                 "scalar operations spent migrating the materialized set",
             ).observe(migration.total)
             sp.set(
                 operations=migration.total,
-                epoch=self.epoch,
+                epoch=new_state.epoch,
                 storage=new_set.storage,
                 expected_cost=float(expected),
             )
             return new_set.storage, float(expected)
+
+    # ------------------------------------------------------------------
+    # Health
+
+    def health(self) -> dict:
+        """A JSON-friendly snapshot of the server's serving condition.
+
+        ``status`` is ``"ok"`` when no stored element is quarantined and
+        ``"degraded"`` otherwise (answers stay exact either way — see
+        module docs).  Rendered by ``python -m repro stats``.
+        """
+        state = self._state
+        quarantined = state.materialized.quarantined
+
+        def _total(name: str) -> float:
+            metric = self.metrics.get(name)
+            total = getattr(metric, "total", None)
+            return float(total()) if callable(total) else 0.0
+
+        with self._stats_lock:
+            queries = self.stats.queries
+            reconfigurations = self.stats.reconfigurations
+        return {
+            "status": "degraded" if quarantined else "ok",
+            "epoch": state.epoch,
+            "stored_elements": len(state.materialized),
+            "quarantined_elements": len(quarantined),
+            "quarantined": [e.describe() for e in quarantined],
+            "in_flight": self.metrics.gauge(
+                "server_in_flight", "queries currently admitted"
+            ).value(),
+            "max_in_flight": self.max_in_flight,
+            "queries": queries,
+            "reconfigurations": reconfigurations,
+            "admission_rejected": _total("server_admission_rejected_total"),
+            "timeouts": _total("server_timeouts_total"),
+            "retries": _total("server_retries_total"),
+            "degraded_serves": _total("server_degraded_total"),
+            "cache_bypasses": _total("server_cache_bypass_total"),
+            "integrity_failures": _total("integrity_failures_total"),
+            "faults_injected": _total("faults_injected_total"),
+        }
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -375,14 +785,15 @@ class OLAPServer:
         go stale); the epoch is *not* bumped — the selection is unchanged.
         """
         with self.obs.activate(), span("server.update"):
+            state = self._state
             index = tuple(
                 dim.encode(coordinates[dim.name])
                 for dim in self.cube.dimensions
             )
-            self.materialized.apply_update(index, delta)
+            state.materialized.apply_update(index, delta)
             self.cube.values[index] += delta
-            self._view_cache.clear()
-            self._range_engine.invalidate()
+            state.cache.clear()
+            state.range_engine.invalidate()
             self.metrics.counter(
                 "server_updates_total", "incremental cell updates applied"
             ).inc()

@@ -1,0 +1,67 @@
+"""The chaos acceptance replay: seeded faults, bit-identical answers."""
+
+import json
+
+import pytest
+
+from repro.resilience.chaos import ChaosConfig, render_report, run_chaos
+
+
+@pytest.fixture(scope="module")
+def report():
+    # One replay shared by the assertions below (the replay is the
+    # expensive part; the assertions inspect different facets of it).
+    return run_chaos(ChaosConfig(seed=7, queries=40))
+
+
+class TestChaosGate:
+    def test_survives_with_every_answer_bit_identical(self, report):
+        assert report["uncaught_exception"] is None
+        assert report["mismatches"] == []
+        assert report["answered"] == report["operations"]
+        assert report["survival_rate"] == 1.0
+        assert report["ok"] is True
+
+    def test_faults_actually_fired(self, report):
+        assert report["faults_injected"]["fired_total"] > 0
+        assert report["retries"] > 0
+
+    def test_corruption_was_quarantined(self, report):
+        fired = report["faults_injected"]["fired_by_site"]
+        assert fired.get("materialize.store", {}).get("corrupt") == 1
+        assert report["integrity_failures"] >= 1
+
+    def test_deadline_probe_times_out_and_frees_the_slot(self, report):
+        probe = report["deadline_probe"]
+        assert probe["timeout_raised"] is True
+        assert probe["slot_freed"] is True
+        assert probe["timeouts_counted"] == 1
+
+    def test_report_is_json_serializable(self, report):
+        blob = json.loads(json.dumps(report))
+        assert blob["ok"] is True
+
+    def test_render_report_flags_survival(self, report):
+        text = render_report(report)
+        assert "SURVIVED" in text
+        assert "100.0%" in text
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_fault_plan(self):
+        config = ChaosConfig(seed=3, queries=20)
+        first = run_chaos(config)
+        second = run_chaos(config)
+        assert (
+            first["faults_injected"]["fired_by_site"]
+            == second["faults_injected"]["fired_by_site"]
+        )
+        assert (
+            first["faults_injected"]["invocations"]
+            == second["faults_injected"]["invocations"]
+        )
+        assert first["ok"] and second["ok"]
+
+    def test_other_seeds_also_survive(self):
+        for seed in (0, 1):
+            assert run_chaos(ChaosConfig(seed=seed, queries=25))["ok"], seed

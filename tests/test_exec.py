@@ -196,3 +196,90 @@ class TestExecutePlanDirect:
         ms = pyramid_from_root(shape_3d, rng)
         plan = plan_batch(all_group_bys(shape_3d), ms.elements)
         assert 0.0 <= plan.cse_ratio <= 1.0
+
+
+class TestPooledFailureHandling:
+    """The executor's failure discipline: drain, merge, re-raise."""
+
+    def test_worker_fault_is_raised_and_partials_merged(self, shape_3d, rng):
+        from repro.errors import TransientFault
+        from repro.resilience import FaultInjector, FaultRule
+
+        ms = pyramid_from_root(shape_3d, rng)
+        targets = all_group_bys(shape_3d)
+        clean_counter = OpCounter()
+        ms.assemble_batch(targets, counter=clean_counter)
+
+        injector = FaultInjector(
+            [
+                FaultRule(
+                    site="exec.compute_node",
+                    kind="error",
+                    probability=1.0,
+                    max_fires=1,
+                )
+            ],
+            seed=5,
+        )
+        counter = OpCounter()
+        with injector.activate():
+            with pytest.raises(TransientFault):
+                ms.assemble_batch(targets, counter=counter, max_workers=2)
+        # Exactly one node failed; whatever completed before the abort is
+        # accounted, and nothing beyond the clean total can appear.
+        assert 0 <= counter.total < clean_counter.total
+
+    def test_pool_is_reusable_after_a_fault(self, shape_3d, rng):
+        from repro.errors import TransientFault
+        from repro.resilience import FaultInjector, FaultRule
+
+        ms = pyramid_from_root(shape_3d, rng)
+        targets = all_group_bys(shape_3d)
+        expected = ms.assemble_batch(targets)
+        injector = FaultInjector(
+            [
+                FaultRule(
+                    site="exec.compute_node",
+                    kind="error",
+                    probability=1.0,
+                    max_fires=1,
+                )
+            ],
+            seed=5,
+        )
+        with injector.activate():
+            with pytest.raises(TransientFault):
+                ms.assemble_batch(targets, max_workers=2)
+            # max_fires exhausted: the very next batch succeeds, identically.
+            recovered = ms.assemble_batch(targets, max_workers=2)
+        for target in targets:
+            np.testing.assert_array_equal(recovered[target], expected[target])
+
+    def test_expired_deadline_aborts_pooled_execution(self, shape_3d, rng):
+        from repro.errors import QueryTimeout
+        from repro.resilience import Deadline, deadline_scope
+
+        ms = pyramid_from_root(shape_3d, rng)
+        targets = all_group_bys(shape_3d)
+        with deadline_scope(Deadline.after(-0.001)):
+            with pytest.raises(QueryTimeout):
+                ms.assemble_batch(targets, max_workers=2)
+
+    def test_expired_deadline_aborts_serial_execution(self, shape_3d, rng):
+        from repro.errors import QueryTimeout
+        from repro.resilience import Deadline, deadline_scope
+
+        ms = pyramid_from_root(shape_3d, rng)
+        with deadline_scope(Deadline.after(-0.001)):
+            with pytest.raises(QueryTimeout):
+                ms.assemble(shape_3d.aggregated_view((0,)))
+
+    def test_counter_merge_folds_totals_and_events(self):
+        left = OpCounter()
+        left.add(additions=2, label="a")
+        right = OpCounter()
+        right.add(subtractions=3, label="b")
+        left.merge(right)
+        assert left.additions == 2
+        assert left.subtractions == 3
+        assert [label for label, *_ in left.events] == ["a", "b"]

@@ -93,3 +93,164 @@ class TestMaterializedSetRoundTrip:
         )
         with pytest.raises(ValueError, match="unsupported element-set"):
             load_materialized_set(path)
+
+
+class TestPathNormalization:
+    def test_save_bare_load_bare(self, cube, tmp_path):
+        # np.savez_compressed("foo") writes foo.npz; loading via the same
+        # bare path must work (the historical failure mode).
+        save_cube(cube, tmp_path / "bare")
+        loaded = load_cube(tmp_path / "bare")
+        np.testing.assert_array_equal(loaded.values, cube.values)
+
+    def test_save_bare_load_suffixed_and_vice_versa(self, cube, tmp_path):
+        save_cube(cube, tmp_path / "one")
+        np.testing.assert_array_equal(
+            load_cube(tmp_path / "one.npz").values, cube.values
+        )
+        save_cube(cube, tmp_path / "two.npz")
+        np.testing.assert_array_equal(
+            load_cube(tmp_path / "two").values, cube.values
+        )
+        assert not (tmp_path / "two.npz.npz").exists()
+
+    def test_set_paths_normalize_too(self, cube, tmp_path):
+        ms = MaterializedSet.from_cube(
+            cube.values, wavelet_basis(cube.shape_id)
+        )
+        save_materialized_set(ms, tmp_path / "bare_set")
+        loaded = load_materialized_set(tmp_path / "bare_set")
+        assert set(loaded.elements) == set(ms.elements)
+
+    def test_saves_are_atomic_no_temp_residue(self, cube, tmp_path):
+        save_cube(cube, tmp_path / "cube.npz")
+        leftovers = [p.name for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+        assert (tmp_path / "cube.npz").exists()
+
+    def test_save_overwrites_in_place(self, cube, tmp_path):
+        path = tmp_path / "cube.npz"
+        save_cube(cube, path)
+        save_cube(cube, path)  # second save replaces, never corrupts
+        np.testing.assert_array_equal(load_cube(path).values, cube.values)
+
+
+class TestTruncatedArchives:
+    def test_missing_header_raises_integrity_error(self, tmp_path):
+        from repro.errors import IntegrityError
+
+        path = tmp_path / "broken.npz"
+        np.savez(path, values=np.zeros((2, 2)))
+        with pytest.raises(IntegrityError, match="header"):
+            load_cube(path)
+        with pytest.raises(IntegrityError, match="header"):
+            load_materialized_set(path)
+
+    def test_byte_truncated_archive_raises_integrity_error(self, cube, tmp_path):
+        # Cutting the file in half destroys the zip central directory,
+        # the most common real-world truncation; numpy's BadZipFile must
+        # surface as IntegrityError, not leak through raw.
+        from repro.errors import IntegrityError
+
+        whole = tmp_path / "cube.npz"
+        save_cube(cube, whole)
+        data = whole.read_bytes()
+        half = tmp_path / "half.npz"
+        half.write_bytes(data[: len(data) // 2])
+        with pytest.raises(IntegrityError, match="readable"):
+            load_cube(half)
+
+    def test_missing_file_still_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_cube(tmp_path / "nope.npz")
+
+    def test_missing_values_raises_integrity_error(self, tmp_path):
+        import json
+
+        from repro.errors import IntegrityError
+
+        path = tmp_path / "noval.npz"
+        np.savez(
+            path,
+            header=np.frombuffer(
+                json.dumps({"format": 1}).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+        with pytest.raises(IntegrityError, match="values"):
+            load_cube(path)
+
+    def test_missing_element_array_raises_integrity_error(self, tmp_path):
+        import json
+
+        from repro.errors import IntegrityError
+
+        header = {
+            "format": 1,
+            "sizes": [2, 2],
+            "elements": [[[0, 0], [0, 0]], [[1, 0], [0, 0]]],
+        }
+        path = tmp_path / "short.npz"
+        np.savez(
+            path,
+            header=np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            ),
+            element_0=np.zeros((2, 2)),
+            # element_1 deliberately absent: a truncated archive.
+        )
+        with pytest.raises(IntegrityError, match="element_1"):
+            load_materialized_set(path)
+
+    def test_unreadable_header_raises_integrity_error(self, tmp_path):
+        from repro.errors import IntegrityError
+
+        path = tmp_path / "garbage.npz"
+        np.savez(path, header=np.frombuffer(b"\xff\xfe{", dtype=np.uint8))
+        with pytest.raises(IntegrityError, match="header"):
+            load_cube(path)
+
+    def test_checksum_mismatch_raises_integrity_error(self, cube, tmp_path):
+        import json
+
+        from repro.errors import IntegrityError
+
+        header = {
+            "format": 1,
+            "measure": "m",
+            "dimensions": [],
+            "checksum": 12345,  # wrong on purpose
+        }
+        path = tmp_path / "tampered.npz"
+        np.savez(
+            path,
+            header=np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            ),
+            values=np.ones((2, 2)),
+        )
+        with pytest.raises(IntegrityError, match="verification"):
+            load_cube(path)
+
+    def test_archives_without_checksums_still_load(self, tmp_path):
+        import json
+
+        # Format 1 archives written before checksums existed lack the
+        # optional field; they must load (verification is just skipped).
+        header = {
+            "format": 1,
+            "measure": "m",
+            "dimensions": [
+                {"name": "d0", "values": [0, 1], "size": 2},
+                {"name": "d1", "values": [0, 1], "size": 2},
+            ],
+        }
+        path = tmp_path / "legacy.npz"
+        np.savez(
+            path,
+            header=np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            ),
+            values=np.ones((2, 2)),
+        )
+        loaded = load_cube(path)
+        np.testing.assert_array_equal(loaded.values, np.ones((2, 2)))

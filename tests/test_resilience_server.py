@@ -1,0 +1,291 @@
+"""Server-level resilience: deadlines, admission, retries, degradation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cube.datacube import DataCube
+from repro.cube.dimensions import Dimension
+from repro.errors import AdmissionRejected, QueryTimeout, TransientFault
+from repro.resilience import FaultInjector, FaultRule
+from repro.server import OLAPServer
+
+
+def _make_server(seed=11, sizes=(8, 8), **kwargs):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 100, size=sizes).astype(np.float64)
+    dims = [Dimension(f"d{i}", list(range(n))) for i, n in enumerate(sizes)]
+    return OLAPServer(DataCube(values, dims, measure="amount"), **kwargs)
+
+
+class TestDeadlines:
+    def test_ten_ms_deadline_raises_query_timeout(self):
+        server = _make_server(max_in_flight=1, max_retries=0)
+        stall = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble",
+                    kind="latency",
+                    latency_ms=50.0,
+                )
+            ],
+            seed=1,
+        )
+        with stall.activate():
+            with pytest.raises(QueryTimeout):
+                server.view(["d0"], deadline_ms=10.0)
+        assert (
+            server.metrics.counter("server_timeouts_total").total() == 1
+        )
+
+    def test_timeout_frees_the_admission_slot(self):
+        server = _make_server(max_in_flight=1, max_retries=0)
+        stall = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble",
+                    kind="latency",
+                    latency_ms=50.0,
+                )
+            ],
+            seed=1,
+        )
+        with stall.activate():
+            with pytest.raises(QueryTimeout):
+                server.view(["d0"], deadline_ms=10.0)
+        # The slot must be back: this acquires it again and succeeds.
+        result = server.view(["d0"])
+        assert np.array_equal(result, _make_server().view(["d0"]))
+
+    def test_default_deadline_applies_when_call_passes_none(self):
+        server = _make_server(default_deadline_ms=10.0, max_retries=0)
+        stall = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble",
+                    kind="latency",
+                    latency_ms=50.0,
+                )
+            ],
+            seed=1,
+        )
+        with stall.activate():
+            with pytest.raises(QueryTimeout):
+                server.view(["d0"])
+
+    def test_generous_deadline_does_not_interfere(self):
+        server = _make_server()
+        plain = _make_server()
+        assert np.array_equal(
+            server.view(["d0"], deadline_ms=60_000), plain.view(["d0"])
+        )
+
+    def test_batch_deadline_raises_query_timeout(self):
+        server = _make_server(max_retries=0)
+        stall = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble",
+                    kind="latency",
+                    latency_ms=50.0,
+                )
+            ],
+            seed=1,
+        )
+        with stall.activate():
+            with pytest.raises(QueryTimeout):
+                server.query_batch([["d0"], ["d1"]], deadline_ms=10.0)
+
+
+class TestAdmission:
+    def test_fail_fast_rejects_at_capacity(self):
+        server = _make_server(max_in_flight=1)
+        entered = threading.Event()
+        release = threading.Event()
+
+        slow = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble",
+                    kind="latency",
+                    latency_ms=0.0,
+                )
+            ],
+            seed=1,
+        )
+
+        def hold_slot():
+            # Hold the only slot by serving a query that blocks in the
+            # assembly fault site until released.
+            original_hit = slow.hit
+
+            def blocking_hit(site, **ctx):
+                entered.set()
+                release.wait(timeout=5)
+                original_hit(site, **ctx)
+
+            slow.hit = blocking_hit
+            with slow.activate():
+                server.view(["d0"])
+
+        worker = threading.Thread(target=hold_slot)
+        worker.start()
+        try:
+            assert entered.wait(timeout=5)
+            with pytest.raises(AdmissionRejected) as excinfo:
+                server.view(["d1"])
+            assert excinfo.value.limit == 1
+        finally:
+            release.set()
+            worker.join(timeout=5)
+        assert (
+            server.metrics.counter("server_admission_rejected_total").total()
+            == 1
+        )
+        # The slot drains: a later query is admitted.
+        server.view(["d1"])
+
+    def test_unbounded_server_never_rejects(self):
+        server = _make_server()
+        for _ in range(5):
+            server.view(["d0"])
+        assert (
+            server.metrics.counter("server_admission_rejected_total").total()
+            == 0
+        )
+
+
+class TestRetries:
+    def test_transient_faults_are_retried_to_the_right_answer(self):
+        expected = _make_server().view(["d0"])
+        server = _make_server(max_retries=3)
+        flaky = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble",
+                    kind="error",
+                    probability=1.0,
+                    max_fires=2,
+                )
+            ],
+            seed=1,
+        )
+        with flaky.activate():
+            result = server.view(["d0"])
+        assert np.array_equal(result, expected)
+        assert server.metrics.counter("server_retries_total").total() == 2
+
+    def test_retry_budget_exhaustion_raises(self):
+        server = _make_server(max_retries=1)
+        broken = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble",
+                    kind="error",
+                    probability=1.0,
+                )
+            ],
+            seed=1,
+        )
+        with broken.activate():
+            with pytest.raises(TransientFault):
+                server.view(["d0"])
+
+    def test_cache_fault_degrades_to_a_recompute(self):
+        expected = _make_server().view(["d0"])
+        server = _make_server()
+        server.view(["d0"])  # populate the cache
+        cache_fault = FaultInjector(
+            [
+                FaultRule(
+                    site="server.cache_lookup",
+                    kind="error",
+                    probability=1.0,
+                )
+            ],
+            seed=1,
+        )
+        with cache_fault.activate():
+            result = server.view(["d0"])
+        assert np.array_equal(result, expected)
+        assert (
+            server.metrics.counter("server_cache_bypass_total").total() >= 1
+        )
+
+
+class TestDegradation:
+    def test_quarantine_reroutes_bit_identically(self):
+        server = _make_server()
+        server.reconfigure()  # a multi-element selection
+        reference = _make_server()
+        reference.reconfigure()
+        victim = server.materialized.elements[0]
+        server.materialized._arrays[victim].reshape(-1)[0] += 1e6
+        for retained in ([], ["d0"], ["d1"], ["d0", "d1"]):
+            assert np.array_equal(
+                server.view(retained), reference.view(retained)
+            ), retained
+        assert victim in server.materialized.quarantined
+        assert (
+            server.metrics.counter("integrity_failures_total").total() >= 1
+        )
+
+    def test_degrade_to_base_answers_with_an_empty_surviving_set(self):
+        server = _make_server()
+        expected = _make_server().view(["d0"])
+        # Quarantine the only stored element (the root): nothing survives.
+        root = server.shape.root()
+        server.materialized.quarantine(root, reason="test")
+        result = server.view(["d0"])
+        assert np.array_equal(result, expected)
+        assert server.metrics.counter("server_degraded_total").total() >= 1
+
+    def test_degrade_disabled_raises_incomplete_set(self):
+        server = _make_server(degrade_to_base=False)
+        server.materialized.quarantine(server.shape.root(), reason="test")
+        with pytest.raises(ValueError):
+            server.view(["d0"])
+
+    def test_range_sum_degrades_to_direct_scan(self):
+        server = _make_server()
+        expected = _make_server().range_sum(((1, 7), (2, 5)))
+        server.materialized.quarantine(server.shape.root(), reason="test")
+        assert server.range_sum(((1, 7), (2, 5))) == expected
+
+
+class TestHealth:
+    def test_healthy_server_reports_ok(self):
+        server = _make_server(max_in_flight=4)
+        server.view(["d0"])
+        health = server.health()
+        assert health["status"] == "ok"
+        assert health["quarantined_elements"] == 0
+        assert health["max_in_flight"] == 4
+        assert health["queries"] == 1
+        assert health["in_flight"] == 0
+
+    def test_quarantine_flips_status_to_degraded(self):
+        server = _make_server()
+        server.materialized.quarantine(server.shape.root(), reason="test")
+        health = server.health()
+        assert health["status"] == "degraded"
+        assert health["quarantined_elements"] == 1
+        assert health["quarantined"]  # names the element
+
+    def test_health_counts_timeouts(self):
+        server = _make_server(max_retries=0)
+        stall = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble",
+                    kind="latency",
+                    latency_ms=50.0,
+                )
+            ],
+            seed=1,
+        )
+        with stall.activate():
+            with pytest.raises(QueryTimeout):
+                server.view(["d0"], deadline_ms=10.0)
+        assert server.health()["timeouts"] == 1
