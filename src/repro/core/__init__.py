@@ -24,7 +24,15 @@ from .costs import (
 )
 from .element import CubeShape, ElementId
 from .engine import SelectionEngine
-from .exec import BatchPlan, PlanNode, execute_plan, plan_batch
+from .exec import (
+    DISPATCH_THRESHOLD,
+    PROCESS_THRESHOLD,
+    BatchPlan,
+    PlanNode,
+    execute_plan,
+    fuse_plan,
+    plan_batch,
+)
 from .filterbanks import (
     HAAR,
     MEAN,
@@ -44,6 +52,15 @@ from .frequency import (
     total_frequency_volume,
 )
 from .graph import ViewElementGraph
+from .kernels import (
+    POOL_MIN_CELLS,
+    BufferPool,
+    canonical_steps,
+    fused_aggregate,
+    fused_cascade,
+    fused_partial_sum_k,
+    fused_synthesize,
+)
 from .materialize import MaterializedSet, compute_element
 from .operators import (
     OpCounter,
@@ -86,8 +103,18 @@ __all__ = [
     "AssemblyPlan",
     "BasisSelection",
     "BatchPlan",
+    "BufferPool",
+    "DISPATCH_THRESHOLD",
+    "POOL_MIN_CELLS",
+    "PROCESS_THRESHOLD",
     "PlanNode",
+    "canonical_steps",
     "execute_plan",
+    "fuse_plan",
+    "fused_aggregate",
+    "fused_cascade",
+    "fused_partial_sum_k",
+    "fused_synthesize",
     "plan_batch",
     "CompressedCube",
     "CubeShape",

@@ -15,12 +15,34 @@ targets as one shared DAG, the way Gray et al.'s cube operator computes the
   steps so that shared cascade prefixes (e.g. the partial-sum ancestors every
   roll-up of a hierarchy passes through) become one node each, and synthesis
   subtrees demanded by several targets are planned once.
+- :func:`fuse_plan` rewrites the CSE'd DAG using the paper's distributivity
+  property (Eqs 6-9): a maximal run of single-consumer ``P1``/``R1`` step
+  nodes is mathematically one block reduction, so it collapses into a
+  single ``"fused"`` node executed by
+  :func:`repro.core.kernels.fused_cascade` — one kernel call instead of a
+  chain of dispatches, with interior temporaries ping-ponged through the
+  buffer pool.  Shared interiors (more than one consumer) and interiors
+  that are themselves batch targets stay as explicit nodes, so CSE sharing
+  and the result surface are unchanged; the fused node's modeled cost is
+  exactly the sum of the absorbed steps' costs, keeping
+  :class:`~repro.core.operators.OpCounter` accounting equal to the paper's
+  analytic model.
 - :func:`execute_plan` runs the DAG: nodes are refcounted by consumer so
-  temporaries are freed after their last use, and ready nodes run
-  concurrently on a :class:`~concurrent.futures.ThreadPoolExecutor` (the
-  Haar kernels are GIL-releasing numpy reductions).  Exact
-  :class:`~repro.core.operators.OpCounter` accounting is preserved via
-  per-node counters merged into the caller's counter as nodes complete.
+  temporaries are freed after their last use — into a
+  :class:`~repro.core.kernels.BufferPool`, so interior arrays are recycled
+  as ``out=`` buffers instead of reallocated per node.  Dispatch is
+  **cost-aware**: nodes below ``dispatch_threshold`` modeled operations run
+  inline on the scheduler thread (a pool round-trip costs more than a tiny
+  GIL-bound reduction saves), larger ready nodes run concurrently on a
+  :class:`~concurrent.futures.ThreadPoolExecutor` (the Haar kernels are
+  GIL-releasing numpy reductions) — and when *no* node clears the
+  threshold the executor demotes the whole run to serial regardless of the
+  requested worker count, recording the decision.  An optional
+  ``backend="process"`` ships large fused cascades to a process pool over
+  :mod:`multiprocessing.shared_memory` for cubes big enough to amortize
+  the round-trip.  Exact :class:`~repro.core.operators.OpCounter`
+  accounting is preserved via per-node counters merged into the caller's
+  counter as nodes complete.
 
 **Bit-identity.**  Every DAG node's producing expression is exactly the one
 sequential assembly would evaluate: the per-element route choice reuses
@@ -44,8 +66,14 @@ import contextvars
 import time
 from collections import deque
 from collections.abc import Iterable, Mapping
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -54,11 +82,36 @@ from ..obs import current_registry, span
 from ..resilience.deadline import check_deadline, current_deadline
 from ..resilience.faults import fault_point
 from .element import ElementId
+from .kernels import (
+    POOL_MIN_CELLS,
+    BufferPool,
+    _shm_cascade_worker,
+    canonical_steps,
+    fused_cascade,
+)
 from .operators import OpCounter, partial_residual, partial_sum, synthesize
 from .planning import best_route, sorted_by_volume
 from .select_redundant import generation_cost
 
-__all__ = ["PlanNode", "BatchPlan", "plan_batch", "execute_plan"]
+__all__ = [
+    "PlanNode",
+    "BatchPlan",
+    "plan_batch",
+    "fuse_plan",
+    "execute_plan",
+    "DISPATCH_THRESHOLD",
+    "PROCESS_THRESHOLD",
+]
+
+#: Modeled scalar operations below which a node runs inline rather than on
+#: a pool worker: dispatching a tiny GIL-bound numpy reduction to a thread
+#: costs more in scheduling than the reduction itself (the measured source
+#: of the 1-worker-beats-4-workers regression on small cubes).
+DISPATCH_THRESHOLD = 1 << 16
+
+#: Modeled scalar operations above which a fused cascade is worth a
+#: shared-memory process round-trip (two block copies + pool latency).
+PROCESS_THRESHOLD = 1 << 24
 
 #: Node key: the element itself for canonical nodes, or
 #: ``("chain", source, element)`` for cascade interiors whose element's own
@@ -71,21 +124,35 @@ class PlanNode:
     """One node of a merged batch-assembly DAG.
 
     ``kind`` is ``"stored"`` (zero-cost read of a materialized array),
-    ``"step"`` (one ``P1``/``R1`` application to the single dependency), or
-    ``"synthesize"`` (perfect reconstruction from the two child nodes).
+    ``"step"`` (one ``P1``/``R1`` application to the single dependency),
+    ``"fused"`` (a whole ``P1``/``R1`` cascade collapsed into one kernel
+    call by :func:`fuse_plan` — ``steps`` lists the ``(dim, residual?)``
+    sequence), or ``"synthesize"`` (perfect reconstruction from the two
+    child nodes).
     """
 
     key: NodeKey
     element: ElementId
-    kind: str  # "stored" | "step" | "synthesize"
+    kind: str  # "stored" | "step" | "fused" | "synthesize"
     deps: tuple[NodeKey, ...] = ()
     dim: int | None = None  # for "step" / "synthesize"
     residual: bool = False  # for "step": R1 rather than P1
+    steps: tuple[tuple[int, bool], ...] = ()  # for "fused"
 
     @property
     def cost(self) -> int:
-        """Modeled scalar operations of this node (0 for stored reads)."""
-        return 0 if self.kind == "stored" else self.element.volume
+        """Modeled scalar operations of this node (0 for stored reads).
+
+        A fused cascade's cost telescopes exactly: every step halves the
+        volume, so a k-step chain ending at volume ``v`` performs
+        ``v * 2**k - v`` scalar operations — the sum of the per-step costs
+        the unfused DAG would have charged (Eq 28).
+        """
+        if self.kind == "stored":
+            return 0
+        if self.kind == "fused":
+            return (self.element.volume << len(self.steps)) - self.element.volume
+        return self.element.volume
 
 
 @dataclass
@@ -128,34 +195,86 @@ class BatchPlan:
         return 1.0 - self.planned_cost / self.naive_cost
 
 
-def _canonical_steps(
-    source: ElementId, target: ElementId
-) -> list[tuple[int, bool]]:
-    """The ``(dim, residual?)`` steps of the canonical descent.
+# The canonical descent order (dimensions ascending, extra index bits
+# most-significant first) lives in repro.core.kernels so the fused kernels,
+# the planner, and MaterializedSet._descend all share one definition.
+_canonical_steps = canonical_steps
 
-    Mirrors ``MaterializedSet._descend`` exactly: dimensions ascending, and
-    within a dimension the target's extra index bits most-significant first.
+
+def fuse_plan(plan: BatchPlan) -> BatchPlan:
+    """Collapse single-consumer step chains into fused cascade nodes.
+
+    The rewrite exploits distributivity (Eqs 6-9): a run of ``P1``/``R1``
+    step nodes where every interior feeds exactly one consumer — and is not
+    itself a batch target — is one block reduction, so it becomes a single
+    ``"fused"`` node carrying the step sequence.  Interiors with several
+    consumers (the CSE payoff) and target interiors keep their own nodes:
+    fusion never changes which arrays the DAG publishes, which work is
+    shared, or the total modeled cost (``planned_cost`` is invariant —
+    the fused node's cost telescopes to the absorbed steps' sum).
     """
-    steps: list[tuple[int, bool]] = []
-    for dim in range(source.shape.ndim):
-        k0, _ = source.nodes[dim]
-        k1, j1 = target.nodes[dim]
-        for step in range(k1 - k0):
-            steps.append((dim, bool((j1 >> (k1 - k0 - 1 - step)) & 1)))
-    return steps
+    target_keys = set(plan.targets)
+    absorbable: set[NodeKey] = set()
+    for node in plan.nodes.values():
+        if node.kind != "step":
+            continue
+        dep = node.deps[0]
+        dep_node = plan.nodes[dep]
+        if (
+            dep_node.kind == "step"
+            and plan.consumers[dep] == 1
+            and dep not in target_keys
+        ):
+            absorbable.add(dep)
+
+    nodes: dict[NodeKey, PlanNode] = {}
+    for key, node in plan.nodes.items():
+        if key in absorbable:
+            continue
+        if node.kind != "step":
+            nodes[key] = node
+            continue
+        steps = [(node.dim, node.residual)]
+        source = node.deps[0]
+        while source in absorbable:
+            interior = plan.nodes[source]
+            steps.append((interior.dim, interior.residual))
+            source = interior.deps[0]
+        if len(steps) == 1:
+            nodes[key] = node
+        else:
+            steps.reverse()
+            nodes[key] = PlanNode(
+                key=key,
+                element=node.element,
+                kind="fused",
+                deps=(source,),
+                steps=tuple(steps),
+            )
+    return BatchPlan(
+        targets=plan.targets,
+        nodes=nodes,
+        naive_cost=plan.naive_cost,
+        cse_hits=plan.cse_hits,
+    )
 
 
 def plan_batch(
     targets: Iterable[ElementId],
     stored: Iterable[ElementId],
     cost_memo: dict | None = None,
+    fuse: bool = True,
 ) -> BatchPlan:
     """Merge the assembly plans of ``targets`` into one CSE'd DAG.
 
     ``stored`` is the materialized element set the plan reads from;
     ``cost_memo`` optionally reuses Procedure 3 generation costs across
-    calls (e.g. across the batches of one serving epoch).  Raises
-    :class:`ValueError` when the stored set cannot produce some target.
+    calls (e.g. across the batches of one serving epoch).  With ``fuse``
+    (the default) the CSE'd DAG is rewritten by :func:`fuse_plan`, which
+    collapses single-consumer step chains into fused cascade kernels —
+    results and ``planned_cost`` are unchanged, only dispatch granularity.
+    Raises :class:`ValueError` when the stored set cannot produce some
+    target.
     """
     targets = list(dict.fromkeys(targets))
     if not targets:
@@ -278,6 +397,12 @@ def plan_batch(
             naive_cost=naive_cost,
             cse_hits=cse_hits,
         )
+        unfused_nodes = len(plan.nodes)
+        if fuse:
+            plan = fuse_plan(plan)
+        fused_nodes = sum(
+            1 for node in plan.nodes.values() if node.kind == "fused"
+        )
         plan_ms = (time.perf_counter() - start) * 1e3
         registry = current_registry()
         registry.counter("batch_plans_total", "batch assembly plans built").inc()
@@ -290,8 +415,14 @@ def plan_batch(
         registry.histogram(
             "batch_plan_ms", "wall milliseconds spent planning a batch"
         ).observe(plan_ms)
+        if fuse:
+            registry.histogram(
+                "batch_fused_nodes", "fused cascade nodes per batch plan"
+            ).observe(fused_nodes)
         sp.set(
-            nodes=len(nodes),
+            nodes=len(plan.nodes),
+            unfused_nodes=unfused_nodes,
+            fused_nodes=fused_nodes,
             planned_cost=plan.planned_cost,
             naive_cost=naive_cost,
             cse_hits=cse_hits,
@@ -306,15 +437,35 @@ def _compute_node(
     deps: tuple[np.ndarray, ...],
     arrays: Mapping[ElementId, np.ndarray],
     counter: OpCounter,
+    pool: BufferPool | None = None,
 ) -> np.ndarray:
+    """Compute one DAG node, drawing output buffers from the pool.
+
+    The chaos fault site fires exactly once per non-stored node — a fused
+    cascade is *one* node, so fusing a chain replaces its per-step site
+    visits with a single visit, keeping seeded fault schedules a pure
+    function of the (deterministic) fused plan shape.
+    """
     if node.kind == "stored":
         return arrays[node.element]
     fault_point("exec.compute_node", element=node.element, kind=node.kind)
+    if node.kind == "fused":
+        return fused_cascade(deps[0], node.steps, counter=counter, pool=pool)
     if node.kind == "step":
+        out = (
+            pool.take(node.element.data_shape, deps[0].dtype)
+            if pool is not None
+            else None
+        )
         if node.residual:
-            return partial_residual(deps[0], node.dim, counter=counter)
-        return partial_sum(deps[0], node.dim, counter=counter)
-    return synthesize(deps[0], deps[1], node.dim, counter=counter)
+            return partial_residual(deps[0], node.dim, counter=counter, out=out)
+        return partial_sum(deps[0], node.dim, counter=counter, out=out)
+    out = (
+        pool.take(node.element.data_shape, np.float64)
+        if pool is not None
+        else None
+    )
+    return synthesize(deps[0], deps[1], node.dim, counter=counter, out=out)
 
 
 def _merge_counter(into: OpCounter, part: OpCounter) -> None:
@@ -326,27 +477,72 @@ def execute_plan(
     arrays: Mapping[ElementId, np.ndarray],
     counter: OpCounter | None = None,
     max_workers: int = 1,
+    *,
+    dispatch_threshold: int | None = None,
+    backend: str = "thread",
+    process_threshold: int | None = None,
+    pool: BufferPool | None = None,
+    stats: dict | None = None,
 ) -> dict[ElementId, np.ndarray]:
     """Run a :class:`BatchPlan` against the stored ``arrays``.
 
-    Returns ``{target: values}``.  With ``max_workers <= 1`` the DAG runs
-    inline in topological order (no pool overhead — the algorithmic win is
-    available at one worker); otherwise ready nodes execute concurrently on
-    a thread pool.  Non-target temporaries are freed as soon as their last
-    consumer has run.  Stored targets are returned by reference, exactly
-    like :meth:`MaterializedSet.assemble` (treat results as read-only).
+    Returns ``{target: values}``.  Parallelism is **cost-aware**: a node is
+    dispatched to a worker only when its modeled cost reaches
+    ``dispatch_threshold`` (default :data:`DISPATCH_THRESHOLD`) scalar
+    operations — smaller nodes run inline on the scheduler thread, where a
+    tiny numpy reduction is cheaper than a pool round-trip.  When *no*
+    node clears the threshold, a ``max_workers > 1`` request is demoted to
+    serial execution outright (the measured fix for the thread pool losing
+    to one worker on small cubes); the decision is recorded on the span,
+    in the metrics registry, and in ``stats`` when a dict is supplied.
+
+    ``backend="process"`` dispatches large ``step``/``fused`` cascades
+    (modeled cost at least ``process_threshold``, default
+    :data:`PROCESS_THRESHOLD`) to a process pool over
+    :mod:`multiprocessing.shared_memory` — for cubes whose reductions are
+    big enough to amortize two block copies; everything below the
+    threshold still runs inline.
+
+    Non-target temporaries are freed as soon as their last consumer has
+    run — into ``pool`` (a fresh :class:`BufferPool` when none is given),
+    so later nodes reuse them as ``out=`` buffers instead of allocating.
+    Stored targets are returned by reference, exactly like
+    :meth:`MaterializedSet.assemble` (treat results as read-only).
     """
+    if backend not in ("thread", "process"):
+        raise ValueError(f"unknown backend {backend!r}")
     own = counter if counter is not None else OpCounter()
     target_keys = set(plan.targets)
+    threshold = (
+        DISPATCH_THRESHOLD if dispatch_threshold is None else dispatch_threshold
+    )
+    proc_threshold = (
+        PROCESS_THRESHOLD if process_threshold is None else process_threshold
+    )
+    if pool is None:
+        pool = BufferPool(min_cells=POOL_MIN_CELLS)
+    largest = max((node.cost for node in plan.nodes.values()), default=0)
+    requested = max_workers
+    demoted = False
+    if backend == "thread" and max_workers > 1 and largest < threshold:
+        max_workers = 1
+        demoted = True
     with span(
         "exec.execute", nodes=len(plan.nodes), workers=max_workers
     ) as sp:
         start = time.perf_counter()
-        if max_workers <= 1:
-            values, busy = _execute_serial(plan, arrays, own, target_keys)
+        if backend == "process" and max_workers > 1:
+            values, busy = _execute_process(
+                plan, arrays, own, target_keys, max_workers, pool,
+                proc_threshold,
+            )
+        elif max_workers <= 1:
+            values, busy = _execute_serial(
+                plan, arrays, own, target_keys, pool
+            )
         else:
             values, busy = _execute_pooled(
-                plan, arrays, own, target_keys, max_workers
+                plan, arrays, own, target_keys, max_workers, pool, threshold
             )
         wall = time.perf_counter() - start
         utilization = (
@@ -359,6 +555,11 @@ def execute_plan(
         registry.counter(
             "batch_nodes_executed_total", "DAG nodes executed across batches"
         ).inc(len(plan.nodes))
+        if demoted:
+            registry.counter(
+                "exec_pool_demotions_total",
+                "pooled executions demoted to serial by the cost model",
+            ).inc()
         registry.histogram(
             "batch_exec_ms", "wall milliseconds per batch execution"
         ).observe(wall * 1e3)
@@ -366,10 +567,22 @@ def execute_plan(
             "batch_pool_utilization",
             "busy worker-seconds over wall-seconds x workers",
         ).observe(utilization)
+        decision = {
+            "workers_requested": requested,
+            "workers_effective": max_workers,
+            "demoted": demoted,
+            "dispatch_threshold": threshold,
+            "largest_node_cost": largest,
+            "backend": backend,
+        }
+        if stats is not None:
+            stats.update(decision)
+            stats["buffer_pool"] = pool.stats()
         sp.set(
             operations=own.total,
             exec_ms=wall * 1e3,
             pool_utilization=round(utilization, 4),
+            **decision,
         )
     return {target: values[target] for target in plan.targets}
 
@@ -379,6 +592,7 @@ def _execute_serial(
     arrays: Mapping[ElementId, np.ndarray],
     counter: OpCounter,
     target_keys: set,
+    buf_pool: BufferPool,
 ) -> tuple[dict[NodeKey, np.ndarray], float]:
     values: dict[NodeKey, np.ndarray] = {}
     remaining = dict(plan.consumers)
@@ -387,13 +601,16 @@ def _execute_serial(
         check_deadline("exec.serial")
         deps = tuple(values[d] for d in node.deps)
         t0 = time.perf_counter()
-        values[key] = _compute_node(node, deps, arrays, counter)
+        values[key] = _compute_node(node, deps, arrays, counter, buf_pool)
         busy += time.perf_counter() - t0
         for dep in node.deps:
             remaining[dep] -= 1
             if remaining[dep] == 0 and dep not in target_keys:
+                # A freed interior is a fresh, single-owner buffer (stored
+                # reads are aliases into ``arrays`` and never freed), so it
+                # can back a later node's ``out=``.
                 if plan.nodes[dep].kind != "stored":
-                    del values[dep]
+                    buf_pool.give(values.pop(dep))
     return values, busy
 
 
@@ -403,10 +620,16 @@ def _execute_pooled(
     counter: OpCounter,
     target_keys: set,
     max_workers: int,
+    buf_pool: BufferPool,
+    threshold: int,
 ) -> tuple[dict[NodeKey, np.ndarray], float]:
     """Scheduler loop: all bookkeeping on the calling thread, work on the
     pool.  Each node gets its own :class:`OpCounter`, merged on completion,
     so accounting stays exact without cross-thread contention.
+
+    Dispatch is cost-aware: only nodes whose modeled cost reaches
+    ``threshold`` go to the pool; smaller ready nodes run inline on the
+    scheduler thread, where the reduction is cheaper than the round-trip.
 
     Failure discipline: on a worker exception (or an expired ambient
     deadline, observed between dispatches), outstanding futures are
@@ -425,13 +648,30 @@ def _execute_pooled(
     busy = 0.0
     deadline = current_deadline()
 
+    def complete(key: NodeKey, out, local: OpCounter, elapsed: float) -> None:
+        nonlocal busy
+        values[key] = out
+        busy += elapsed
+        _merge_counter(counter, local)
+        for dep in plan.nodes[key].deps:
+            remaining[dep] -= 1
+            if remaining[dep] == 0 and dep not in target_keys:
+                # Safe to recycle: every consumer has finished, so no
+                # worker can still be reading the buffer.
+                if plan.nodes[dep].kind != "stored":
+                    buf_pool.give(values.pop(dep))
+        for consumer in dependents[key]:
+            pending_deps[consumer] -= 1
+            if pending_deps[consumer] == 0:
+                ready.append(consumer)
+
     def work(key: NodeKey):
         node = plan.nodes[key]
         deps = tuple(values[d] for d in node.deps)
         local = OpCounter()
         t0 = time.perf_counter()
         try:
-            out = _compute_node(node, deps, arrays, local)
+            out = _compute_node(node, deps, arrays, local, buf_pool)
         except BaseException as exc:
             # Keep the partial counter reachable for the drain path.
             exc.partial_counter = local  # type: ignore[attr-defined]
@@ -444,6 +684,18 @@ def _execute_pooled(
             while ready or futures:
                 check_deadline("exec.dispatch")
                 while ready:
+                    key = ready.popleft()
+                    if plan.nodes[key].cost < threshold:
+                        # Inline: completing here may ready more nodes,
+                        # which this same loop then drains.
+                        try:
+                            complete(*work(key))
+                        except BaseException as exc:
+                            partial = getattr(exc, "partial_counter", None)
+                            if partial is not None:
+                                _merge_counter(counter, partial)
+                            raise
+                        continue
                     # Pool threads do not inherit contextvars; hand each
                     # node a copy of the dispatcher's context so ambient
                     # state (metrics registry, fault injector) reaches the
@@ -451,11 +703,11 @@ def _execute_pooled(
                     # one copy per submission.
                     futures.add(
                         pool.submit(
-                            contextvars.copy_context().run,
-                            work,
-                            ready.popleft(),
+                            contextvars.copy_context().run, work, key
                         )
                     )
+                if not futures:
+                    continue
                 timeout = (
                     max(0.0, deadline.remaining())
                     if deadline is not None
@@ -475,18 +727,7 @@ def _execute_pooled(
                         if failure is None:
                             failure = exc
                         continue
-                    values[key] = out
-                    busy += elapsed
-                    _merge_counter(counter, local)
-                    for dep in plan.nodes[key].deps:
-                        remaining[dep] -= 1
-                        if remaining[dep] == 0 and dep not in target_keys:
-                            if plan.nodes[dep].kind != "stored":
-                                del values[dep]
-                    for consumer in dependents[key]:
-                        pending_deps[consumer] -= 1
-                        if pending_deps[consumer] == 0:
-                            ready.append(consumer)
+                    complete(key, out, local, elapsed)
                 if failure is not None:
                     raise failure
         except BaseException:
@@ -505,5 +746,179 @@ def _execute_pooled(
                     partial = getattr(exc, "partial_counter", None)
                     if partial is not None:
                         _merge_counter(counter, partial)
+            raise
+    return values, busy
+
+
+def _execute_process(
+    plan: BatchPlan,
+    arrays: Mapping[ElementId, np.ndarray],
+    counter: OpCounter,
+    target_keys: set,
+    max_workers: int,
+    buf_pool: BufferPool,
+    proc_threshold: int,
+) -> tuple[dict[NodeKey, np.ndarray], float]:
+    """Shared-memory process backend for very large cascades.
+
+    ``step``/``fused`` nodes whose modeled cost reaches ``proc_threshold``
+    are shipped to a :class:`~concurrent.futures.ProcessPoolExecutor`
+    worker over :mod:`multiprocessing.shared_memory`: the parent copies
+    the input into a shared block, the worker runs the fused cascade and
+    writes into a second parent-owned block, and the parent copies the
+    result out and unlinks both.  Every other node runs inline.
+
+    Chaos determinism: contextvars (and therefore the ambient fault
+    injector) do not cross process boundaries, so the
+    ``exec.compute_node`` fault site fires on the *parent* before
+    dispatch — still exactly once per non-stored node.
+
+    Exact accounting: the worker counts its own scalar operations with a
+    private :class:`OpCounter` and returns the totals, which the parent
+    merges under a ``shm cascade`` event label.
+    """
+    values: dict[NodeKey, np.ndarray] = {}
+    remaining = dict(plan.consumers)
+    pending_deps = {key: len(node.deps) for key, node in plan.nodes.items()}
+    dependents: dict[NodeKey, list[NodeKey]] = {key: [] for key in plan.nodes}
+    for key, node in plan.nodes.items():
+        for dep in node.deps:
+            dependents[dep].append(key)
+    ready = deque(key for key, n in pending_deps.items() if n == 0)
+    busy = 0.0
+    deadline = current_deadline()
+
+    def complete(key: NodeKey) -> None:
+        for dep in plan.nodes[key].deps:
+            remaining[dep] -= 1
+            if remaining[dep] == 0 and dep not in target_keys:
+                if plan.nodes[dep].kind != "stored":
+                    buf_pool.give(values.pop(dep))
+        for consumer in dependents[key]:
+            pending_deps[consumer] -= 1
+            if pending_deps[consumer] == 0:
+                ready.append(consumer)
+
+    def release(blocks) -> None:
+        for blk in blocks:
+            try:
+                blk.close()
+                blk.unlink()
+            except Exception:
+                pass
+
+    # future -> (key, input block, output block, out shape, out dtype)
+    inflight: dict = {}
+    futures: set = set()
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        try:
+            while ready or futures:
+                check_deadline("exec.dispatch")
+                while ready:
+                    key = ready.popleft()
+                    node = plan.nodes[key]
+                    dispatchable = (
+                        node.kind in ("step", "fused")
+                        and node.cost >= proc_threshold
+                    )
+                    if not dispatchable:
+                        deps = tuple(values[d] for d in node.deps)
+                        t0 = time.perf_counter()
+                        values[key] = _compute_node(
+                            node, deps, arrays, counter, buf_pool
+                        )
+                        busy += time.perf_counter() - t0
+                        complete(key)
+                        continue
+                    # Fire the fault site before shipping the node out —
+                    # the worker process has no ambient injector.
+                    fault_point(
+                        "exec.compute_node",
+                        element=node.element,
+                        kind=node.kind,
+                    )
+                    src = values[node.deps[0]]
+                    steps = (
+                        node.steps
+                        if node.kind == "fused"
+                        else ((node.dim, node.residual),)
+                    )
+                    out_shape = node.element.data_shape
+                    out_nbytes = int(src.dtype.itemsize) * int(
+                        np.prod(out_shape, dtype=np.int64)
+                    )
+                    in_blk = shared_memory.SharedMemory(
+                        create=True, size=src.nbytes
+                    )
+                    out_blk = shared_memory.SharedMemory(
+                        create=True, size=out_nbytes
+                    )
+                    np.ndarray(src.shape, src.dtype, buffer=in_blk.buf)[
+                        ...
+                    ] = src
+                    future = pool.submit(
+                        _shm_cascade_worker,
+                        in_blk.name,
+                        src.shape,
+                        src.dtype.str,
+                        steps,
+                        out_blk.name,
+                    )
+                    inflight[future] = (
+                        key,
+                        in_blk,
+                        out_blk,
+                        out_shape,
+                        src.dtype,
+                    )
+                    futures.add(future)
+                if not futures:
+                    continue
+                timeout = (
+                    max(0.0, deadline.remaining())
+                    if deadline is not None
+                    else None
+                )
+                done, futures = wait(
+                    futures, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                failure: BaseException | None = None
+                for future in done:
+                    key, in_blk, out_blk, out_shape, dtype = inflight.pop(
+                        future
+                    )
+                    try:
+                        adds, subs = future.result()
+                    except BaseException as exc:
+                        release((in_blk, out_blk))
+                        if failure is None:
+                            failure = exc
+                        continue
+                    t0 = time.perf_counter()
+                    result = buf_pool.take(out_shape, dtype)
+                    result[...] = np.ndarray(
+                        out_shape, dtype, buffer=out_blk.buf
+                    )
+                    release((in_blk, out_blk))
+                    counter.add(
+                        additions=adds,
+                        subtractions=subs,
+                        label="shm cascade",
+                    )
+                    values[key] = result
+                    busy += time.perf_counter() - t0
+                    complete(key)
+                if failure is not None:
+                    raise failure
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            settled, _ = wait(futures)
+            for future in settled:
+                entry = inflight.pop(future, None)
+                if entry is None:
+                    continue
+                _, in_blk, out_blk, _, _ = entry
+                release((in_blk, out_blk))
             raise
     return values, busy

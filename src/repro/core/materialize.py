@@ -30,7 +30,14 @@ from ..resilience.deadline import check_deadline
 from ..resilience.faults import corrupt_array, fault_point
 from .element import CubeShape, ElementId
 from .exec import BatchPlan, execute_plan, plan_batch
-from .operators import OpCounter, partial_residual, partial_sum, synthesize
+from .kernels import (
+    POOL_MIN_CELLS,
+    BufferPool,
+    canonical_steps,
+    fused_cascade,
+    fused_synthesize,
+)
+from .operators import OpCounter
 from .planning import best_route, sorted_by_volume
 from .select_redundant import generation_cost
 
@@ -47,6 +54,7 @@ def _descend(
     source: ElementId,
     target: ElementId,
     counter: OpCounter | None,
+    pool: BufferPool | None = None,
 ) -> np.ndarray:
     """Cascade ``values`` (the data of ``source``) down to ``target``.
 
@@ -54,21 +62,17 @@ def _descend(
     (equivalently: its frequency rectangle is contained in ``source``'s).
     The cascade applies, per dimension, the operators named by the extra
     bits of the target's dyadic index — ``P1`` for 0, ``R1`` for 1 — which
-    costs ``Vol(source) - Vol(target)`` scalar operations in total.
+    costs ``Vol(source) - Vol(target)`` scalar operations in total.  The
+    whole chain runs as one fused kernel (bit-identical to the per-step
+    operators; see :mod:`repro.core.kernels`), drawing scratch buffers
+    from ``pool`` when one is supplied.  A zero-step descent returns the
+    input by reference.
     """
     if not source.contains(target):
         raise ValueError("target is not a descendant of source")
-    out = values
-    for dim in range(source.shape.ndim):
-        k0, j0 = source.nodes[dim]
-        k1, j1 = target.nodes[dim]
-        for step in range(k1 - k0):
-            bit = (j1 >> (k1 - k0 - 1 - step)) & 1
-            if bit:
-                out = partial_residual(out, dim, counter=counter)
-            else:
-                out = partial_sum(out, dim, counter=counter)
-    return out
+    return fused_cascade(
+        values, canonical_steps(source, target), counter=counter, pool=pool
+    )
 
 
 def compute_element(
@@ -109,6 +113,10 @@ class MaterializedSet:
         self.shape = shape
         self._arrays: dict[ElementId, np.ndarray] = {}
         self._plan_cache: dict[tuple[ElementId, ...], "BatchPlan"] = {}
+        #: Buffer pool shared by every assembly this set serves: interior
+        #: temporaries of one query become the ``out=`` buffers of the
+        #: next, so steady-state serving allocates almost nothing.
+        self._pool = BufferPool(min_cells=POOL_MIN_CELLS)
         #: Integrity state: every stored array is *sealed* with a CRC-32 at
         #: store time and verified on first use; a failed verification
         #: quarantines the element, and assembly transparently re-routes
@@ -167,7 +175,7 @@ class MaterializedSet:
             ]
             if candidates:
                 source, source_values = min(candidates, key=lambda sv: sv[0].volume)
-            values = _descend(source_values, source, element, counter)
+            values = _descend(source_values, source, element, counter, out._pool)
             if values is source_values:
                 # Zero-step descent aliases the source; stored arrays must
                 # be owned so apply_update never mutates caller data.
@@ -267,6 +275,10 @@ class MaterializedSet:
                     self._verified.add(element)
             else:
                 self.quarantine(element, reason="checksum mismatch")
+
+    def pool_stats(self) -> dict:
+        """Buffer-pool recycling counters for this set (JSON-friendly)."""
+        return self._pool.stats()
 
     def integrity_report(self) -> dict:
         """JSON-friendly ``{stored, verified, quarantined}`` summary."""
@@ -400,28 +412,34 @@ class MaterializedSet:
         )
 
         if agg_source is not None and agg_cost <= synth_cost:
-            return _descend(arrays[agg_source], agg_source, target, counter)
+            return _descend(
+                arrays[agg_source], agg_source, target, counter, self._pool
+            )
         if synth_dim < 0:
             raise IncompleteSetError(
                 f"cannot assemble {target!r} from the stored set"
             )
+        p_child = target.partial_child(synth_dim)
+        r_child = target.residual_child(synth_dim)
         p_values = self._assemble(
-            target.partial_child(synth_dim),
-            cost_memo,
-            counter,
-            stored,
-            sorted_stored,
-            arrays,
+            p_child, cost_memo, counter, stored, sorted_stored, arrays
         )
         r_values = self._assemble(
-            target.residual_child(synth_dim),
-            cost_memo,
-            counter,
-            stored,
-            sorted_stored,
-            arrays,
+            r_child, cost_memo, counter, stored, sorted_stored, arrays
         )
-        return synthesize(p_values, r_values, synth_dim, counter=counter)
+        result = fused_synthesize(
+            p_values, r_values, synth_dim, counter=counter, pool=self._pool
+        )
+        # The recursion memoizes nothing, so a non-stored child array is a
+        # fresh buffer this frame uniquely owns — recycle it.  (Stored
+        # children alias ``arrays`` and must survive; a non-stored target
+        # always descends at least one step, so nothing below aliases a
+        # stored array either.)
+        if p_child not in arrays:
+            self._pool.give(p_values)
+        if r_child not in arrays:
+            self._pool.give(r_values)
+        return result
 
     def assemble_batch(
         self,
@@ -429,6 +447,7 @@ class MaterializedSet:
         counter: OpCounter | None = None,
         max_workers: int = 1,
         cost_memo: dict | None = None,
+        backend: str = "thread",
     ) -> dict[ElementId, np.ndarray]:
         """Assemble several targets as one shared-plan DAG.
 
@@ -436,11 +455,15 @@ class MaterializedSet:
         target's Procedure 3 route into one DAG with common-subexpression
         elimination, so intermediates shared between targets — e.g. the
         partial-sum ancestors common to the ``2^d`` group-by views — are
-        computed once; the executor then runs ready nodes on up to
-        ``max_workers`` threads.  Results are bit-identical to per-target
-        :meth:`assemble` calls and never cost more scalar operations; the
-        total is usually strictly lower.  ``cost_memo`` optionally reuses
-        Procedure 3 prices across batches of the same stored set.
+        computed once, and single-consumer cascades run as fused kernels.
+        The executor dispatches cost-aware: requesting ``max_workers > 1``
+        is safe even for tiny batches — it demotes itself to serial when no
+        node is worth a thread round-trip.  ``backend="process"`` enables
+        the shared-memory process pool for very large cascades.  Results
+        are bit-identical to per-target :meth:`assemble` calls and never
+        cost more scalar operations; the total is usually strictly lower.
+        ``cost_memo`` optionally reuses Procedure 3 prices across batches
+        of the same stored set.
 
         Returns ``{target: values}`` (duplicates deduplicated).  Raises
         :class:`ValueError` when the stored set cannot produce some target.
@@ -472,8 +495,15 @@ class MaterializedSet:
                 if len(self._plan_cache) >= self._PLAN_CACHE_ENTRIES:
                     self._plan_cache.clear()
                 self._plan_cache[cache_key] = plan
+            exec_stats: dict = {}
             results = execute_plan(
-                plan, arrays, counter=own, max_workers=max_workers
+                plan,
+                arrays,
+                counter=own,
+                max_workers=max_workers,
+                backend=backend,
+                pool=self._pool,
+                stats=exec_stats,
             )
             ops = own.total - ops_before
             registry = current_registry()
@@ -492,6 +522,8 @@ class MaterializedSet:
                 naive_cost=plan.naive_cost,
                 cse_ratio=round(plan.cse_ratio, 4),
                 dag_nodes=len(plan.nodes),
+                workers_effective=exec_stats.get("workers_effective"),
+                demoted=exec_stats.get("demoted"),
             )
         return results
 

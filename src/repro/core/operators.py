@@ -109,40 +109,61 @@ def _require_even(a: np.ndarray, axis: int) -> None:
         )
 
 
-def _pair_view(a: np.ndarray, axis: int) -> np.ndarray:
-    """Reshape ``a`` so that ``axis`` is split into (pairs, 2)."""
+def _halved(
+    a: np.ndarray, axis: int, out: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Validate one analysis step and return its even/odd strided views.
+
+    Basic slicing never copies, so non-contiguous inputs (e.g. transposed
+    or mid-cascade views) avoid the intermediate copy a pair reshape would
+    force.  When ``out`` is supplied its shape must match the result
+    exactly — the ufunc writes straight into it, allocation-free.
+    """
     axis = _normalize_axis(a, axis)
     _require_even(a, axis)
-    new_shape = a.shape[:axis] + (a.shape[axis] // 2, 2) + a.shape[axis + 1 :]
-    return a.reshape(new_shape)
+    even = a[(slice(None),) * axis + (slice(0, None, 2),)]
+    odd = a[(slice(None),) * axis + (slice(1, None, 2),)]
+    if out is not None and out.shape != even.shape:
+        raise ValueError(
+            f"out shape {out.shape} does not match result shape {even.shape}"
+        )
+    return even, odd, out
 
 
-def partial_sum(a: np.ndarray, axis: int, counter: OpCounter | None = None) -> np.ndarray:
+def partial_sum(
+    a: np.ndarray,
+    axis: int,
+    counter: OpCounter | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """First partial sum ``P1`` along ``axis`` (Eq 1).
 
     Sums neighbouring pairs of cells along ``axis`` and subsamples by two.
-    The result has half the extent along ``axis``.
+    The result has half the extent along ``axis``.  ``out``, if given,
+    receives the result in place (it must have exactly the result shape);
+    the input's dtype is preserved either way.
     """
-    pairs = _pair_view(np.asarray(a), axis)
-    out = pairs.sum(axis=(axis % a.ndim) + 1)
+    even, odd, out = _halved(np.asarray(a), axis, out)
+    out = np.add(even, odd, out=out)
     if counter is not None:
         counter.add(additions=out.size, label=f"P1 axis={axis}")
     return out
 
 
-def partial_residual(a: np.ndarray, axis: int, counter: OpCounter | None = None) -> np.ndarray:
+def partial_residual(
+    a: np.ndarray,
+    axis: int,
+    counter: OpCounter | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """First partial residual ``R1`` along ``axis`` (Eq 2).
 
     Takes the differences (even minus odd) of neighbouring pairs along
-    ``axis`` and subsamples by two.
+    ``axis`` and subsamples by two.  ``out`` behaves as in
+    :func:`partial_sum`.
     """
-    pairs = _pair_view(np.asarray(a), axis)
-    ax = (axis % a.ndim) + 1
-    # Basic slicing yields views into the pair reshape, so the subtraction
-    # allocates the single output array rather than two np.take copies.
-    idx_even = (slice(None),) * ax + (0,)
-    idx_odd = (slice(None),) * ax + (1,)
-    out = pairs[idx_even] - pairs[idx_odd]
+    even, odd, out = _halved(np.asarray(a), axis, out)
+    out = np.subtract(even, odd, out=out)
     if counter is not None:
         counter.add(subtractions=out.size, label=f"R1 axis={axis}")
     return out
@@ -163,12 +184,18 @@ def analyze(
 
 
 def synthesize(
-    p: np.ndarray, r: np.ndarray, axis: int, counter: OpCounter | None = None
+    p: np.ndarray,
+    r: np.ndarray,
+    axis: int,
+    counter: OpCounter | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Perfectly reconstruct the parent from ``(P1, R1)`` outputs (Eqs 3-4).
 
     ``parent[..., 2i, ...] = (p + r) / 2`` and
-    ``parent[..., 2i + 1, ...] = (p - r) / 2``.
+    ``parent[..., 2i + 1, ...] = (p - r) / 2``.  ``out``, if given, must be
+    a C-contiguous float64 array of the parent's shape; the reconstruction
+    is written into it allocation-free.
     """
     p = np.asarray(p, dtype=np.float64)
     r = np.asarray(r, dtype=np.float64)
@@ -176,7 +203,21 @@ def synthesize(
         raise ValueError(f"partial {p.shape} and residual {r.shape} shapes differ")
     axis = axis % p.ndim
     out_shape = p.shape[:axis] + (p.shape[axis] * 2,) + p.shape[axis + 1 :]
-    pairs = np.empty(p.shape[:axis] + (p.shape[axis], 2) + p.shape[axis + 1 :], dtype=np.float64)
+    pairs_shape = p.shape[:axis] + (p.shape[axis], 2) + p.shape[axis + 1 :]
+    if out is None:
+        pairs = np.empty(pairs_shape, dtype=np.float64)
+        result = pairs.reshape(out_shape)
+    else:
+        if (
+            out.shape != out_shape
+            or out.dtype != np.float64
+            or not out.flags.c_contiguous
+        ):
+            raise ValueError(
+                f"out must be a C-contiguous float64 array of shape {out_shape}"
+            )
+        result = out
+        pairs = out.reshape(pairs_shape)
     idx_even = (slice(None),) * (axis + 1) + (0,)
     idx_odd = (slice(None),) * (axis + 1) + (1,)
     # Write the even/odd halves directly into sliced views of the output
@@ -189,7 +230,7 @@ def synthesize(
     odd /= 2.0
     if counter is not None:
         counter.add(additions=even.size, subtractions=odd.size, label=f"synth axis={axis}")
-    return pairs.reshape(out_shape)
+    return result
 
 
 def partial_sum_k(

@@ -26,6 +26,7 @@ import itertools
 
 import numpy as np
 
+from ..errors import TransientFault
 from ..obs import current_registry, span
 from .element import CubeShape, ElementId
 from .materialize import MaterializedSet
@@ -186,6 +187,32 @@ class RangeQueryEngine:
         ]
         return set(itertools.product(*per_dim_levels))
 
+    def _ensure_intermediates(
+        self,
+        needed: set[tuple[int, ...]],
+        counter: OpCounter | None,
+        max_workers: int = 1,
+    ) -> list[ElementId]:
+        """Batch-assemble the not-yet-available intermediates in ``needed``.
+
+        Drops level combinations already stored or cached, assembles the
+        rest as one shared-plan DAG (:meth:`MaterializedSet.assemble_batch`
+        — fused cascades, CSE across the levels, buffer-pool reuse), caches
+        the results, and returns the assembled elements.
+        """
+        missing = []
+        for levels in sorted(needed):
+            element = ElementId(self.shape, tuple((k, 0) for k in levels))
+            if element in self.materialized or element in self._cache:
+                continue
+            missing.append(element)
+        if missing:
+            results = self.materialized.assemble_batch(
+                missing, counter=counter, max_workers=max_workers
+            )
+            self._cache.update(results)
+        return missing
+
     def prefetch(
         self,
         ranges_batch,
@@ -207,27 +234,20 @@ class RangeQueryEngine:
         needed: set[tuple[int, ...]] = set()
         for ranges in ranges_batch:
             needed |= self._levels_for(ranges)
-        missing = []
-        for levels in sorted(needed):
-            element = ElementId(self.shape, tuple((k, 0) for k in levels))
-            if element in self.materialized or element in self._cache:
-                continue
-            missing.append(element)
-        if not missing:
-            return 0
-        with span("range.prefetch", elements=len(missing)) as sp:
-            results = self.materialized.assemble_batch(
-                missing, counter=counter, max_workers=max_workers
+        with span("range.prefetch") as sp:
+            missing = self._ensure_intermediates(
+                needed, counter, max_workers=max_workers
             )
-            self._cache.update(results)
-            registry = current_registry()
-            registry.counter(
-                "range_prefetches_total", "batch prefetches of intermediates"
-            ).inc()
-            registry.counter(
-                "range_prefetched_elements_total",
-                "intermediate elements assembled by batch prefetch",
-            ).inc(len(missing))
+            if missing:
+                registry = current_registry()
+                registry.counter(
+                    "range_prefetches_total",
+                    "batch prefetches of intermediates",
+                ).inc()
+                registry.counter(
+                    "range_prefetched_elements_total",
+                    "intermediate elements assembled by batch prefetch",
+                ).inc(len(missing))
             sp.set(assembled=len(missing))
         return len(missing)
 
@@ -255,6 +275,32 @@ class RangeQueryEngine:
 
         with span("range.range_sum") as sp:
             own_counter = OpCounter()
+            if self.assemble_missing:
+                # Assemble every intermediate this query will touch as ONE
+                # shared-plan batch up front — fused cascades + CSE across
+                # levels — instead of one assemble() per combination inside
+                # the lookup loop.  Already-available levels cost nothing.
+                per_dim_levels = [
+                    sorted({level for level, _ in blocks})
+                    for blocks in per_dim_blocks
+                ]
+                try:
+                    assembled = self._ensure_intermediates(
+                        set(itertools.product(*per_dim_levels)), own_counter
+                    )
+                except TransientFault:
+                    # A shared-plan batch is all-or-nothing and rolls one
+                    # fault die per DAG node, so retrying the whole batch
+                    # does not converge; recover per element instead — the
+                    # lookup loop below assembles each missing intermediate
+                    # individually (with its own fault exposure, which the
+                    # caller's retry policy handles).
+                    assembled = []
+                if assembled:
+                    current_registry().counter(
+                        "range_intermediate_assembled_total",
+                        "intermediate elements assembled on demand",
+                    ).inc(len(assembled))
             total = 0.0
             cells = 0
             for combo in itertools.product(*per_dim_blocks):

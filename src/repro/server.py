@@ -444,7 +444,7 @@ class OLAPServer:
     def query_batch(
         self,
         requests: Sequence[Iterable[str]],
-        max_workers: int = 1,
+        max_workers: int = 4,
         deadline_ms: float | None = None,
     ) -> list[np.ndarray]:
         """Serve several aggregated views as one shared assembly plan.
@@ -457,6 +457,10 @@ class OLAPServer:
         come back in request order, bit-identical to individual
         :meth:`view` calls, and land in the result cache.  The whole batch
         holds one admission slot and shares one deadline.
+
+        ``max_workers`` defaults to 4 — safe for any batch size, because
+        the executor's cost-aware dispatch demotes itself to serial unless
+        some DAG node is actually worth a thread round-trip.
         """
         elements = [self._element_for(dims) for dims in requests]
         return self._serve_batch(elements, "view", max_workers, deadline_ms)
@@ -464,7 +468,7 @@ class OLAPServer:
     def rollup_batch(
         self,
         levels_list: Sequence[Mapping[str, str | int]],
-        max_workers: int = 1,
+        max_workers: int = 4,
         deadline_ms: float | None = None,
     ) -> list[np.ndarray]:
         """Serve several roll-ups as one shared assembly plan.
@@ -770,6 +774,7 @@ class OLAPServer:
             "cache_bypasses": _total("server_cache_bypass_total"),
             "integrity_failures": _total("integrity_failures_total"),
             "faults_injected": _total("faults_injected_total"),
+            "buffer_pool": state.materialized.pool_stats(),
         }
 
     # ------------------------------------------------------------------

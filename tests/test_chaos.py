@@ -65,3 +65,113 @@ class TestChaosDeterminism:
     def test_other_seeds_also_survive(self):
         for seed in (0, 1):
             assert run_chaos(ChaosConfig(seed=seed, queries=25))["ok"], seed
+
+
+class TestFusedFaultSites:
+    """Regression: ``exec.compute_node`` fires once per *fused* node.
+
+    Plan fusion replaces a chain of step nodes with one fused node; the
+    fault site must fire exactly once per non-stored DAG node — so the
+    seeded fault schedule is a pure function of the (deterministic) fused
+    plan shape, and chaos replays stay bit-for-bit reproducible.
+    """
+
+    @staticmethod
+    def _setup():
+        import numpy as np
+
+        from repro.core.element import CubeShape
+        from repro.core.exec import plan_batch
+        from repro.core.materialize import MaterializedSet
+
+        shape = CubeShape((8, 4, 2))
+        ms = MaterializedSet(shape)
+        rng = np.random.default_rng(3)
+        ms.store(shape.root(), rng.standard_normal(shape.sizes))
+        targets = [
+            shape.aggregated_view(agg)
+            for agg in [(0,), (1,), (0, 1), (0, 2), (0, 1, 2)]
+        ]
+        plan = plan_batch(targets, ms.elements)
+        return ms, targets, plan
+
+    def test_one_fire_per_fused_node(self):
+        from repro.resilience.faults import FaultInjector, FaultRule
+
+        ms, targets, plan = self._setup()
+        nonstored = sum(
+            1 for n in plan.nodes.values() if n.kind != "stored"
+        )
+        assert any(n.kind == "fused" for n in plan.nodes.values())
+        # A zero-probability rule arms the site: invocations are counted,
+        # nothing ever fires.
+        injector = FaultInjector(
+            [FaultRule(site="exec.compute_node", kind="error", probability=0.0)],
+            seed=0,
+        )
+        with injector.activate():
+            ms.assemble_batch(targets)
+        assert injector.invocations("exec.compute_node") == nonstored
+
+    def test_site_sequence_pinned_and_thread_invariant(self):
+        """The invocation count equals the fused plan's non-stored node
+        count on every execution path — serial, threaded, and repeated —
+        so a seeded schedule replays identically."""
+        from repro.resilience.faults import FaultInjector, FaultRule
+
+        ms, targets, plan = self._setup()
+        nonstored = sum(
+            1 for n in plan.nodes.values() if n.kind != "stored"
+        )
+
+        def run(**kwargs):
+            injector = FaultInjector(
+                [
+                    FaultRule(
+                        site="exec.compute_node",
+                        kind="error",
+                        probability=0.0,
+                    )
+                ],
+                seed=0,
+            )
+            with injector.activate():
+                ms.assemble_batch(targets, **kwargs)
+            return injector.invocations("exec.compute_node")
+
+        serial = run()
+        threaded = run(max_workers=3)
+        repeat = run()
+        assert serial == threaded == repeat == nonstored
+
+    def test_seeded_fault_schedule_replays_identically(self):
+        """With a real (firing) rule, two runs fail at the same node and
+        inject the same fault plan — determinism under fusion."""
+        import pytest as _pytest
+
+        from repro.errors import TransientFault
+        from repro.resilience.faults import FaultInjector, FaultRule
+
+        ms, targets, _ = self._setup()
+
+        def run():
+            injector = FaultInjector(
+                [
+                    FaultRule(
+                        site="exec.compute_node",
+                        kind="error",
+                        probability=1.0,
+                        max_fires=1,
+                    )
+                ],
+                seed=11,
+            )
+            with injector.activate():
+                with _pytest.raises(TransientFault):
+                    ms.assemble_batch(targets)
+            return injector.summary()
+
+        first = run()
+        second = run()
+        assert first["fired_by_site"] == second["fired_by_site"]
+        assert first["invocations"] == second["invocations"]

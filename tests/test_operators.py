@@ -216,3 +216,59 @@ class TestOpCounter:
         counter.reset()
         assert counter.total == 0
         assert counter.events == []
+
+
+class TestOutBuffers:
+    """The ``out=`` surface added for the buffer-pool executor."""
+
+    def test_partial_sum_writes_into_out(self, rng):
+        a = rng.standard_normal((4, 4))
+        out = np.empty((2, 4))
+        result = partial_sum(a, 0, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, partial_sum(a, 0))
+
+    def test_partial_residual_writes_into_out(self, rng):
+        a = rng.standard_normal((4, 4))
+        out = np.empty((4, 2))
+        result = partial_residual(a, 1, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, partial_residual(a, 1))
+
+    def test_out_shape_mismatch_rejected(self, rng):
+        a = rng.standard_normal((4, 4))
+        with pytest.raises(ValueError, match="does not match result shape"):
+            partial_sum(a, 0, out=np.empty((4, 4)))
+
+    def test_synthesize_writes_into_out(self, rng):
+        a = rng.standard_normal((4, 4))
+        p, r = analyze(a, 1)
+        out = np.empty((4, 4))
+        result = synthesize(p, r, 1, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, synthesize(p, r, 1))
+
+    def test_synthesize_out_validation(self, rng):
+        a = rng.standard_normal((4, 4))
+        p, r = analyze(a, 1)
+        with pytest.raises(ValueError, match="C-contiguous float64"):
+            synthesize(p, r, 1, out=np.empty((2, 4)))
+        with pytest.raises(ValueError, match="C-contiguous float64"):
+            synthesize(p, r, 1, out=np.empty((4, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="C-contiguous float64"):
+            synthesize(p, r, 1, out=np.empty((4, 8))[:, ::2])
+
+    def test_noncontiguous_input_no_copy(self, rng):
+        """Strided even/odd slicing handles transposed inputs without the
+        intermediate copy a pair reshape would force — same answers."""
+        base = rng.standard_normal((4, 8))
+        a = base.T  # non-contiguous view
+        np.testing.assert_array_equal(partial_sum(a, 0), (base[:, 0::2] + base[:, 1::2]).T)
+        np.testing.assert_array_equal(partial_residual(a, 0), (base[:, 0::2] - base[:, 1::2]).T)
+
+    def test_error_taxonomy_unchanged_with_out(self):
+        """The pre-existing ValueError messages survive the out= addition."""
+        with pytest.raises(ValueError, match="even extent"):
+            partial_sum(np.zeros((3, 2)), 0, out=np.empty((1, 2)))
+        with pytest.raises(ValueError, match="out of bounds"):
+            partial_residual(np.zeros((2, 2)), 5, out=np.empty((1, 2)))
