@@ -7,18 +7,29 @@ Usage::
     python -m repro figure8 [--trials N]
     python -m repro figure9 [--trials N] [--budgets N]
     python -m repro all [--quick]
-    python -m repro stats [--json] [--queries N] [--seed N]
+    python -m repro stats [--json] [--queries N] [--seed N] [--serve]
     python -m repro chaos [--seed N] [--json] [--output report.json]
+    python -m repro trace [--output trace.json] [--check] [--backend B]
 
 ``stats`` drives an instrumented demo server (repeated views, roll-ups,
 range queries, one mid-run reconfiguration) and prints its metrics
-registry, span trace, and health snapshot — the observability surface
-every real deployment of :class:`repro.server.OLAPServer` gets for free.
+registry, span trace, event log, and health snapshot — the observability
+surface every real deployment of :class:`repro.server.OLAPServer` gets
+for free.  ``--serve`` additionally starts the ``/metrics`` + ``/health``
+HTTP endpoint, scrapes both over HTTP, and prints the responses — the CI
+smoke of the Prometheus surface.
 
 ``chaos`` replays a seeded fault plan (transient errors, latency, one
 corrupted stored element) against a deterministic workload and exits
 non-zero unless every answer is bit-identical to a fault-free run — the
 resilience acceptance gate, also run as a CI smoke job.
+
+``trace`` serves one star-schema ``query_batch`` with tracing on, prints
+the planned-vs-measured query profile, and optionally writes the trace as
+Chrome trace-event JSON (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev).  ``--check`` exits non-zero unless the batch
+produced a single connected trace whose measured operation counts equal
+the plan — the telemetry acceptance gate.
 """
 
 from __future__ import annotations
@@ -53,21 +64,54 @@ def _run_figure9(trials: int, budgets: int) -> str:
     )
 
 
-def _run_stats(json_output: bool, queries: int, seed: int) -> str:
-    """Serve a demo workload on an instrumented server; report its stats."""
-    from .obs.reporting import render_json, render_text
+def _demo_server(seed: int):
     from .server import OLAPServer
     from .workloads import SalesConfig, generate_sales_records
 
     records = generate_sales_records(
         SalesConfig(num_transactions=400, num_days=8, seed=seed)
     )
-    server = OLAPServer.from_records(
+    return OLAPServer.from_records(
         records,
         ["product", "store", "day"],
         "sales",
         domains={"day": list(range(8))},
     )
+
+
+def _scrape_telemetry(server) -> str:
+    """Start the HTTP endpoint, GET /metrics and /health, report both."""
+    import json
+    from urllib.request import urlopen
+
+    endpoint = server.serve_telemetry(port=0)
+    try:
+        with urlopen(f"{endpoint.url}/metrics", timeout=5) as resp:
+            metrics_body = resp.read().decode()
+            metrics_status = resp.status
+        with urlopen(f"{endpoint.url}/health", timeout=5) as resp:
+            health_body = json.loads(resp.read().decode())
+            health_status = resp.status
+    finally:
+        endpoint.stop()
+    return "\n".join(
+        [
+            f"telemetry endpoint: {endpoint.url}",
+            f"GET /metrics -> {metrics_status}, "
+            f"{len(metrics_body.splitlines())} lines",
+            metrics_body.rstrip(),
+            "",
+            f"GET /health -> {health_status}",
+            json.dumps(health_body, indent=2),
+        ]
+    )
+
+
+def _run_stats(json_output: bool, queries: int, seed: int, serve: bool) -> str:
+    """Serve a demo workload on an instrumented server; report its stats."""
+    from .obs.reporting import render_json, render_text
+
+    server = _demo_server(seed)
     sizes = server.shape.sizes
     # Repeated aggregated views (the repeats hit the result cache), a
     # roll-up, range sums, then a reconfiguration and a second round that
@@ -84,7 +128,12 @@ def _run_stats(json_output: bool, queries: int, seed: int) -> str:
         server.view(["product"])
         server.view(["store"])
     if json_output:
-        return render_json(server.metrics, server.tracer, health=server.health())
+        return render_json(
+            server.metrics,
+            server.tracer,
+            health=server.health(),
+            events=server.obs.events,
+        )
     header = (
         f"OLAP server demo: {server.stats.queries} queries, "
         f"{server.stats.operations} scalar ops, "
@@ -92,9 +141,92 @@ def _run_stats(json_output: bool, queries: int, seed: int) -> str:
         f"epoch {server.epoch}, "
         f"cache hit rate {server._view_cache.hit_rate:.1%}"
     )
-    return header + "\n\n" + render_text(
-        server.metrics, server.tracer, health=server.health()
+    report = header + "\n\n" + render_text(
+        server.metrics,
+        server.tracer,
+        health=server.health(),
+        events=server.obs.events,
     )
+    if serve:
+        report += "\n\n" + _scrape_telemetry(server)
+    return report
+
+
+def _run_trace(
+    output: str | None,
+    check: bool,
+    seed: int,
+    workers: int,
+    backend: str,
+) -> tuple[str, int]:
+    """Trace one star-schema query batch; report the cost profile.
+
+    Returns ``(report, exit code)``.  With ``--check`` the exit code is
+    non-zero unless the batch produced exactly one connected trace (every
+    span shares the root's trace id and has a resolvable parent) whose
+    measured scalar operations equal the planned cost.
+    """
+    from pathlib import Path
+
+    from .obs.export import render_chrome_trace
+    from .obs.profile import query_profile, render_profile
+
+    server = _demo_server(seed)
+    requests = [
+        ["product"],
+        ["store"],
+        ["day"],
+        ["product", "store"],
+        ["product", "day"],
+        ["store", "day"],
+    ]
+    # Force pool dispatch (threshold 0) so the trace exercises worker
+    # lanes even on the small demo cube; with the process backend, drop
+    # the process threshold too so cascades really cross the boundary.
+    server.query_batch(
+        requests,
+        max_workers=workers,
+        backend=backend,
+        dispatch_threshold=0,
+        process_threshold=(1 << 6) if backend == "process" else None,
+    )
+    profile = query_profile(server.tracer)
+    spans = server.tracer.trace(profile["trace_id"])
+    lines = [render_profile(profile)]
+    lanes = sorted({(s.process_id, s.thread_name) for s in spans})
+    lines.append(
+        f"lanes: {len(lanes)} (process, thread): "
+        + ", ".join(f"({pid}, {name})" for pid, name in lanes)
+    )
+    if output:
+        Path(output).write_text(
+            render_chrome_trace(server.tracer, profile["trace_id"], indent=2)
+            + "\n"
+        )
+        lines.append(f"chrome trace written to {output} ({len(spans)} spans)")
+    code = 0
+    if check:
+        all_spans = server.tracer.spans()
+        trace_ids = {s.trace_id for s in all_spans}
+        span_ids = {s.span_id for s in spans}
+        connected = all(
+            s.parent_id is None or s.parent_id in span_ids for s in spans
+        )
+        exact = profile["totals"]["planned"] == profile["totals"]["measured"]
+        checks = {
+            "single trace": len(trace_ids) == 1,
+            "parent links resolve": connected,
+            "has costed nodes": profile["totals"]["nodes"] > 0,
+            "planned == measured": exact,
+        }
+        lines.append(
+            "\n".join(
+                f"check {name}: {'ok' if ok else 'FAILED'}"
+                for name, ok in checks.items()
+            )
+        )
+        code = 0 if all(checks.values()) else 1
+    return "\n\n".join(lines), code
 
 
 def _run_chaos(seed: int, json_output: bool, output: str | None) -> int:
@@ -130,10 +262,12 @@ def main(argv: list[str] | None = None) -> int:
             "all",
             "stats",
             "chaos",
+            "trace",
         ],
         help="which experiment to regenerate ('stats' runs the "
         "instrumented server demo; 'chaos' runs the seeded "
-        "fault-injection acceptance replay)",
+        "fault-injection acceptance replay; 'trace' serves a traced "
+        "query batch and reports its planned-vs-measured profile)",
     )
     parser.add_argument(
         "--trials",
@@ -160,7 +294,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         default=None,
-        help="with 'chaos': also write the JSON report to this path",
+        help="with 'chaos'/'trace': also write the JSON report / Chrome "
+        "trace to this path",
     )
     parser.add_argument(
         "--queries",
@@ -172,17 +307,48 @@ def main(argv: list[str] | None = None) -> int:
         "--seed",
         type=int,
         default=None,
-        help="with 'stats'/'chaos': demo data / fault plan seed",
+        help="with 'stats'/'chaos'/'trace': demo data / fault plan seed",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="with 'stats': start the /metrics + /health endpoint, "
+        "scrape it over HTTP, and print the responses",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="with 'trace': exit non-zero unless the batch yields one "
+        "connected trace with measured ops equal to the plan",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="with 'trace': executor workers for the traced batch",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="with 'trace': DAG executor backend for the traced batch",
     )
     args = parser.parse_args(argv)
 
     if args.experiment == "stats":
         seed = 19 if args.seed is None else args.seed
-        print(_run_stats(args.json, args.queries, seed))
+        print(_run_stats(args.json, args.queries, seed, args.serve))
         return 0
     if args.experiment == "chaos":
         seed = 7 if args.seed is None else args.seed
         return _run_chaos(seed, args.json, args.output)
+    if args.experiment == "trace":
+        seed = 19 if args.seed is None else args.seed
+        report, code = _run_trace(
+            args.output, args.check, seed, args.workers, args.backend
+        )
+        print(report)
+        return code
 
     outputs: list[str] = []
     if args.experiment in ("table1", "all"):

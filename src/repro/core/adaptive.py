@@ -31,7 +31,12 @@ from .operators import OpCounter
 from .population import QueryPopulation
 from .select_basis import select_minimum_cost_basis
 
-__all__ = ["AccessTracker", "ReconfigurationRecord", "DynamicViewAssembler"]
+__all__ = [
+    "AccessTracker",
+    "CostModelMonitor",
+    "ReconfigurationRecord",
+    "DynamicViewAssembler",
+]
 
 
 class AccessTracker:
@@ -75,6 +80,81 @@ class AccessTracker:
         if not positive:
             raise ValueError("all frequencies are zero; record accesses first")
         return QueryPopulation.from_pairs(positive)
+
+
+class CostModelMonitor:
+    """Tracks measured-vs-planned divergence from query profiles.
+
+    The selection algorithms adapt the basis to the *observed population*
+    weighted by the *analytic cost model* (Eqs 26-31).  That loop has a
+    blind spot: the model prices the configuration as selected, not as it
+    currently behaves — quarantined elements re-route assemblies, degraded
+    serves fall back to the base cube, and both make real queries cost more
+    than Eq 26 predicts.  This monitor closes the blind spot with the
+    telemetry layer's planned-vs-measured profiles
+    (:func:`repro.obs.profile.query_profile`): feed it one profile per
+    traced query (:meth:`ingest`), and :meth:`should_reconfigure` reports
+    when the decayed mean divergence has drifted past ``tolerance`` — the
+    measured signal that the stored configuration no longer matches the
+    model and a re-selection (Algorithm 1/2) is due.
+
+    On the unfaulted path the executors' operation accounting equals the
+    plan exactly, so the divergence sits at 1.0 and never triggers; only
+    genuine re-routing moves it.
+    """
+
+    def __init__(self, tolerance: float = 0.25, decay: float = 0.9):
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.tolerance = tolerance
+        self.decay = decay
+        self.profiles_ingested = 0
+        self._mean_divergence: float | None = None
+        self._element_divergence: dict[str, float] = {}
+
+    def record(self, planned: float, measured: float) -> None:
+        """Fold one planned/measured pair into the decayed mean."""
+        if planned <= 0:
+            return
+        divergence = measured / planned
+        if self._mean_divergence is None:
+            self._mean_divergence = divergence
+        else:
+            self._mean_divergence = (
+                self.decay * self._mean_divergence
+                + (1.0 - self.decay) * divergence
+            )
+
+    def ingest(self, profile: dict) -> None:
+        """Fold one query profile (``repro.obs.profile`` shape) in."""
+        totals = profile.get("totals", {})
+        if totals.get("nodes", 0) == 0:
+            return
+        self.profiles_ingested += 1
+        self.record(totals.get("planned", 0), totals.get("measured", 0))
+        for element, agg in profile.get("elements", {}).items():
+            self._element_divergence[element] = agg.get("divergence", 1.0)
+        current_registry().gauge(
+            "cost_model_mean_divergence",
+            "decayed mean of measured/planned operations (1.0 = exact)",
+        ).set(self.divergence)
+
+    @property
+    def divergence(self) -> float:
+        """Decayed mean measured/planned ratio (1.0 before any data)."""
+        return (
+            self._mean_divergence if self._mean_divergence is not None else 1.0
+        )
+
+    def element_divergences(self) -> dict[str, float]:
+        """Last observed divergence per view element (described)."""
+        return dict(self._element_divergence)
+
+    def should_reconfigure(self) -> bool:
+        """Whether divergence has drifted beyond ``tolerance``."""
+        return abs(self.divergence - 1.0) > self.tolerance
 
 
 @dataclass(frozen=True)
@@ -138,6 +218,8 @@ class DynamicViewAssembler:
         self.stats = _ServiceStats()
         self.history: list[ReconfigurationRecord] = []
         self._engine = SelectionEngine(shape) if use_fast_engine else None
+        #: Measured-vs-planned feedback (fed by :meth:`observe_profile`).
+        self.cost_monitor = CostModelMonitor()
         # Start from the trivial basis: the cube itself.
         self.materialized = MaterializedSet(shape)
         self.materialized.store(shape.root(), cube_values)
@@ -165,6 +247,28 @@ class DynamicViewAssembler:
     def query_view(self, aggregated_dims) -> np.ndarray:
         """Serve the aggregated view over ``aggregated_dims``."""
         return self.query(self.shape.aggregated_view(aggregated_dims))
+
+    def observe_profile(self, profile: dict) -> ReconfigurationRecord | None:
+        """Feed one planned-vs-measured query profile into the adapt loop.
+
+        Ingests the profile into :attr:`cost_monitor`; when the decayed
+        divergence has drifted past the monitor's tolerance — execution is
+        systematically costing more (or less) than the model that chose
+        the current basis — a reconfiguration is triggered immediately
+        instead of waiting out ``reconfigure_every``.  Returns the
+        :class:`ReconfigurationRecord` when one was triggered.
+        """
+        self.cost_monitor.ingest(profile)
+        if self.cost_monitor.should_reconfigure():
+            record = self.reconfigure()
+            # A fresh selection resets the evidence: start measuring the
+            # new configuration from scratch.
+            self.cost_monitor = CostModelMonitor(
+                tolerance=self.cost_monitor.tolerance,
+                decay=self.cost_monitor.decay,
+            )
+            return record
+        return None
 
     # ------------------------------------------------------------------
 

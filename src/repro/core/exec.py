@@ -78,7 +78,14 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..errors import IncompleteSetError
-from ..obs import current_registry, span
+from ..obs import (
+    Span,
+    current_registry,
+    current_tracer,
+    span,
+    span_context,
+    tracing_active,
+)
 from ..resilience.deadline import check_deadline, current_deadline
 from ..resilience.faults import fault_point
 from .element import ElementId
@@ -472,6 +479,35 @@ def _merge_counter(into: OpCounter, part: OpCounter) -> None:
     into.merge(part)
 
 
+def _run_node(
+    node: PlanNode,
+    deps: tuple[np.ndarray, ...],
+    arrays: Mapping[ElementId, np.ndarray],
+    counter: OpCounter,
+    buf_pool: BufferPool,
+) -> np.ndarray:
+    """Compute one node, wrapped in an ``exec.node`` span when tracing.
+
+    The span carries the planned-vs-measured join keys the query profiler
+    reads (``planned_cost`` from the model, ``operations`` from the
+    counter delta) plus the thread/process the node actually ran on.  The
+    :func:`tracing_active` guard keeps the untraced path at one contextvar
+    read — no attribute strings, no counter delta.
+    """
+    if node.kind == "stored" or not tracing_active():
+        return _compute_node(node, deps, arrays, counter, buf_pool)
+    with span(
+        "exec.node",
+        element=node.element.describe(),
+        kind=node.kind,
+        planned_cost=node.cost,
+    ) as sp:
+        before = counter.total
+        out = _compute_node(node, deps, arrays, counter, buf_pool)
+        sp.set(operations=counter.total - before)
+    return out
+
+
 def execute_plan(
     plan: BatchPlan,
     arrays: Mapping[ElementId, np.ndarray],
@@ -500,8 +536,10 @@ def execute_plan(
     (modeled cost at least ``process_threshold``, default
     :data:`PROCESS_THRESHOLD`) to a process pool over
     :mod:`multiprocessing.shared_memory` — for cubes whose reductions are
-    big enough to amortize two block copies; everything below the
-    threshold still runs inline.
+    big enough to amortize two block copies.  Nodes below that but at or
+    above ``dispatch_threshold`` run on a thread pool, and the rest run
+    inline — a three-tier hybrid, so one batch can occupy scheduler,
+    thread, and process lanes at once.
 
     Non-target temporaries are freed as soon as their last consumer has
     run — into ``pool`` (a fresh :class:`BufferPool` when none is given),
@@ -534,7 +572,7 @@ def execute_plan(
         if backend == "process" and max_workers > 1:
             values, busy = _execute_process(
                 plan, arrays, own, target_keys, max_workers, pool,
-                proc_threshold,
+                proc_threshold, threshold,
             )
         elif max_workers <= 1:
             values, busy = _execute_serial(
@@ -601,7 +639,7 @@ def _execute_serial(
         check_deadline("exec.serial")
         deps = tuple(values[d] for d in node.deps)
         t0 = time.perf_counter()
-        values[key] = _compute_node(node, deps, arrays, counter, buf_pool)
+        values[key] = _run_node(node, deps, arrays, counter, buf_pool)
         busy += time.perf_counter() - t0
         for dep in node.deps:
             remaining[dep] -= 1
@@ -671,7 +709,7 @@ def _execute_pooled(
         local = OpCounter()
         t0 = time.perf_counter()
         try:
-            out = _compute_node(node, deps, arrays, local, buf_pool)
+            out = _run_node(node, deps, arrays, local, buf_pool)
         except BaseException as exc:
             # Keep the partial counter reachable for the drain path.
             exc.partial_counter = local  # type: ignore[attr-defined]
@@ -758,24 +796,36 @@ def _execute_process(
     max_workers: int,
     buf_pool: BufferPool,
     proc_threshold: int,
+    threshold: int,
 ) -> tuple[dict[NodeKey, np.ndarray], float]:
-    """Shared-memory process backend for very large cascades.
+    """Hybrid shared-memory process backend for very large cascades.
 
-    ``step``/``fused`` nodes whose modeled cost reaches ``proc_threshold``
-    are shipped to a :class:`~concurrent.futures.ProcessPoolExecutor`
-    worker over :mod:`multiprocessing.shared_memory`: the parent copies
-    the input into a shared block, the worker runs the fused cascade and
-    writes into a second parent-owned block, and the parent copies the
-    result out and unlinks both.  Every other node runs inline.
+    Dispatch is three-tiered by modeled cost: ``step``/``fused`` nodes at
+    or above ``proc_threshold`` are shipped to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` worker over
+    :mod:`multiprocessing.shared_memory` (the parent copies the input into
+    a shared block, the worker runs the fused cascade into a second
+    parent-owned block, the parent copies the result out and unlinks
+    both); nodes at or above ``threshold`` run on a thread pool exactly
+    like :func:`_execute_pooled`; everything smaller runs inline on the
+    scheduler thread.  One ``query_batch`` can therefore exercise all
+    three lanes — scheduler, pool workers, worker processes — in a single
+    trace.
 
     Chaos determinism: contextvars (and therefore the ambient fault
     injector) do not cross process boundaries, so the
-    ``exec.compute_node`` fault site fires on the *parent* before
-    dispatch — still exactly once per non-stored node.
+    ``exec.compute_node`` fault site fires on the *parent* before a
+    process dispatch — still exactly once per non-stored node.  Thread
+    dispatches carry a copied context like the pooled executor's.
 
-    Exact accounting: the worker counts its own scalar operations with a
-    private :class:`OpCounter` and returns the totals, which the parent
-    merges under a ``shm cascade`` event label.
+    Exact accounting: every worker counts its own scalar operations with a
+    private :class:`OpCounter` and the parent merges the totals (process
+    results land under a ``shm cascade`` event label).  When a tracer is
+    active, process work is recorded as a *remote* ``exec.node`` span: the
+    parent allocates the span id, the worker measures its own
+    ``perf_counter`` interval (``CLOCK_MONOTONIC`` — one timeline across
+    processes on Linux), and :meth:`~repro.obs.Tracer.record_remote`
+    attaches it under the ``exec.execute`` span.
     """
     values: dict[NodeKey, np.ndarray] = {}
     remaining = dict(plan.consumers)
@@ -787,6 +837,8 @@ def _execute_process(
     ready = deque(key for key, n in pending_deps.items() if n == 0)
     busy = 0.0
     deadline = current_deadline()
+    tracer = current_tracer()
+    parent_ctx = span_context() if tracer is not None else None
 
     def complete(key: NodeKey) -> None:
         for dep in plan.nodes[key].deps:
@@ -807,24 +859,47 @@ def _execute_process(
             except Exception:
                 pass
 
-    # future -> (key, input block, output block, out shape, out dtype)
+    def thread_work(key: NodeKey):
+        node = plan.nodes[key]
+        deps = tuple(values[d] for d in node.deps)
+        local = OpCounter()
+        t0 = time.perf_counter()
+        try:
+            out = _run_node(node, deps, arrays, local, buf_pool)
+        except BaseException as exc:
+            exc.partial_counter = local  # type: ignore[attr-defined]
+            raise
+        return key, out, local, time.perf_counter() - t0
+
+    # process future -> (key, in block, out block, out shape, dtype, span id)
     inflight: dict = {}
     futures: set = set()
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+    with ProcessPoolExecutor(max_workers=max_workers) as proc_pool, (
+        ThreadPoolExecutor(max_workers=max_workers)
+    ) as thread_pool:
         try:
             while ready or futures:
                 check_deadline("exec.dispatch")
                 while ready:
                     key = ready.popleft()
                     node = plan.nodes[key]
-                    dispatchable = (
+                    to_process = (
                         node.kind in ("step", "fused")
                         and node.cost >= proc_threshold
                     )
-                    if not dispatchable:
+                    if not to_process:
+                        if node.kind != "stored" and node.cost >= threshold:
+                            futures.add(
+                                thread_pool.submit(
+                                    contextvars.copy_context().run,
+                                    thread_work,
+                                    key,
+                                )
+                            )
+                            continue
                         deps = tuple(values[d] for d in node.deps)
                         t0 = time.perf_counter()
-                        values[key] = _compute_node(
+                        values[key] = _run_node(
                             node, deps, arrays, counter, buf_pool
                         )
                         busy += time.perf_counter() - t0
@@ -856,13 +931,17 @@ def _execute_process(
                     np.ndarray(src.shape, src.dtype, buffer=in_blk.buf)[
                         ...
                     ] = src
-                    future = pool.submit(
+                    remote_id = (
+                        tracer.next_span_id() if tracer is not None else None
+                    )
+                    future = proc_pool.submit(
                         _shm_cascade_worker,
                         in_blk.name,
                         src.shape,
                         src.dtype.str,
                         steps,
                         out_blk.name,
+                        tracer is not None,
                     )
                     inflight[future] = (
                         key,
@@ -870,6 +949,7 @@ def _execute_process(
                         out_blk,
                         out_shape,
                         src.dtype,
+                        remote_id,
                     )
                     futures.add(future)
                 if not futures:
@@ -884,11 +964,26 @@ def _execute_process(
                 )
                 failure: BaseException | None = None
                 for future in done:
-                    key, in_blk, out_blk, out_shape, dtype = inflight.pop(
-                        future
-                    )
+                    entry = inflight.pop(future, None)
+                    if entry is None:
+                        # Thread-tier completion.
+                        try:
+                            key, out, local, elapsed = future.result()
+                        except BaseException as exc:
+                            partial = getattr(exc, "partial_counter", None)
+                            if partial is not None:
+                                _merge_counter(counter, partial)
+                            if failure is None:
+                                failure = exc
+                            continue
+                        values[key] = out
+                        busy += elapsed
+                        _merge_counter(counter, local)
+                        complete(key)
+                        continue
+                    key, in_blk, out_blk, out_shape, dtype, remote_id = entry
                     try:
-                        adds, subs = future.result()
+                        adds, subs, *rest = future.result()
                     except BaseException as exc:
                         release((in_blk, out_blk))
                         if failure is None:
@@ -905,6 +1000,33 @@ def _execute_process(
                         subtractions=subs,
                         label="shm cascade",
                     )
+                    if tracer is not None and rest:
+                        timing = rest[0]
+                        node = plan.nodes[key]
+                        tracer.record_remote(
+                            Span(
+                                name="exec.node",
+                                span_id=remote_id,
+                                trace_id=(
+                                    parent_ctx[0] if parent_ctx else 0
+                                ),
+                                parent_id=(
+                                    parent_ctx[1] if parent_ctx else None
+                                ),
+                                start=timing["start"],
+                                end=timing["end"],
+                                attributes={
+                                    "element": node.element.describe(),
+                                    "kind": node.kind,
+                                    "planned_cost": node.cost,
+                                    "operations": adds + subs,
+                                    "remote": True,
+                                },
+                                thread_id=timing["thread_id"],
+                                thread_name=timing["thread_name"],
+                                process_id=timing["pid"],
+                            )
+                        )
                     values[key] = result
                     busy += time.perf_counter() - t0
                     complete(key)
@@ -917,8 +1039,19 @@ def _execute_process(
             for future in settled:
                 entry = inflight.pop(future, None)
                 if entry is None:
+                    if future.cancelled():
+                        continue
+                    exc = future.exception()
+                    if exc is None:
+                        _, _, local, elapsed = future.result()
+                        busy += elapsed
+                        _merge_counter(counter, local)
+                    else:
+                        partial = getattr(exc, "partial_counter", None)
+                        if partial is not None:
+                            _merge_counter(counter, partial)
                     continue
-                _, in_blk, out_blk, _, _ = entry
+                _, in_blk, out_blk, _, _, _ = entry
                 release((in_blk, out_blk))
             raise
     return values, busy

@@ -37,7 +37,9 @@ bit-identity property for int and float dtypes across 1-4 dimensions.
 from __future__ import annotations
 
 import math
+import os
 import threading
+import time
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -311,7 +313,8 @@ def _shm_cascade_worker(
     dtype_str: str,
     steps: tuple,
     out_name: str,
-) -> tuple[int, int]:
+    timing: bool = False,
+):
     """Run a fused cascade between two parent-owned shared-memory blocks.
 
     Executed inside a process-pool worker: attaches to the input block,
@@ -322,18 +325,40 @@ def _shm_cascade_worker(
     only ever attaches and closes.  (Pool workers are forked on Linux and
     share the parent's resource tracker, so attaching here is a no-op for
     segment accounting; the parent's single ``unlink`` settles it.)
+
+    With ``timing`` the return value grows a third element,
+    ``{"start", "end", "thread_id", "thread_name", "pid"}``, measured
+    *inside* the worker with ``time.perf_counter`` — on Linux that clock
+    is ``CLOCK_MONOTONIC``, shared across processes, so the parent can
+    record the interval as a remote span in the same timeline as its own
+    spans (contextvars do not cross the process boundary, so the tracer
+    cannot observe this work any other way).
     """
     dtype = np.dtype(dtype_str)
     inp = shared_memory.SharedMemory(name=in_name)
     out_blk = shared_memory.SharedMemory(name=out_name)
     try:
+        start = time.perf_counter()
         a = np.ndarray(shape, dtype=dtype, buffer=inp.buf)
         counter = OpCounter()
         result = fused_cascade(a, steps, counter=counter)
         np.ndarray(result.shape, dtype=result.dtype, buffer=out_blk.buf)[
             ...
         ] = result
-        return counter.additions, counter.subtractions
+        if not timing:
+            return counter.additions, counter.subtractions
+        thread = threading.current_thread()
+        return (
+            counter.additions,
+            counter.subtractions,
+            {
+                "start": start,
+                "end": time.perf_counter(),
+                "thread_id": thread.ident or 0,
+                "thread_name": thread.name,
+                "pid": os.getpid(),
+            },
+        )
     finally:
         inp.close()
         out_blk.close()

@@ -25,7 +25,7 @@ from collections.abc import Iterable
 import numpy as np
 
 from ..errors import IncompleteSetError
-from ..obs import current_registry, span
+from ..obs import add_span_event, current_registry, log_event, span
 from ..resilience.deadline import check_deadline
 from ..resilience.faults import corrupt_array, fault_point
 from .element import CubeShape, ElementId
@@ -250,6 +250,10 @@ class MaterializedSet:
             "integrity_failures_total",
             "stored elements quarantined by checksum verification",
         ).inc(reason=reason)
+        add_span_event(
+            "quarantine", element=element.describe(), reason=reason
+        )
+        log_event("quarantine", element=element.describe(), reason=reason)
 
     @property
     def quarantined(self) -> tuple[ElementId, ...]:
@@ -384,6 +388,11 @@ class MaterializedSet:
             registry.histogram(
                 "assemble_operations", "scalar operations per assembly"
             ).observe(ops)
+            if cost > 0:
+                registry.histogram(
+                    "cost_model_divergence",
+                    "measured over planned scalar operations (1.0 = exact)",
+                ).observe(ops / cost, path="assemble")
             sp.set(operations=ops, modeled_cost=cost, stored=target in self._arrays)
         return values
 
@@ -448,6 +457,8 @@ class MaterializedSet:
         max_workers: int = 1,
         cost_memo: dict | None = None,
         backend: str = "thread",
+        dispatch_threshold: int | None = None,
+        process_threshold: int | None = None,
     ) -> dict[ElementId, np.ndarray]:
         """Assemble several targets as one shared-plan DAG.
 
@@ -459,7 +470,10 @@ class MaterializedSet:
         The executor dispatches cost-aware: requesting ``max_workers > 1``
         is safe even for tiny batches — it demotes itself to serial when no
         node is worth a thread round-trip.  ``backend="process"`` enables
-        the shared-memory process pool for very large cascades.  Results
+        the shared-memory process pool for very large cascades;
+        ``dispatch_threshold``/``process_threshold`` override the
+        executor's cost cutoffs (tests and benchmarks use them to force a
+        dispatch tier without monkeypatching).  Results
         are bit-identical to per-target :meth:`assemble` calls and never
         cost more scalar operations; the total is usually strictly lower.
         ``cost_memo`` optionally reuses Procedure 3 prices across batches
@@ -502,6 +516,8 @@ class MaterializedSet:
                 counter=own,
                 max_workers=max_workers,
                 backend=backend,
+                dispatch_threshold=dispatch_threshold,
+                process_threshold=process_threshold,
                 pool=self._pool,
                 stats=exec_stats,
             )
@@ -516,6 +532,11 @@ class MaterializedSet:
             registry.histogram(
                 "assemble_batch_operations", "scalar operations per batch"
             ).observe(ops)
+            if plan.planned_cost > 0:
+                registry.histogram(
+                    "cost_model_divergence",
+                    "measured over planned scalar operations (1.0 = exact)",
+                ).observe(ops / plan.planned_cost, path="batch")
             sp.set(
                 operations=ops,
                 planned_cost=plan.planned_cost,

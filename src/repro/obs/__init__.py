@@ -1,23 +1,34 @@
-"""Observability: metrics, tracing, and the instrumented result cache.
+"""Observability: metrics, hierarchical tracing, events, and exporters.
 
 The reproduction's hot path — :meth:`MaterializedSet.assemble
-<repro.core.materialize.MaterializedSet.assemble>`, the
+<repro.core.materialize.MaterializedSet.assemble>`, the shared-plan DAG
+executor (:mod:`repro.core.exec`), the
 :class:`~repro.core.engine.SelectionEngine` level sweeps,
 :class:`~repro.core.range_query.RangeQueryEngine`, and the
 :class:`~repro.server.OLAPServer` query surface — is instrumented against
 this package:
 
-- :mod:`repro.obs.metrics` — counter/gauge/histogram registry;
-- :mod:`repro.obs.tracing` — span-based tracing with contextvar
-  propagation;
+- :mod:`repro.obs.metrics` — counter/gauge/histogram registry with
+  bucketed quantile estimation (p50/p95/p99);
+- :mod:`repro.obs.tracing` — hierarchical span tracing (trace/span/parent
+  ids, span events, thread/process lanes) with contextvar propagation
+  across the thread pool and explicit context hand-off to the
+  shared-memory process backend;
+- :mod:`repro.obs.events` — a bounded structured event log (admissions,
+  deadline misses, retries, quarantines, epoch bumps) exportable as JSONL;
 - :mod:`repro.obs.cache` — the bounded LRU cache (hit/miss/eviction
   metrics) backing the server's assembled-view result cache;
+- :mod:`repro.obs.profile` — planned-vs-measured query profiles joined
+  from one trace (the cost-model feedback signal);
+- :mod:`repro.obs.export` — Chrome trace-event JSON and Prometheus text
+  exposition;
+- :mod:`repro.obs.http` — the stdlib ``/metrics`` + ``/health`` endpoint;
 - :mod:`repro.obs.reporting` — text/JSON export (the ``repro stats`` CLI).
 
-Instrumentation is *ambient*: library code writes to whatever registry and
-tracer are currently activated (see :class:`Observability`), and tracing
-no-ops entirely when nothing is active, so standalone use of the core
-modules costs one contextvar read per instrumented call.
+Instrumentation is *ambient*: library code writes to whatever registry,
+tracer, and event log are currently activated (see :class:`Observability`),
+and tracing no-ops entirely when nothing is active, so standalone use of
+the core modules costs one contextvar read per instrumented call.
 """
 
 from __future__ import annotations
@@ -25,7 +36,9 @@ from __future__ import annotations
 from contextlib import ExitStack, contextmanager
 
 from .cache import LRUCache
+from .events import EventLog, current_event_log, log_event
 from .metrics import (
+    DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -33,10 +46,21 @@ from .metrics import (
     current_registry,
     default_registry,
 )
-from .tracing import Span, Tracer, current_tracer, span
+from .tracing import (
+    Span,
+    Tracer,
+    add_span_event,
+    current_span,
+    current_tracer,
+    span,
+    span_context,
+    tracing_active,
+)
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
+    "EventLog",
     "Gauge",
     "Histogram",
     "LRUCache",
@@ -44,20 +68,31 @@ __all__ = [
     "Observability",
     "Span",
     "Tracer",
+    "add_span_event",
+    "current_event_log",
     "current_registry",
+    "current_span",
     "current_tracer",
     "default_registry",
+    "log_event",
     "span",
+    "span_context",
+    "tracing_active",
 ]
 
 
 class Observability:
-    """A registry + tracer pair owned by one serving component.
+    """A registry + tracer + event log triple owned by one serving component.
 
     ``with obs.activate():`` routes all ambient instrumentation (the
-    module-level :func:`span` helper and :func:`current_registry`) into
-    this pair for the duration of the block, nesting correctly with other
-    activations on the stack.
+    module-level :func:`span` / :func:`log_event` helpers and
+    :func:`current_registry`) into this triple for the duration of the
+    block, nesting correctly with other activations on the stack.
+
+    ``tracing=False`` keeps the tracer object (so reporting surfaces stay
+    uniform) but leaves it out of activation: the ambient :func:`span`
+    helper then no-ops, which is the untraced baseline the
+    tracing-overhead benchmark compares against.
     """
 
     def __init__(
@@ -65,19 +100,27 @@ class Observability:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         max_spans: int = 4096,
+        events: EventLog | None = None,
+        max_events: int = 4096,
+        tracing: bool = True,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(max_spans=max_spans)
+        self.events = events if events is not None else EventLog(max_events=max_events)
+        self.tracing = tracing
 
     @contextmanager
     def activate(self):
-        """Make this pair the ambient instrumentation target."""
+        """Make this triple the ambient instrumentation target."""
         with ExitStack() as stack:
             stack.enter_context(self.registry.activate())
-            stack.enter_context(self.tracer.activate())
+            if self.tracing:
+                stack.enter_context(self.tracer.activate())
+            stack.enter_context(self.events.activate())
             yield self
 
     def reset(self) -> None:
-        """Clear all metrics and finished spans."""
+        """Clear all metrics, finished spans, and logged events."""
         self.registry.clear()
         self.tracer.clear()
+        self.events.clear()

@@ -1,0 +1,104 @@
+"""Bounded structured event log (JSONL export).
+
+Metrics answer "how many"; traces answer "where did the time go inside one
+query".  The event log answers "what notable things happened, in order":
+admission rejections, deadline misses, retries, quarantines, degradation
+fallbacks, epoch bumps.  Each event is one JSON-friendly dict with a
+monotonically increasing sequence number and a wall-clock timestamp, kept
+in a bounded ring (oldest dropped, drops counted) and exportable as JSON
+Lines — one ``json.loads``-able object per line, the format log shippers
+ingest.
+
+Like the tracer and the metrics registry, the log is ambient: serving code
+calls the module-level :func:`log_event`, which writes to the innermost
+activated :class:`EventLog` and is a single contextvar read when none is
+active.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = ["EventLog", "current_event_log", "log_event"]
+
+
+class EventLog:
+    """A bounded, thread-safe ring of structured events."""
+
+    def __init__(self, max_events: int = 4096):
+        self.max_events = max_events
+        self._events: deque[dict] = deque(maxlen=max_events)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.dropped_events = 0
+
+    # The event-type argument is positional-only so field names like
+    # ``kind=`` (the server labels queries by kind) never collide with it.
+    def emit(self, event_kind: str, /, **fields) -> dict:
+        """Record one event; returns the stored dict."""
+        event = {"seq": 0, "ts": time.time(), "kind": event_kind, **fields}
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            if (
+                self._events.maxlen is not None
+                and len(self._events) == self._events.maxlen
+            ):
+                self.dropped_events += 1
+            self._events.append(event)
+        return event
+
+    def events(self, kind: str | None = None) -> tuple[dict, ...]:
+        """Recorded events, optionally filtered by kind, oldest first."""
+        with self._lock:
+            snapshot = tuple(self._events)
+        if kind is None:
+            return snapshot
+        return tuple(e for e in snapshot if e["kind"] == kind)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def clear(self) -> None:
+        """Drop all events (keeps sequence numbering and the drop count)."""
+        with self._lock:
+            self._events.clear()
+
+    def to_jsonl(self, kind: str | None = None) -> str:
+        """The log as JSON Lines (one event object per line)."""
+        return "\n".join(
+            json.dumps(event, sort_keys=True, default=str)
+            for event in self.events(kind)
+        )
+
+    @contextmanager
+    def activate(self):
+        """Make this log the :func:`log_event` target within the block."""
+        token = _ACTIVE_EVENT_LOG.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_EVENT_LOG.reset(token)
+
+
+_ACTIVE_EVENT_LOG: ContextVar[EventLog | None] = ContextVar(
+    "repro_obs_event_log", default=None
+)
+
+
+def current_event_log() -> EventLog | None:
+    """The innermost activated event log, or ``None``."""
+    return _ACTIVE_EVENT_LOG.get()
+
+
+def log_event(event_kind: str, /, **fields) -> None:
+    """Record an event on the active log; a no-op when none is active."""
+    log = _ACTIVE_EVENT_LOG.get()
+    if log is not None:
+        log.emit(event_kind, **fields)

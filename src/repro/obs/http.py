@@ -1,0 +1,117 @@
+"""A stdlib HTTP endpoint exposing ``/metrics`` and ``/health``.
+
+:class:`TelemetryServer` wraps :class:`http.server.ThreadingHTTPServer`
+around two callables: one producing the Prometheus text exposition
+(:func:`repro.obs.export.prometheus_text` over the server's registry) and
+one producing a JSON health snapshot
+(:meth:`repro.server.OLAPServer.health`).  It binds loopback by default,
+picks a free port when asked for port 0, and serves from a daemon thread,
+so an :class:`~repro.server.OLAPServer` can expose scrape targets without
+any web framework:
+
+>>> endpoint = server.serve_telemetry(port=0)     # doctest: +SKIP
+>>> urllib.request.urlopen(                       # doctest: +SKIP
+...     f"http://127.0.0.1:{endpoint.port}/metrics")
+
+Endpoints:
+
+- ``GET /metrics`` — Prometheus text (``text/plain; version=0.0.4``).
+- ``GET /health`` — the health dict as JSON; HTTP 200 when ``status`` is
+  ``"ok"``, 503 when degraded (so load balancers can act on it).
+- anything else — 404.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Callable
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["TelemetryServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Injected by TelemetryServer via a subclass attribute.
+    metrics_fn: Callable[[], str]
+    health_fn: Callable[[], dict]
+
+    def do_GET(self):  # noqa: N802 (stdlib handler naming)
+        try:
+            if self.path.split("?", 1)[0] == "/metrics":
+                body = self.metrics_fn().encode()
+                self._reply(
+                    200, body, "text/plain; version=0.0.4; charset=utf-8"
+                )
+            elif self.path.split("?", 1)[0] == "/health":
+                health = self.health_fn()
+                status = 200 if health.get("status") == "ok" else 503
+                body = (json.dumps(health, indent=2, default=str) + "\n").encode()
+                self._reply(status, body, "application/json")
+            else:
+                self._reply(404, b"not found\n", "text/plain")
+        except Exception as exc:  # pragma: no cover - defensive surface
+            self._reply(500, f"{exc}\n".encode(), "text/plain")
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # scrapes should not spam stderr
+
+
+class TelemetryServer:
+    """Owns the HTTP listener and its serving thread."""
+
+    def __init__(
+        self,
+        metrics_fn: Callable[[], str],
+        health_fn: Callable[[], dict],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"metrics_fn": staticmethod(metrics_fn),
+             "health_fn": staticmethod(health_fn)},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint (no trailing slash)."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Begin serving from a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-telemetry",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the port."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

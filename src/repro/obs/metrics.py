@@ -12,8 +12,12 @@ The model is deliberately Prometheus-shaped but dependency-free:
 - :class:`Counter` — monotone totals (queries served, cache hits, sweep
   batches).
 - :class:`Gauge` — last-written values (cache size, selection epoch).
-- :class:`Histogram` — running ``count/sum/min/max`` summaries of observed
-  values (operations per assembly, migration cost per reconfiguration).
+- :class:`Histogram` — bucketed distributions of observed values
+  (operations per assembly, query latency).  Alongside the running
+  ``count/sum/min/max``, observations land in exponential buckets, from
+  which ``stats()`` estimates p50/p95/p99 by linear interpolation within
+  the covering bucket — the SLO quantiles ``health()`` and the Prometheus
+  exposition report.
 
 Metrics accept optional ``**labels``; each distinct label combination is an
 independent time series.  All mutation goes through one registry lock, so
@@ -23,11 +27,13 @@ concurrent query threads can share a server registry safely.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_right
 from contextlib import contextmanager
 from contextvars import ContextVar
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -68,9 +74,14 @@ class _Metric:
         with self._lock:
             values = {
                 _render_labels(key): (
-                    dict(v) if isinstance(v, dict) else v
+                    {
+                        k: (list(v) if isinstance(v, list) else v)
+                        for k, v in series.items()
+                    }
+                    if isinstance(series, dict)
+                    else series
                 )
-                for key, v in self._series.items()
+                for key, series in self._series.items()
             }
         return {
             "type": self.kind,
@@ -125,39 +136,140 @@ class Gauge(_Metric):
             return float(self._series.get(_label_key(labels), 0.0))
 
 
+#: Default histogram bucket upper bounds: a geometric ladder wide enough
+#: for both millisecond latencies and scalar-operation counts.  The last
+#: implicit bucket is +Inf.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    round(base * 10**exp, 6)
+    for exp in range(-2, 9)
+    for base in (1.0, 2.5, 5.0)
+)
+
+
 class Histogram(_Metric):
-    """Running summary (count/sum/min/max) of observed values."""
+    """Bucketed distribution (count/sum/min/max + quantile estimates)."""
 
     kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        lock: threading.RLock,
+        buckets: tuple[float, ...] | None = None,
+    ):
+        super().__init__(name, description, lock)
+        bounds = DEFAULT_BUCKETS if buckets is None else tuple(
+            sorted(float(b) for b in buckets)
+        )
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.bounds = bounds
 
     def observe(self, value: float, **labels) -> None:
         """Record one observation into the labelled series."""
         value = float(value)
         key = _label_key(labels)
+        index = bisect_right(self.bounds, value)
         with self._lock:
             stats = self._series.get(key)
             if stats is None:
-                self._series[key] = {
-                    "count": 1,
-                    "sum": value,
+                stats = {
+                    "count": 0,
+                    "sum": 0.0,
                     "min": value,
                     "max": value,
+                    "buckets": [0] * (len(self.bounds) + 1),
                 }
-            else:
-                stats["count"] += 1
-                stats["sum"] += value
-                stats["min"] = min(stats["min"], value)
-                stats["max"] = max(stats["max"], value)
+                self._series[key] = stats
+            stats["count"] += 1
+            stats["sum"] += value
+            stats["min"] = min(stats["min"], value)
+            stats["max"] = max(stats["max"], value)
+            stats["buckets"][index] += 1
 
-    def stats(self, **labels) -> dict:
-        """``{count, sum, min, max, mean}`` of the labelled series."""
+    def _quantile_locked(self, stats: dict, q: float) -> float:
+        """Interpolated quantile from the bucket counts (lock held).
+
+        Finds the bucket containing the q-th ranked observation and
+        interpolates linearly inside it, clamped to the observed min/max so
+        estimates never leave the data's range (and are exact for q=0/1).
+        """
+        count = stats["count"]
+        if count == 0:
+            return 0.0
+        rank = q * count
+        cum = 0.0
+        for index, bucket_count in enumerate(stats["buckets"]):
+            if bucket_count == 0:
+                continue
+            if cum + bucket_count >= rank:
+                lo = self.bounds[index - 1] if index > 0 else stats["min"]
+                hi = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else stats["max"]
+                )
+                lo = max(lo, stats["min"])
+                hi = min(hi, stats["max"])
+                if hi <= lo:
+                    return min(max(lo, stats["min"]), stats["max"])
+                frac = (rank - cum) / bucket_count
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            cum += bucket_count
+        return stats["max"]
+
+    def quantile(self, q: float, **labels) -> float:
+        """Estimated q-quantile (0 <= q <= 1) of the labelled series."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
         with self._lock:
             stats = self._series.get(_label_key(labels))
             if stats is None:
-                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-            out = dict(stats)
+                return 0.0
+            return self._quantile_locked(stats, q)
+
+    def stats(self, **labels) -> dict:
+        """``{count, sum, min, max, mean, p50, p95, p99}`` of the series."""
+        with self._lock:
+            stats = self._series.get(_label_key(labels))
+            if stats is None:
+                return {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": 0.0,
+                    "max": 0.0,
+                    "mean": 0.0,
+                    "p50": 0.0,
+                    "p95": 0.0,
+                    "p99": 0.0,
+                }
+            out = {k: v for k, v in stats.items() if k != "buckets"}
+            out["p50"] = self._quantile_locked(stats, 0.50)
+            out["p95"] = self._quantile_locked(stats, 0.95)
+            out["p99"] = self._quantile_locked(stats, 0.99)
         out["mean"] = out["sum"] / out["count"]
         return out
+
+    def buckets(self, **labels) -> tuple[tuple[float, int], ...]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        The final pair has ``float("inf")`` as its bound and equals the
+        total observation count.
+        """
+        with self._lock:
+            stats = self._series.get(_label_key(labels))
+            counts = list(stats["buckets"]) if stats else [0] * (
+                len(self.bounds) + 1
+            )
+        out = []
+        cum = 0
+        for bound, count in zip(
+            tuple(self.bounds) + (float("inf"),), counts
+        ):
+            cum += count
+            out.append((bound, cum))
+        return tuple(out)
 
 
 class MetricsRegistry:
@@ -192,9 +304,27 @@ class MetricsRegistry:
         """Get or create the named :class:`Gauge`."""
         return self._get_or_create(Gauge, name, description)
 
-    def histogram(self, name: str, description: str = "") -> Histogram:
-        """Get or create the named :class:`Histogram`."""
-        return self._get_or_create(Histogram, name, description)
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        """Get or create the named :class:`Histogram`.
+
+        ``buckets`` (upper bounds; +Inf is implicit) only takes effect at
+        creation — later calls return the existing histogram unchanged.
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, description, self._lock, buckets)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
 
     def get(self, name: str) -> _Metric | None:
         """The named metric, or ``None`` when absent."""

@@ -1,8 +1,8 @@
-"""Render a registry + tracer as JSON or aligned text.
+"""Render a registry + tracer (+ events, health) as JSON or aligned text.
 
 The ``python -m repro stats`` subcommand and the examples use this to turn
-an :class:`~repro.obs.Observability` pair into something a person (text) or
-a scraper (JSON) can read.  Text rendering reuses the repository's ASCII
+an :class:`~repro.obs.Observability` triple into something a person (text)
+or a scraper (JSON) can read.  Text rendering reuses the repository's ASCII
 table helper so stats reports look like the experiment reports.
 """
 
@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 
 from ..reporting import ascii_table, format_duration
+from .events import EventLog
 from .metrics import MetricsRegistry
 from .tracing import Tracer
 
@@ -21,17 +22,28 @@ def stats_payload(
     registry: MetricsRegistry,
     tracer: Tracer | None = None,
     health: dict | None = None,
+    events: EventLog | None = None,
 ) -> dict:
-    """JSON-friendly ``{"metrics", "spans", "span_summary", "health"}``.
+    """JSON-friendly ``{"metrics", "spans", "span_summary", "tracer",
+    "events", "health"}``.
 
     ``health`` is the server's :meth:`~repro.server.OLAPServer.health`
-    snapshot (serving status, quarantine, timeout/retry/degradation
-    counts); omitted when not provided.
+    snapshot (serving status, quarantine, SLO quantiles, timeout/retry/
+    degradation counts); ``events`` the structured event log.  Both are
+    omitted when not provided.
     """
     payload: dict = {"metrics": registry.snapshot()}
     if tracer is not None:
         payload["spans"] = [s.to_dict() for s in tracer.spans()]
         payload["span_summary"] = tracer.summary()
+        payload["tracer"] = {
+            "finished_spans": len(tracer.spans()),
+            "dropped_spans": tracer.dropped_spans,
+            "max_spans": tracer.max_spans,
+            "traces": len(tracer.trace_ids()),
+        }
+    if events is not None:
+        payload["events"] = list(events.events())
     if health is not None:
         payload["health"] = health
     return payload
@@ -42,10 +54,13 @@ def render_json(
     tracer: Tracer | None = None,
     indent: int | None = 2,
     health: dict | None = None,
+    events: EventLog | None = None,
 ) -> str:
     """The stats payload as a JSON document."""
     return json.dumps(
-        stats_payload(registry, tracer, health=health), indent=indent
+        stats_payload(registry, tracer, health=health, events=events),
+        indent=indent,
+        default=str,
     )
 
 
@@ -59,13 +74,19 @@ def _scalar_rows(snapshot: dict) -> list[list]:
     return rows
 
 
-def _histogram_rows(snapshot: dict) -> list[list]:
+def _histogram_rows(snapshot: dict, registry: MetricsRegistry) -> list[list]:
     rows = []
     for name, metric in snapshot.items():
         if metric["type"] != "histogram":
             continue
+        hist = registry.get(name)
         for labels, stats in sorted(metric["values"].items()):
             mean = stats["sum"] / stats["count"] if stats["count"] else 0.0
+            label_kwargs = dict(
+                pair.split("=", 1) for pair in labels.split(",") if pair
+            )
+            p50 = hist.quantile(0.50, **label_kwargs) if hist else 0.0
+            p95 = hist.quantile(0.95, **label_kwargs) if hist else 0.0
             rows.append(
                 [
                     name,
@@ -73,6 +94,8 @@ def _histogram_rows(snapshot: dict) -> list[list]:
                     stats["count"],
                     stats["sum"],
                     mean,
+                    p50,
+                    p95,
                     stats["min"],
                     stats["max"],
                 ]
@@ -80,12 +103,27 @@ def _histogram_rows(snapshot: dict) -> list[list]:
     return rows
 
 
-def _health_rows(health: dict) -> list[list]:
+def _health_rows(health: dict, prefix: str = "") -> list[list]:
     rows = []
     for field, value in health.items():
+        if isinstance(value, dict):
+            rows.extend(_health_rows(value, prefix=f"{prefix}{field}."))
+            continue
         if isinstance(value, list):
             value = ", ".join(str(v) for v in value) or "-"
-        rows.append([field, value])
+        rows.append([f"{prefix}{field}", value])
+    return rows
+
+
+def _event_rows(events: EventLog, limit: int = 20) -> list[list]:
+    rows = []
+    for event in events.events()[-limit:]:
+        detail = ", ".join(
+            f"{k}={v}"
+            for k, v in event.items()
+            if k not in ("seq", "ts", "kind")
+        )
+        rows.append([event["seq"], event["kind"], detail or "-"])
     return rows
 
 
@@ -93,8 +131,10 @@ def render_text(
     registry: MetricsRegistry,
     tracer: Tracer | None = None,
     health: dict | None = None,
+    events: EventLog | None = None,
 ) -> str:
-    """Counters/gauges, histograms, and per-span-name aggregates as tables."""
+    """Counters/gauges, histograms (with quantiles), span aggregates,
+    recent events, and the health snapshot as aligned text tables."""
     snapshot = registry.snapshot()
     sections = []
     if health is not None:
@@ -110,11 +150,21 @@ def render_text(
                 title="metrics",
             )
         )
-    histogram_rows = _histogram_rows(snapshot)
+    histogram_rows = _histogram_rows(snapshot, registry)
     if histogram_rows:
         sections.append(
             ascii_table(
-                ["histogram", "labels", "count", "sum", "mean", "min", "max"],
+                [
+                    "histogram",
+                    "labels",
+                    "count",
+                    "sum",
+                    "mean",
+                    "p50",
+                    "p95",
+                    "min",
+                    "max",
+                ],
                 histogram_rows,
                 title="histograms",
             )
@@ -139,6 +189,26 @@ def render_text(
                     title="spans",
                 )
             )
+        sections.append(
+            ascii_table(
+                ["field", "value"],
+                [
+                    ["finished_spans", len(tracer.spans())],
+                    ["dropped_spans", tracer.dropped_spans],
+                    ["max_spans", tracer.max_spans],
+                    ["traces", len(tracer.trace_ids())],
+                ],
+                title="tracer",
+            )
+        )
+    if events is not None and len(events):
+        sections.append(
+            ascii_table(
+                ["seq", "kind", "detail"],
+                _event_rows(events),
+                title="events (most recent)",
+            )
+        )
     if not sections:
         return "(no metrics recorded)"
     return "\n\n".join(sections)

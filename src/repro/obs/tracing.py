@@ -1,41 +1,79 @@
-"""Lightweight span-based tracing with contextvar propagation.
+"""Hierarchical span-based tracing with contextvar propagation.
 
 A :class:`Tracer` records :class:`Span` trees: each span has a name, wall
-time (``time.perf_counter``), free-form attributes, and a parent — the span
-that was open when it started.  Propagation uses :mod:`contextvars`, so
-nesting works across ordinary calls, generators, and threads started with a
-copied context, without threading a tracer argument through every function.
+time (``time.perf_counter``), free-form attributes, timestamped events, and
+a parent — the span that was open when it started.  Every span also carries
+a **trace id**: a root span (no open parent) starts a new trace and every
+descendant inherits it, so all the work one query triggers — planning,
+DAG-node execution on pool workers, cache lookups, retries — shares one id
+and can be reassembled into a single connected tree (:meth:`Tracer.trace`).
+
+Propagation uses :mod:`contextvars`, so nesting works across ordinary
+calls, generators, and threads started with a copied context (the DAG
+executor copies its context into every pool submission), without threading
+a tracer argument through every function.  Process-pool workers cannot
+inherit a context; the executor hands them an explicit
+:func:`span_context` and records the returned timing as a *remote* span via
+:meth:`Tracer.record_remote`, so cross-process work still lands in the
+right trace with the right parent.
+
+Each span records the thread and process it ran on, which is what lets the
+Chrome trace exporter (:mod:`repro.obs.export`) draw scheduler, worker, and
+process lanes.
 
 Instrumented library code calls the module-level :func:`span` helper, which
 records into the *currently active* tracer and is a cheap no-op when none is
 active — importing an instrumented module never forces tracing on.
 
-The tracer keeps a bounded ring of finished spans (oldest dropped), so a
-long-running server can stay instrumented without growing memory.
+The tracer keeps a bounded ring of finished spans (oldest dropped); drops
+are counted (``dropped_spans`` and the ``tracer_dropped_spans`` metric)
+rather than silent, so a long-running server can stay instrumented without
+growing memory and still report how much history it shed.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "Tracer", "span", "current_tracer"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "current_tracer",
+    "current_span",
+    "add_span_event",
+    "span_context",
+    "tracing_active",
+]
 
 
 @dataclass
 class Span:
-    """One timed, attributed operation; part of a tree via ``parent_id``."""
+    """One timed, attributed operation; part of a tree via ``parent_id``.
+
+    ``trace_id`` groups every span descending from one root; ``events`` is
+    a list of timestamped point annotations (retries, fault injections,
+    degradation re-routes) attached while the span was active.
+    """
 
     name: str
     span_id: int
+    trace_id: int = 0
     parent_id: int | None = None
     start: float = 0.0
     end: float | None = None
     attributes: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    thread_id: int = 0
+    thread_name: str = ""
+    process_id: int = 0
 
     @property
     def duration(self) -> float:
@@ -47,15 +85,28 @@ class Span:
         """Attach or overwrite attributes."""
         self.attributes.update(attributes)
 
+    def add_event(self, event_name: str, /, **attributes) -> None:
+        """Attach a timestamped point event to this span."""
+        self.events.append(
+            {"name": event_name, "ts": time.perf_counter(), **attributes}
+        )
+
     def to_dict(self) -> dict:
         """JSON-friendly representation (durations in milliseconds)."""
-        return {
+        out = {
             "name": self.name,
             "span_id": self.span_id,
+            "trace_id": self.trace_id,
             "parent_id": self.parent_id,
             "duration_ms": self.duration * 1e3,
             "attributes": dict(self.attributes),
+            "thread_id": self.thread_id,
+            "thread_name": self.thread_name,
+            "process_id": self.process_id,
         }
+        if self.events:
+            out["events"] = [dict(e) for e in self.events]
+        return out
 
 
 class _NullSpan:
@@ -64,6 +115,9 @@ class _NullSpan:
     __slots__ = ()
 
     def set(self, **attributes) -> None:
+        pass
+
+    def add_event(self, event_name: str, /, **attributes) -> None:
         pass
 
     def __enter__(self) -> "_NullSpan":
@@ -77,22 +131,64 @@ _NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Records finished spans into a bounded ring buffer."""
+    """Records finished spans into a bounded, lock-guarded ring buffer.
+
+    One tracer may be written from the scheduler thread and every pool
+    worker of a batch execution concurrently; id allocation and the
+    finished ring take an internal lock.
+    """
 
     def __init__(self, max_spans: int = 4096):
+        self.max_spans = max_spans
         self.finished: deque[Span] = deque(maxlen=max_spans)
+        self.dropped_spans = 0
         self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Recording
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            if (
+                self.finished.maxlen is not None
+                and len(self.finished) == self.finished.maxlen
+            ):
+                self.dropped_spans += 1
+                dropped = True
+            else:
+                dropped = False
+            self.finished.append(span)
+        if dropped:
+            # Local import to avoid a metrics<->tracing import cycle.
+            from .metrics import current_registry
+
+            current_registry().counter(
+                "tracer_dropped_spans",
+                "finished spans evicted from the tracer ring buffer",
+            ).inc()
 
     @contextmanager
     def span(self, name: str, **attributes):
-        """Open a child span of whatever span is currently active."""
+        """Open a child span of whatever span is currently active.
+
+        A span opened with no active parent starts a new trace.
+        """
         parent = _ACTIVE_SPAN.get()
+        thread = threading.current_thread()
         current = Span(
             name=name,
             span_id=next(self._ids),
+            trace_id=(
+                parent.trace_id if parent is not None else next(self._trace_ids)
+            ),
             parent_id=parent.span_id if parent is not None else None,
             start=time.perf_counter(),
             attributes=dict(attributes),
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            process_id=os.getpid(),
         )
         token = _ACTIVE_SPAN.set(current)
         try:
@@ -100,7 +196,24 @@ class Tracer:
         finally:
             current.end = time.perf_counter()
             _ACTIVE_SPAN.reset(token)
-            self.finished.append(current)
+            self._finish(current)
+
+    def next_span_id(self) -> int:
+        """Allocate a span id for externally recorded (remote) work."""
+        return next(self._ids)
+
+    def record_remote(self, span: Span) -> None:
+        """Record a finished span produced outside this tracer's context.
+
+        Used by the process-pool backend: the worker cannot see the
+        parent's contextvars, so the scheduler allocates the id up front
+        (:meth:`next_span_id`), ships a :func:`span_context` to the worker,
+        and records the returned timing here.
+        """
+        self._finish(span)
+
+    # ------------------------------------------------------------------
+    # Reading
 
     @contextmanager
     def activate(self):
@@ -113,13 +226,32 @@ class Tracer:
 
     def spans(self, name: str | None = None) -> tuple[Span, ...]:
         """Finished spans, optionally filtered by name, oldest first."""
+        with self._lock:
+            snapshot = tuple(self.finished)
         if name is None:
-            return tuple(self.finished)
-        return tuple(s for s in self.finished if s.name == name)
+            return snapshot
+        return tuple(s for s in snapshot if s.name == name)
+
+    def trace_ids(self) -> tuple[int, ...]:
+        """Distinct trace ids among finished spans, oldest first."""
+        seen: dict[int, None] = {}
+        for s in self.spans():
+            seen.setdefault(s.trace_id, None)
+        return tuple(seen)
+
+    def trace(self, trace_id: int | None = None) -> tuple[Span, ...]:
+        """All finished spans of one trace (default: the newest trace)."""
+        spans = self.spans()
+        if trace_id is None:
+            if not spans:
+                return ()
+            trace_id = spans[-1].trace_id
+        return tuple(s for s in spans if s.trace_id == trace_id)
 
     def clear(self) -> None:
-        """Drop all finished spans."""
-        self.finished.clear()
+        """Drop all finished spans (keeps the dropped-span count)."""
+        with self._lock:
+            self.finished.clear()
 
     def summary(self) -> dict[str, dict]:
         """Per-name aggregates: count, total/mean duration, summed ops.
@@ -128,7 +260,7 @@ class Tracer:
         carry one — the per-stage op-count view of a traced query path.
         """
         out: dict[str, dict] = {}
-        for s in self.finished:
+        for s in self.spans():
             agg = out.setdefault(
                 s.name,
                 {"count": 0, "total_ms": 0.0, "operations": 0},
@@ -156,9 +288,49 @@ def current_tracer() -> Tracer | None:
     return _ACTIVE_TRACER.get()
 
 
+def current_span() -> Span | None:
+    """The innermost open span in this context, or ``None``."""
+    return _ACTIVE_SPAN.get()
+
+
+def tracing_active() -> bool:
+    """Whether a tracer is currently receiving spans.
+
+    Hot paths use this to skip building expensive span attributes
+    (``element.describe()`` strings, per-node counters) when tracing is
+    off, keeping the untraced cost of instrumentation to one contextvar
+    read.
+    """
+    return _ACTIVE_TRACER.get() is not None
+
+
 def span(name: str, **attributes):
     """Open a span on the active tracer; a no-op when tracing is off."""
     tracer = _ACTIVE_TRACER.get()
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, **attributes)
+
+
+def add_span_event(event_name: str, /, **attributes) -> None:
+    """Attach an event to the innermost open span (no-op when none).
+
+    This is how out-of-band machinery — fault injection, retry loops,
+    degradation re-routes — annotates the query span it happened inside
+    without holding a span reference.
+    """
+    active = _ACTIVE_SPAN.get()
+    if active is not None:
+        active.add_event(event_name, **attributes)
+
+
+def span_context() -> tuple[int, int] | None:
+    """``(trace_id, span_id)`` of the innermost open span, or ``None``.
+
+    The serializable form of the active span context, for handing to
+    workers that cannot inherit contextvars (process pools).
+    """
+    active = _ACTIVE_SPAN.get()
+    if active is None:
+        return None
+    return (active.trace_id, active.span_id)

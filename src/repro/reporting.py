@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["ascii_table", "ascii_plot", "format_number", "format_duration"]
+__all__ = [
+    "ascii_table",
+    "ascii_plot",
+    "format_number",
+    "format_duration",
+    "format_ratio",
+]
 
 
 def format_duration(seconds: float) -> str:
@@ -23,6 +29,15 @@ def format_duration(seconds: float) -> str:
     if magnitude >= 1e-3:
         return f"{seconds * 1e3:.3f}ms"
     return f"{seconds * 1e6:.1f}us"
+
+
+def format_ratio(value: float) -> str:
+    """A measured/planned style ratio: ``1.00x``, ``inf``, or ``nan``."""
+    if value != value:  # NaN
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    return f"{value:.2f}x"
 
 
 def format_number(value, precision: int = 3) -> str:

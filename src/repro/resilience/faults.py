@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import TransientFault
-from ..obs import current_registry
+from ..obs import add_span_event, current_registry
 
 __all__ = [
     "FaultRule",
@@ -162,6 +162,15 @@ class FaultInjector:
         current_registry().counter(
             "faults_injected_total", "faults fired by the injection harness"
         ).inc(site=site, kind=kind)
+        # Annotate the query span the fault fired inside (no-op untraced),
+        # so chaos runs show *which* assembly the retry/fallback answered.
+        add_span_event(
+            "fault_injected",
+            site=site,
+            kind=kind,
+            invocation=invocation,
+            detail=detail,
+        )
 
     def hit(self, site: str, **context) -> None:
         """Apply latency/error rules due at this visit of ``site``.

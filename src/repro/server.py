@@ -78,7 +78,10 @@ from .errors import (
     QueryTimeout,
     TransientFault,
 )
-from .obs import LRUCache, Observability, span
+from .obs import LRUCache, Observability, add_span_event, log_event, span
+from .obs.export import prometheus_text
+from .obs.http import TelemetryServer
+from .obs.profile import query_profile
 from .resilience.deadline import (
     Deadline,
     current_deadline,
@@ -271,6 +274,9 @@ class OLAPServer:
                 "server_admission_rejected_total",
                 "queries rejected at the admission bound",
             ).inc(kind=kind)
+            log_event(
+                "admission_rejected", kind=kind, limit=self.max_in_flight
+            )
             raise AdmissionRejected(
                 f"server at capacity ({self.max_in_flight} in flight)",
                 limit=self.max_in_flight,
@@ -291,17 +297,38 @@ class OLAPServer:
 
     @contextmanager
     def _serving(self, kind: str, deadline_ms: float | None):
-        """Admission + deadline + timeout accounting around one query."""
+        """Admission + deadline + timeout + latency accounting per query.
+
+        Every admitted call — served, timed out, or failed — lands one
+        observation in the ``server_latency_ms`` histogram (labelled by
+        kind and outcome), which is where :meth:`health`'s SLO quantiles
+        come from.
+        """
+        start = time.perf_counter()
+        outcome = "ok"
         try:
             with self._admit(kind), deadline_scope(
                 self._deadline_for(deadline_ms)
             ):
                 yield
         except QueryTimeout:
+            outcome = "timeout"
             self.metrics.counter(
                 "server_timeouts_total", "queries cancelled by their deadline"
             ).inc(kind=kind)
+            log_event("deadline_missed", kind=kind, deadline_ms=deadline_ms)
             raise
+        except BaseException:
+            outcome = "error"
+            raise
+        finally:
+            self.metrics.histogram(
+                "server_latency_ms", "wall milliseconds per served call"
+            ).observe(
+                (time.perf_counter() - start) * 1e3,
+                kind=kind,
+                outcome=outcome,
+            )
 
     def _backoff(self, attempt: int) -> None:
         """Exponential backoff bounded by the remaining deadline."""
@@ -317,7 +344,10 @@ class OLAPServer:
         self.metrics.counter(
             "server_retries_total", "transient-fault retries performed"
         ).inc()
-        if attempt > self.max_retries:
+        exhausted = attempt > self.max_retries
+        add_span_event("retry", attempt=attempt, exhausted=exhausted)
+        log_event("retry", attempt=attempt, exhausted=exhausted)
+        if exhausted:
             self.metrics.counter(
                 "server_retry_exhausted_total",
                 "queries failed after exhausting retries",
@@ -328,6 +358,8 @@ class OLAPServer:
             "server_degraded_total",
             "queries answered from the base cube after quarantine",
         ).inc()
+        add_span_event("fallback", target="base_cube")
+        log_event("fallback", target="base_cube")
 
     def _assemble_resilient(
         self,
@@ -372,6 +404,9 @@ class OLAPServer:
         missing: Sequence[ElementId],
         counter: OpCounter,
         max_workers: int,
+        backend: str = "thread",
+        dispatch_threshold: int | None = None,
+        process_threshold: int | None = None,
     ) -> dict[ElementId, np.ndarray]:
         """Batch analogue of :meth:`_assemble_resilient`.
 
@@ -387,7 +422,12 @@ class OLAPServer:
             scratch = OpCounter()
             try:
                 results = materialized.assemble_batch(
-                    missing, counter=scratch, max_workers=max_workers
+                    missing,
+                    counter=scratch,
+                    max_workers=max_workers,
+                    backend=backend,
+                    dispatch_threshold=dispatch_threshold,
+                    process_threshold=process_threshold,
                 )
                 counter.merge(scratch)
                 return results
@@ -446,6 +486,9 @@ class OLAPServer:
         requests: Sequence[Iterable[str]],
         max_workers: int = 4,
         deadline_ms: float | None = None,
+        backend: str = "thread",
+        dispatch_threshold: int | None = None,
+        process_threshold: int | None = None,
     ) -> list[np.ndarray]:
         """Serve several aggregated views as one shared assembly plan.
 
@@ -461,9 +504,20 @@ class OLAPServer:
         ``max_workers`` defaults to 4 — safe for any batch size, because
         the executor's cost-aware dispatch demotes itself to serial unless
         some DAG node is actually worth a thread round-trip.
+        ``backend``/``dispatch_threshold``/``process_threshold`` pass
+        straight through to the DAG executor (see
+        :func:`repro.core.exec.execute_plan`).
         """
         elements = [self._element_for(dims) for dims in requests]
-        return self._serve_batch(elements, "view", max_workers, deadline_ms)
+        return self._serve_batch(
+            elements,
+            "view",
+            max_workers,
+            deadline_ms,
+            backend=backend,
+            dispatch_threshold=dispatch_threshold,
+            process_threshold=process_threshold,
+        )
 
     def rollup_batch(
         self,
@@ -530,6 +584,9 @@ class OLAPServer:
         kind: str,
         max_workers: int,
         deadline_ms: float | None = None,
+        backend: str = "thread",
+        dispatch_threshold: int | None = None,
+        process_threshold: int | None = None,
     ) -> list[np.ndarray]:
         """Serve a batch of elements through one shared plan.
 
@@ -557,7 +614,13 @@ class OLAPServer:
             counter = OpCounter()
             if missing:
                 assembled = self._assemble_batch_resilient(
-                    state.materialized, missing, counter, max_workers
+                    state.materialized,
+                    missing,
+                    counter,
+                    max_workers,
+                    backend=backend,
+                    dispatch_threshold=dispatch_threshold,
+                    process_threshold=process_threshold,
                 )
                 for element, values in assembled.items():
                     state.cache.put((element, state.epoch), values)
@@ -722,6 +785,12 @@ class OLAPServer:
             self.metrics.gauge(
                 "server_epoch", "current selection epoch of the result cache"
             ).set(new_state.epoch)
+            log_event(
+                "epoch_bump",
+                epoch=new_state.epoch,
+                stored_elements=len(new_set),
+                expected_cost=float(expected),
+            )
             self.metrics.histogram(
                 "reconfigure_migration_operations",
                 "scalar operations spent migrating the materialized set",
@@ -742,7 +811,11 @@ class OLAPServer:
 
         ``status`` is ``"ok"`` when no stored element is quarantined and
         ``"degraded"`` otherwise (answers stay exact either way — see
-        module docs).  Rendered by ``python -m repro stats``.
+        module docs).  The ``slo`` section carries unified SLO accounting:
+        per-kind latency quantiles (from the ``server_latency_ms``
+        histogram's bucket interpolation), error-budget rates per served
+        query, and telemetry loss (tracer ring drops, event-log drops).
+        Rendered by ``python -m repro stats`` and the ``/health`` endpoint.
         """
         state = self._state
         quarantined = state.materialized.quarantined
@@ -755,6 +828,34 @@ class OLAPServer:
         with self._stats_lock:
             queries = self.stats.queries
             reconfigurations = self.stats.reconfigurations
+        latency = self.metrics.histogram(
+            "server_latency_ms", "wall milliseconds per served call"
+        )
+        latency_by_kind: dict[str, dict] = {}
+        for key in latency.labelsets():
+            labels = dict(key)
+            if labels.get("outcome") != "ok":
+                continue
+            stats = latency.stats(**labels)
+            latency_by_kind[labels.get("kind", "?")] = {
+                "count": stats["count"],
+                "p50_ms": round(stats["p50"], 3),
+                "p95_ms": round(stats["p95"], 3),
+                "p99_ms": round(stats["p99"], 3),
+                "max_ms": round(stats["max"], 3),
+            }
+        denominator = max(1, queries)
+        slo = {
+            "latency_ms": latency_by_kind,
+            "timeout_rate": _total("server_timeouts_total") / denominator,
+            "rejection_rate": (
+                _total("server_admission_rejected_total") / denominator
+            ),
+            "retry_rate": _total("server_retries_total") / denominator,
+            "degraded_rate": _total("server_degraded_total") / denominator,
+            "tracer_dropped_spans": self.tracer.dropped_spans,
+            "events_dropped": self.obs.events.dropped_events,
+        }
         return {
             "status": "degraded" if quarantined else "ok",
             "epoch": state.epoch,
@@ -775,7 +876,35 @@ class OLAPServer:
             "integrity_failures": _total("integrity_failures_total"),
             "faults_injected": _total("faults_injected_total"),
             "buffer_pool": state.materialized.pool_stats(),
+            "slo": slo,
         }
+
+    # ------------------------------------------------------------------
+    # Telemetry surfaces
+
+    def serve_telemetry(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> TelemetryServer:
+        """Start a ``/metrics`` + ``/health`` HTTP endpoint for this server.
+
+        Returns the started :class:`~repro.obs.http.TelemetryServer` (its
+        ``.port`` is the bound port when 0 was requested); the caller owns
+        its lifetime — ``stop()`` it, or use it as a context manager.
+        """
+        return TelemetryServer(
+            metrics_fn=lambda: prometheus_text(self.metrics),
+            health_fn=self.health,
+            host=host,
+            port=port,
+        ).start()
+
+    def query_profile(self, trace_id: int | None = None) -> dict:
+        """Planned-vs-measured profile of one traced query.
+
+        Joins the newest trace (or ``trace_id``) recorded by this server's
+        tracer — see :func:`repro.obs.profile.query_profile`.
+        """
+        return query_profile(self.tracer, trace_id)
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -1,0 +1,441 @@
+"""End-to-end telemetry: cross-executor traces, profiles, exporters, SLOs.
+
+The tentpole guarantees of the telemetry layer, tested at the server
+boundary:
+
+- one ``query_batch`` yields exactly one connected trace even when its DAG
+  nodes run on pool worker threads or in process-pool workers;
+- measured operation counts in the profile equal the planned cost exactly
+  on the unfaulted path;
+- seeded chaos (retries, degradation, fault injections) lands as events on
+  the query span it happened inside;
+- the exporters (Chrome trace JSON, Prometheus text, the stdlib HTTP
+  endpoint, JSONL events) produce well-formed output from live servers.
+"""
+
+import json
+import os
+import threading
+from urllib.request import urlopen
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import CostModelMonitor, DynamicViewAssembler
+from repro.core.element import CubeShape
+from repro.cube.datacube import DataCube
+from repro.cube.dimensions import Dimension
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    log_event,
+    span,
+)
+from repro.obs.export import chrome_trace, prometheus_text, render_chrome_trace
+from repro.obs.profile import query_profile, render_profile
+from repro.resilience import FaultInjector, FaultRule
+from repro.server import OLAPServer
+
+BATCH = [["d0"], ["d1"], ["d2"], ["d0", "d1"], ["d0", "d2"], ["d1", "d2"]]
+
+
+def _make_server(seed=11, sizes=(8, 8, 8), **kwargs):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 100, size=sizes).astype(np.float64)
+    dims = [Dimension(f"d{i}", list(range(n))) for i, n in enumerate(sizes)]
+    return OLAPServer(DataCube(values, dims, measure="amount"), **kwargs)
+
+
+def _assert_connected(spans):
+    """Every span shares the root's trace id and parents resolve."""
+    trace_ids = {s.trace_id for s in spans}
+    assert len(trace_ids) == 1
+    span_ids = {s.span_id for s in spans}
+    roots = [s for s in spans if s.parent_id is None]
+    assert len(roots) == 1
+    for s in spans:
+        assert s.parent_id is None or s.parent_id in span_ids
+
+
+class TestPooledTrace:
+    def test_pooled_batch_is_one_connected_trace(self):
+        server = _make_server()
+        results = server.query_batch(
+            BATCH, max_workers=4, dispatch_threshold=0
+        )
+        spans = server.tracer.trace()
+        _assert_connected(spans)
+        (root,) = [s for s in spans if s.parent_id is None]
+        assert root.name == "server.query_batch"
+        # The batch really crossed threads: exec.node spans ran on pool
+        # workers, the root on the scheduler thread, all in one trace.
+        nodes = [s for s in spans if s.name == "exec.node"]
+        assert nodes
+        worker_threads = {s.thread_id for s in nodes} - {root.thread_id}
+        assert worker_threads
+        # And the answers match serial serving bit for bit.
+        plain = _make_server()
+        for dims, result in zip(BATCH, results):
+            assert result.tobytes() == plain.view(dims).tobytes()
+
+    def test_every_view_call_is_its_own_trace(self):
+        server = _make_server()
+        server.view(["d0"])
+        server.view(["d1"])
+        assert len(server.tracer.trace_ids()) == 2
+
+    def test_pooled_profile_measured_equals_planned(self):
+        server = _make_server()
+        server.query_batch(BATCH, max_workers=4, dispatch_threshold=0)
+        profile = query_profile(server.tracer)
+        totals = profile["totals"]
+        assert totals["nodes"] > 0
+        assert totals["measured"] == totals["planned"]
+        assert totals["divergence"] == 1.0
+        for node in profile["nodes"]:
+            assert node["divergence"] == 1.0
+        # render_profile produces the human table without blowing up.
+        assert "meas/plan" in render_profile(profile)
+
+
+class TestProcessBackendTrace:
+    def test_process_batch_is_one_trace_with_remote_spans(self):
+        server = _make_server(sizes=(16, 16, 8))
+        results = server.query_batch(
+            BATCH,
+            max_workers=2,
+            backend="process",
+            dispatch_threshold=0,
+            process_threshold=1 << 10,
+        )
+        spans = server.tracer.trace()
+        _assert_connected(spans)
+        remote = [
+            s for s in spans if s.attributes.get("remote")
+        ]
+        assert remote, "no DAG node crossed the process boundary"
+        assert {s.process_id for s in remote} - {os.getpid()}
+        # Remote spans parent to the executor span of this very trace.
+        (root,) = [s for s in spans if s.parent_id is None]
+        for s in remote:
+            assert s.trace_id == root.trace_id
+            assert s.parent_id in {x.span_id for x in spans}
+        # Exact accounting survives the shared-memory round-trip.
+        profile = query_profile(server.tracer)
+        assert profile["totals"]["measured"] == profile["totals"]["planned"]
+        plain = _make_server(sizes=(16, 16, 8))
+        for dims, result in zip(BATCH, results):
+            assert result.tobytes() == plain.view(dims).tobytes()
+
+
+class TestChaosEventsOnSpans:
+    def test_retry_events_attach_to_the_query_span(self):
+        server = _make_server(max_retries=2, retry_backoff_ms=0.0)
+        injector = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble",
+                    kind="error",
+                    max_fires=1,
+                )
+            ],
+            seed=3,
+        )
+        with injector.activate():
+            server.view(["d0"])
+        (query_span,) = server.tracer.spans("server.query")
+        retry = next(
+            e for e in query_span.events if e["name"] == "retry"
+        )
+        assert retry["attempt"] == 1
+        assert retry["exhausted"] is False
+        # The injection itself annotated the assembly span it fired
+        # inside — a child of this very query in the same trace.
+        fault_spans = [
+            s
+            for s in server.tracer.trace(query_span.trace_id)
+            if any(e["name"] == "fault_injected" for e in s.events)
+        ]
+        assert fault_spans
+        assert all(s.name == "materialize.assemble" for s in fault_spans)
+
+    def test_fallback_event_attaches_when_set_goes_incomplete(self):
+        server = _make_server(degrade_to_base=True)
+        expected = _make_server().view(["d0"])
+        # Quarantine the only stored element: assembly must degrade to a
+        # base-cube recompute, annotated on the query span.
+        server.materialized.quarantine(server.shape.root(), reason="test")
+        result = server.view(["d0"])
+        assert np.array_equal(result, expected)
+        (query_span,) = server.tracer.spans("server.query")
+        fallback = next(
+            e for e in query_span.events if e["name"] == "fallback"
+        )
+        assert fallback["target"] == "base_cube"
+        # The same story lands in the event log for log shippers.
+        assert server.obs.events.events("fallback")
+
+
+class TestHistogramQuantiles:
+    @staticmethod
+    def _hist(buckets=None):
+        return MetricsRegistry().histogram("h", "test", buckets=buckets)
+
+    def test_quantiles_interpolate_within_buckets(self):
+        hist = self._hist(buckets=(1.0, 10.0, 100.0))
+        for value in [2.0] * 50 + [20.0] * 50:
+            hist.observe(value)
+        stats = hist.stats()
+        assert stats["count"] == 100
+        # p50 falls in the (1, 10] bucket, p95/p99 in (10, 100].
+        assert 1.0 <= stats["p50"] <= 10.0
+        assert 10.0 <= stats["p95"] <= 100.0
+        assert 10.0 <= stats["p99"] <= 100.0
+        assert stats["p50"] <= stats["p95"] <= stats["p99"]
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = self._hist(buckets=(100.0,))
+        hist.observe(5.0)
+        hist.observe(7.0)
+        stats = hist.stats()
+        assert 5.0 <= stats["p50"] <= 7.0
+        assert 5.0 <= stats["p99"] <= 7.0
+
+    def test_empty_series_reports_zeros(self):
+        hist = self._hist()
+        assert hist.stats()["p99"] == 0.0
+        assert hist.quantile(0.5) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = self._hist()
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+
+class TestTracerDrops:
+    def test_ring_overflow_counts_drops_and_metric(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(max_spans=4)
+        with registry.activate(), tracer.activate():
+            for i in range(10):
+                with span("work", index=i):
+                    pass
+        assert len(tracer.spans()) == 4
+        assert tracer.dropped_spans == 6
+        assert registry.counter("tracer_dropped_spans").total() == 6
+
+
+class TestExporters:
+    def _traced_server(self):
+        server = _make_server()
+        server.query_batch(BATCH, max_workers=2, dispatch_threshold=0)
+        return server
+
+    def test_chrome_trace_shape(self):
+        server = self._traced_server()
+        doc = chrome_trace(server.tracer)
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert complete and metadata
+        for e in complete:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert {"pid", "tid", "name", "args"} <= set(e)
+        # The rendered form is valid JSON and loads back identically.
+        assert json.loads(render_chrome_trace(server.tracer)) == doc
+
+    def test_chrome_trace_filters_by_trace_id(self):
+        server = self._traced_server()
+        server.view(["d0"])
+        first_id = server.tracer.trace_ids()[0]
+        doc = chrome_trace(server.tracer, first_id)
+        names = {
+            e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert "server.query_batch" in names
+        assert "server.query" not in names
+
+    def test_prometheus_text_exposition(self):
+        server = self._traced_server()
+        text = prometheus_text(server.metrics)
+        assert "# TYPE server_queries_total counter" in text
+        assert "# TYPE server_latency_ms histogram" in text
+        assert 'kind="view"' in text
+        # Histograms expose cumulative buckets ending at +Inf plus
+        # _sum/_count series.
+        assert 'le="+Inf"' in text
+        assert "_sum" in text and "_count" in text
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+
+    def test_event_log_jsonl(self):
+        log = EventLog(max_events=3)
+        with log.activate():
+            for i in range(5):
+                log_event("tick", index=i)
+        events = log.events()
+        assert len(events) == 3
+        assert log.dropped_events == 2
+        assert [e["seq"] for e in events] == [3, 4, 5]
+        for line in log.to_jsonl().splitlines():
+            parsed = json.loads(line)
+            assert parsed["kind"] == "tick"
+
+
+class TestTelemetryEndpoint:
+    def test_metrics_and_health_over_http(self):
+        server = _make_server()
+        server.view(["d0"])
+        endpoint = server.serve_telemetry(port=0)
+        try:
+            with urlopen(f"{endpoint.url}/metrics", timeout=5) as resp:
+                assert resp.status == 200
+                body = resp.read().decode()
+                assert "server_queries_total" in body
+            with urlopen(f"{endpoint.url}/health", timeout=5) as resp:
+                assert resp.status == 200
+                health = json.loads(resp.read().decode())
+                assert health["status"] == "ok"
+                assert "slo" in health
+        finally:
+            endpoint.stop()
+
+    def test_unknown_path_is_404(self):
+        server = _make_server()
+        endpoint = server.serve_telemetry(port=0)
+        try:
+            import urllib.error
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urlopen(f"{endpoint.url}/nope", timeout=5)
+            assert excinfo.value.code == 404
+        finally:
+            endpoint.stop()
+
+
+class TestServerSLO:
+    def test_health_reports_latency_quantiles_per_kind(self):
+        server = _make_server()
+        for _ in range(4):
+            server.view(["d0"])
+        server.rollup({"d1": 1})
+        slo = server.health()["slo"]
+        assert set(slo["latency_ms"]) == {"view", "rollup"}
+        view_stats = slo["latency_ms"]["view"]
+        assert view_stats["count"] == 4
+        assert 0.0 <= view_stats["p50_ms"] <= view_stats["p95_ms"]
+        assert view_stats["p99_ms"] <= view_stats["max_ms"] or (
+            abs(view_stats["p99_ms"] - view_stats["max_ms"]) < 1e-6
+        )
+        assert slo["timeout_rate"] == 0.0
+        assert slo["rejection_rate"] == 0.0
+        assert slo["tracer_dropped_spans"] == 0
+        assert slo["events_dropped"] == 0
+
+    def test_retry_rate_counts_chaos(self):
+        server = _make_server(max_retries=2, retry_backoff_ms=0.0)
+        injector = FaultInjector(
+            [
+                FaultRule(
+                    site="materialize.assemble", kind="error", max_fires=1
+                )
+            ],
+            seed=3,
+        )
+        with injector.activate():
+            server.view(["d0"])
+        assert server.health()["slo"]["retry_rate"] > 0.0
+
+
+class TestCostModelFeedback:
+    def test_unfaulted_profiles_never_trigger(self):
+        monitor = CostModelMonitor(tolerance=0.25)
+        for _ in range(10):
+            monitor.ingest(
+                {"totals": {"nodes": 3, "planned": 100, "measured": 100}}
+            )
+        assert monitor.divergence == 1.0
+        assert not monitor.should_reconfigure()
+
+    def test_sustained_divergence_triggers(self):
+        monitor = CostModelMonitor(tolerance=0.25, decay=0.5)
+        for _ in range(10):
+            monitor.ingest(
+                {"totals": {"nodes": 3, "planned": 100, "measured": 200}}
+            )
+        assert monitor.divergence > 1.25
+        assert monitor.should_reconfigure()
+
+    def test_empty_profile_is_ignored(self):
+        monitor = CostModelMonitor()
+        monitor.ingest({"totals": {"nodes": 0, "planned": 0, "measured": 0}})
+        assert monitor.profiles_ingested == 0
+
+    def test_observe_profile_reconfigures_the_assembler(self):
+        rng = np.random.default_rng(5)
+        shape = CubeShape((8, 8))
+        assembler = DynamicViewAssembler(
+            rng.integers(0, 50, size=(8, 8)).astype(np.float64),
+            shape,
+            reconfigure_every=10_000,
+        )
+        assembler.query(shape.aggregated_view([0]))
+        divergent = {
+            "totals": {"nodes": 2, "planned": 100, "measured": 300},
+            "elements": {"A(1,0)": {"divergence": 3.0}},
+        }
+        record = None
+        monitor = assembler.cost_monitor
+        for _ in range(10):
+            record = assembler.observe_profile(divergent)
+            if record is not None:
+                break
+        assert record is not None
+        assert assembler.history[-1] is record
+        # The evidence resets with the new configuration.
+        assert assembler.cost_monitor is not monitor
+        assert assembler.cost_monitor.divergence == 1.0
+
+    def test_server_profile_feeds_the_monitor(self):
+        server = _make_server()
+        server.query_batch(BATCH, max_workers=2, dispatch_threshold=0)
+        profile = server.query_profile()
+        monitor = CostModelMonitor()
+        monitor.ingest(profile)
+        assert monitor.profiles_ingested == 1
+        assert monitor.divergence == 1.0
+
+
+class TestUntracedServer:
+    def test_tracing_false_records_no_spans_but_serves(self):
+        server = _make_server(observability=Observability(tracing=False))
+        result = server.query_batch(BATCH, max_workers=2)
+        assert len(result) == len(BATCH)
+        assert server.tracer.spans() == ()
+        # Metrics still flow: the registry is active regardless.
+        assert server.metrics.counter("server_queries_total").total() > 0
+
+
+class TestConcurrentTraces:
+    def test_parallel_batches_get_distinct_connected_traces(self):
+        server = _make_server()
+        errors = []
+
+        def work():
+            try:
+                server.query_batch(BATCH[:3], max_workers=2)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        trace_ids = server.tracer.trace_ids()
+        assert len(trace_ids) == 3
+        for trace_id in trace_ids:
+            _assert_connected(server.tracer.trace(trace_id))
