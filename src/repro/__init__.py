@@ -22,6 +22,9 @@ materialize for a given query workload.  Sub-packages:
 - :mod:`repro.resilience` — fault injection, deadlines, and the chaos
   acceptance replay (``python -m repro chaos``); the typed failure
   taxonomy lives in :mod:`repro.errors`.
+- :mod:`repro.shard` — sharded serving: slab partitioning, per-shard
+  materialized sets, scatter–gather assembly with exact merge, and the
+  shard-vs-monolith differential gate (``python -m repro shard``).
 """
 
 from .core import (
@@ -65,6 +68,7 @@ from .errors import (
 from .obs import LRUCache, MetricsRegistry, Observability, Tracer
 from .resilience import Deadline, FaultInjector, FaultRule
 from .server import OLAPServer
+from .shard import CubePartition, ShardedSet
 
 __version__ = "1.1.0"
 
@@ -74,6 +78,7 @@ __all__ = [
     "BasisSelection",
     "BatchPlan",
     "CompressedCube",
+    "CubePartition",
     "CubeShape",
     "Deadline",
     "FaultInjector",
@@ -97,6 +102,7 @@ __all__ = [
     "QueryPopulation",
     "RangeQueryEngine",
     "SelectionEngine",
+    "ShardedSet",
     "ViewElementGraph",
     "compute_element",
     "execute_plan",

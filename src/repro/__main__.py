@@ -64,7 +64,7 @@ def _run_figure9(trials: int, budgets: int) -> str:
     )
 
 
-def _demo_server(seed: int):
+def _demo_server(seed: int, shards: int = 1):
     from .server import OLAPServer
     from .workloads import SalesConfig, generate_sales_records
 
@@ -76,6 +76,7 @@ def _demo_server(seed: int):
         ["product", "store", "day"],
         "sales",
         domains={"day": list(range(8))},
+        shards=shards,
     )
 
 
@@ -107,11 +108,13 @@ def _scrape_telemetry(server) -> str:
     )
 
 
-def _run_stats(json_output: bool, queries: int, seed: int, serve: bool) -> str:
+def _run_stats(
+    json_output: bool, queries: int, seed: int, serve: bool, shards: int = 1
+) -> str:
     """Serve a demo workload on an instrumented server; report its stats."""
     from .obs.reporting import render_json, render_text
 
-    server = _demo_server(seed)
+    server = _demo_server(seed, shards=shards)
     sizes = server.shape.sizes
     # Repeated aggregated views (the repeats hit the result cache), a
     # roll-up, range sums, then a reconfiguration and a second round that
@@ -243,6 +246,39 @@ def _run_chaos(seed: int, json_output: bool, output: str | None) -> int:
     return 0 if report["ok"] else 1
 
 
+def _run_shard(
+    seed: int,
+    shards_spec: str,
+    backend: str,
+    workers: int,
+    json_output: bool,
+    output: str | None,
+) -> int:
+    """Run the shard-vs-monolith differential gate; non-zero on divergence."""
+    import json
+    from pathlib import Path
+
+    from .shard.differential import (
+        DifferentialConfig,
+        render_report,
+        run_differential,
+    )
+
+    counts = tuple(int(s) for s in shards_spec.split(",") if s)
+    report = run_differential(
+        DifferentialConfig(
+            seed=seed,
+            shard_counts=counts,
+            backend=backend,
+            workers=workers,
+        )
+    )
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2) if json_output else render_report(report))
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and regenerate the requested experiments."""
     parser = argparse.ArgumentParser(
@@ -263,11 +299,14 @@ def main(argv: list[str] | None = None) -> int:
             "stats",
             "chaos",
             "trace",
+            "shard",
         ],
         help="which experiment to regenerate ('stats' runs the "
         "instrumented server demo; 'chaos' runs the seeded "
         "fault-injection acceptance replay; 'trace' serves a traced "
-        "query batch and reports its planned-vs-measured profile)",
+        "query batch and reports its planned-vs-measured profile; "
+        "'shard' replays a workload sharded vs monolithic and checks "
+        "byte-identity)",
     )
     parser.add_argument(
         "--trials",
@@ -331,13 +370,32 @@ def main(argv: list[str] | None = None) -> int:
         "--backend",
         choices=["thread", "process"],
         default="thread",
-        help="with 'trace': DAG executor backend for the traced batch",
+        help="with 'trace'/'shard': DAG executor backend",
+    )
+    parser.add_argument(
+        "--shards",
+        default="1,2,4",
+        help="with 'shard': comma-separated shard counts to gate "
+        "(each a power of two); with 'stats': shard count of the demo "
+        "server (first value)",
     )
     args = parser.parse_args(argv)
 
+    if args.experiment == "shard":
+        seed = 11 if args.seed is None else args.seed
+        return _run_shard(
+            seed,
+            args.shards,
+            args.backend,
+            args.workers,
+            args.json,
+            args.output,
+        )
+
     if args.experiment == "stats":
         seed = 19 if args.seed is None else args.seed
-        print(_run_stats(args.json, args.queries, seed, args.serve))
+        shards = int(args.shards.split(",")[0])
+        print(_run_stats(args.json, args.queries, seed, args.serve, shards))
         return 0
     if args.experiment == "chaos":
         seed = 7 if args.seed is None else args.seed

@@ -519,8 +519,13 @@ def execute_plan(
     process_threshold: int | None = None,
     pool: BufferPool | None = None,
     stats: dict | None = None,
+    span_attrs: dict | None = None,
 ) -> dict[ElementId, np.ndarray]:
     """Run a :class:`BatchPlan` against the stored ``arrays``.
+
+    ``span_attrs`` adds caller attributes to the ``exec.execute`` span —
+    the shard layer tags each scatter leg with its shard index so one
+    ``query_batch`` trace shows per-shard execution lanes.
 
     Returns ``{target: values}``.  Parallelism is **cost-aware**: a node is
     dispatched to a worker only when its modeled cost reaches
@@ -566,7 +571,10 @@ def execute_plan(
         max_workers = 1
         demoted = True
     with span(
-        "exec.execute", nodes=len(plan.nodes), workers=max_workers
+        "exec.execute",
+        nodes=len(plan.nodes),
+        workers=max_workers,
+        **(span_attrs or {}),
     ) as sp:
         start = time.perf_counter()
         if backend == "process" and max_workers > 1:

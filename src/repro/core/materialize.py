@@ -284,6 +284,24 @@ class MaterializedSet:
         """Buffer-pool recycling counters for this set (JSON-friendly)."""
         return self._pool.stats()
 
+    @property
+    def pool(self):
+        """This set's :class:`BufferPool` — for callers (the shard layer)
+        that run :func:`~repro.core.exec.execute_plan` directly against the
+        stored arrays and want temporaries recycled into the same pool."""
+        return self._pool
+
+    def arrays_snapshot(self) -> dict[ElementId, np.ndarray]:
+        """A point-in-time ``{element: values}`` view of healthy storage.
+
+        Verifies any unverified seals first (quarantining on mismatch, like
+        :meth:`assemble`), then returns a shallow dict copy: the mapping is
+        stable against concurrent stores/quarantines, the arrays are the
+        live ones and must be treated as read-only.
+        """
+        self._verify_unverified()
+        return dict(self._arrays)
+
     def integrity_report(self) -> dict:
         """JSON-friendly ``{stored, verified, quarantined}`` summary."""
         with self._integrity_lock:

@@ -27,7 +27,21 @@ import numpy as np
 from ..core.element import CubeShape
 from ..core.operators import OpCounter, partial_sum
 
-__all__ = ["ChunkedCube"]
+__all__ = ["ChunkedCube", "chunk_slices"]
+
+
+def chunk_slices(
+    key: tuple[int, ...], chunk_extents: tuple[int, ...]
+) -> tuple[slice, ...]:
+    """The dense-array slices covered by grid cell ``key``.
+
+    The grid math is shared with :mod:`repro.shard`, which partitions a
+    cube into power-of-two slabs along one axis using the same
+    chunk-coordinate → half-open-box mapping.
+    """
+    return tuple(
+        slice(k * e, (k + 1) * e) for k, e in zip(key, chunk_extents)
+    )
 
 
 class ChunkedCube:
@@ -83,10 +97,7 @@ class ChunkedCube:
         return itertools.product(*(range(g) for g in self.grid))
 
     def _slices(self, key: tuple[int, ...]) -> tuple[slice, ...]:
-        return tuple(
-            slice(k * e, (k + 1) * e)
-            for k, e in zip(key, self.chunk_extents)
-        )
+        return chunk_slices(key, self.chunk_extents)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -185,12 +196,55 @@ class ChunkedCube:
             for m, level in enumerate(levels):
                 for _ in range(level):
                     local = partial_sum(local, m, counter=counter)
-            slices = tuple(
-                slice(
-                    key[m] * (self.chunk_extents[m] >> levels[m]),
-                    (key[m] + 1) * (self.chunk_extents[m] >> levels[m]),
-                )
-                for m in range(self.shape.ndim)
+            slices = chunk_slices(
+                key,
+                tuple(
+                    self.chunk_extents[m] >> levels[m]
+                    for m in range(self.shape.ndim)
+                ),
             )
             out[slices] = local
         return out
+
+    def range_sum(
+        self,
+        ranges,
+        counter: OpCounter | None = None,
+    ) -> float:
+        """SUM over a half-open multi-dimensional range, chunk by chunk.
+
+        Unlike :meth:`chunk_partial_sums`, the range endpoints need not be
+        chunk-aligned (or even dyadic): each stored chunk is clipped
+        against the query box and only the intersection is summed.  Empty
+        chunks — and chunks disjoint from the box — are never touched.
+        """
+        ranges = tuple((int(lo), int(hi)) for lo, hi in ranges)
+        if len(ranges) != self.shape.ndim:
+            raise ValueError(
+                f"{len(ranges)} ranges for a "
+                f"{self.shape.ndim}-dimensional cube"
+            )
+        for (lo, hi), n in zip(ranges, self.shape.sizes):
+            if lo < 0 or hi > n:
+                raise ValueError(f"range ({lo}, {hi}) outside extent {n}")
+        total = 0.0
+        for key, block in self._chunks.items():
+            local = []
+            for m, (lo, hi) in enumerate(ranges):
+                base = key[m] * self.chunk_extents[m]
+                clip_lo = max(lo, base) - base
+                clip_hi = min(hi, base + self.chunk_extents[m]) - base
+                if clip_lo >= clip_hi:
+                    local = None
+                    break
+                local.append(slice(clip_lo, clip_hi))
+            if local is None:
+                continue
+            piece = block[tuple(local)]
+            if piece.size:
+                total += float(piece.sum())
+                if counter is not None:
+                    counter.add(
+                        additions=piece.size, label="chunk range"
+                    )
+        return total

@@ -110,6 +110,14 @@ def _health_rows(health: dict, prefix: str = "") -> list[list]:
             rows.extend(_health_rows(value, prefix=f"{prefix}{field}."))
             continue
         if isinstance(value, list):
+            if value and all(isinstance(item, dict) for item in value):
+                # e.g. the per-shard health entries: one row group per
+                # element, indexed so shards line up in the table.
+                for i, item in enumerate(value):
+                    rows.extend(
+                        _health_rows(item, prefix=f"{prefix}{field}[{i}].")
+                    )
+                continue
             value = ", ".join(str(v) for v in value) or "-"
         rows.append([f"{prefix}{field}", value])
     return rows

@@ -88,6 +88,8 @@ from .resilience.deadline import (
     deadline_scope,
 )
 from .resilience.faults import fault_point
+from .shard.partition import CubePartition
+from .shard.sets import ShardedSet
 
 __all__ = ["OLAPServer", "ServerStats"]
 
@@ -142,6 +144,8 @@ class OLAPServer:
         max_retries: int = 2,
         retry_backoff_ms: float = 5.0,
         degrade_to_base: bool = True,
+        shards: int = 1,
+        shard_axis: int | None = None,
     ):
         """``storage_budget`` (cells) enables Algorithm 2 redundancy when it
         exceeds the cube volume; ``decay``/``smoothing`` configure workload
@@ -157,7 +161,14 @@ class OLAPServer:
         ``max_retries``/``retry_backoff_ms`` govern
         :class:`TransientFault` retries; ``degrade_to_base`` allows
         falling back to recomputation from the base cube when quarantine
-        leaves the stored set incomplete."""
+        leaves the stored set incomplete.
+
+        ``shards > 1`` (a power of two) partitions the cube into slabs
+        along ``shard_axis`` (default: the largest extent, ties last) and
+        serves every query scatter–gather over per-shard materialized
+        sets — see :mod:`repro.shard`.  Answers are bit-identical to
+        monolithic serving for integer-valued cubes on any axis, and for
+        float cubes when the shard axis is the last dimension."""
         self.cube = cube
         self.shape = cube.shape_id
         self.storage_budget = storage_budget
@@ -190,8 +201,14 @@ class OLAPServer:
             "server_epoch", "current selection epoch of the result cache"
         ).set(0)
         self._engine: SelectionEngine | None = None
+        self.shards = int(shards)
+        self._partition = (
+            CubePartition.for_shape(self.shape, self.shards, axis=shard_axis)
+            if self.shards > 1
+            else None
+        )
         # Start with the trivial selection: the cube itself.
-        materialized = MaterializedSet(self.shape)
+        materialized = self._new_materialized()
         materialized.store(self.shape.root(), cube.values)
         self._state = _ServingState(
             materialized=materialized,
@@ -207,6 +224,17 @@ class OLAPServer:
             weigh=lambda values: values.size,
             registry=self.metrics,
             name="view_cache",
+        )
+
+    def _new_materialized(self):
+        """A fresh storage backend: monolithic, or sharded slabs."""
+        if self._partition is None:
+            return MaterializedSet(self.shape)
+        return ShardedSet(
+            self._partition,
+            base_values=self.cube.values,
+            max_retries=self.max_retries,
+            retry_backoff_ms=self.retry_backoff_ms,
         )
 
     # ------------------------------------------------------------------
@@ -524,13 +552,25 @@ class OLAPServer:
         levels_list: Sequence[Mapping[str, str | int]],
         max_workers: int = 4,
         deadline_ms: float | None = None,
+        backend: str = "thread",
+        dispatch_threshold: int | None = None,
+        process_threshold: int | None = None,
     ) -> list[np.ndarray]:
         """Serve several roll-ups as one shared assembly plan.
 
-        Batch analogue of :meth:`rollup`; see :meth:`query_batch`.
+        Batch analogue of :meth:`rollup`; see :meth:`query_batch` for the
+        executor passthrough arguments.
         """
         elements = [rollup_element(self.cube, levels) for levels in levels_list]
-        return self._serve_batch(elements, "rollup", max_workers, deadline_ms)
+        return self._serve_batch(
+            elements,
+            "rollup",
+            max_workers,
+            deadline_ms,
+            backend=backend,
+            dispatch_threshold=dispatch_threshold,
+            process_threshold=process_threshold,
+        )
 
     def _cache_get(self, state: _ServingState, key):
         """Result-cache consult that degrades to a miss on cache faults."""
@@ -759,14 +799,24 @@ class OLAPServer:
                 expected = result.final_cost
 
             migration = OpCounter()
-            new_set = MaterializedSet(self.shape)
-            for element in sorted(set(elements), key=lambda e: e.depth):
-                new_set.store(
-                    element,
-                    self._assemble_resilient(
-                        state.materialized, element, migration
-                    ),
+            new_set = self._new_materialized()
+            if self._partition is not None:
+                # Shard-local migration: each shard assembles its slab of
+                # every selected element from the old shard's storage —
+                # no global array is ever materialized.
+                new_set.migrate_selection(
+                    sorted(set(elements), key=lambda e: e.depth),
+                    state.materialized,
+                    migration,
                 )
+            else:
+                for element in sorted(set(elements), key=lambda e: e.depth):
+                    new_set.store(
+                        element,
+                        self._assemble_resilient(
+                            state.materialized, element, migration
+                        ),
+                    )
             new_state = _ServingState(
                 materialized=new_set,
                 range_engine=RangeQueryEngine(new_set),
@@ -856,7 +906,7 @@ class OLAPServer:
             "tracer_dropped_spans": self.tracer.dropped_spans,
             "events_dropped": self.obs.events.dropped_events,
         }
-        return {
+        payload = {
             "status": "degraded" if quarantined else "ok",
             "epoch": state.epoch,
             "stored_elements": len(state.materialized),
@@ -878,6 +928,14 @@ class OLAPServer:
             "buffer_pool": state.materialized.pool_stats(),
             "slo": slo,
         }
+        if self._partition is not None:
+            payload["shards"] = {
+                **state.materialized.shards_health(),
+                "scatters": _total("shard_scatters_total"),
+                "shard_retries": _total("shard_retries_total"),
+                "shard_degraded": _total("shard_degraded_total"),
+            }
+        return payload
 
     # ------------------------------------------------------------------
     # Telemetry surfaces

@@ -1,0 +1,31 @@
+"""Sharded cube serving: slab partitioning + scatter–gather assembly.
+
+- :mod:`repro.shard.partition` — :class:`CubePartition`: power-of-two
+  slabs along one axis, element projection onto the slab shape, and the
+  exact cross-shard merge cascade (distributivity of ``P1``/``R1``).
+- :mod:`repro.shard.sets` — :class:`ShardedSet`: one
+  :class:`~repro.core.materialize.MaterializedSet`, buffer pool, and
+  epoch per shard behind the monolithic storage protocol; batches
+  scatter to per-shard executors and gather through fused merge kernels,
+  with per-shard retry/degradation (a quarantined shard re-routes to its
+  base slab, the others keep serving).
+- :mod:`repro.shard.differential` — the shard-vs-monolith byte-identity
+  gate behind ``python -m repro shard``.
+
+``OLAPServer(cube, shards=S)`` turns the whole serving stack sharded.
+"""
+
+from __future__ import annotations
+
+from .differential import DifferentialConfig, render_report, run_differential
+from .partition import CubePartition, shard_axis_for
+from .sets import ShardedSet
+
+__all__ = [
+    "CubePartition",
+    "DifferentialConfig",
+    "ShardedSet",
+    "render_report",
+    "run_differential",
+    "shard_axis_for",
+]

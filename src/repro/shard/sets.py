@@ -1,0 +1,567 @@
+"""Sharded materialized storage with scatter–gather assembly.
+
+:class:`ShardedSet` speaks the :class:`~repro.core.materialize.
+MaterializedSet` protocol the server and range engine consume — ``store``
+/ ``assemble`` / ``assemble_batch`` / ``apply_update`` / ``quarantined``
+/ ``pool_stats`` — but holds the cube as ``S`` slabs (one
+:class:`MaterializedSet`, buffer pool, and epoch per shard, see
+:class:`~repro.shard.partition.CubePartition`).
+
+A batch is served in three phases:
+
+1. **Plan** — every global target is projected onto the slab shape;
+   shards whose healthy storage exposes the same element signature share
+   *one* :func:`~repro.core.exec.plan_batch` CSE DAG (the common case:
+   all shards store the same projected selection, so planning cost is
+   paid once, not ``S`` times).
+2. **Scatter** — each shard runs the plan against its own snapshot with
+   :func:`~repro.core.exec.execute_plan` (thread or shared-memory process
+   backend, shard-tagged span lanes, per-shard ``OpCounter``).  A shard
+   whose signature cannot reach the targets — a quarantined array, a
+   mid-migration divergence — falls back to recomputing its local targets
+   from its base slab: degradation is *per shard*, the other shards still
+   serve from their materialized elements.
+3. **Gather** — per target, the local results are concatenated along the
+   shard axis into a pooled buffer and the cross-shard merge cascade
+   (:meth:`CubePartition.merge_steps`) runs as one fused kernel.  The
+   merge is exact by distributivity; for integer-valued cubes the results
+   are bit-identical to monolithic assembly on any axis, for float data
+   on the last-dimension axis (canonical step order is preserved).
+
+Fault sites: ``materialize.assemble`` fires once per shard leg (with a
+``shard=`` context), ``exec.compute_node`` fires per DAG node per shard
+inside the executors, ``materialize.store`` fires per shard store, and
+``shard.gather`` fires once per gathered target.  Deadlines are checked
+at scatter entry, inside every executor, and before the gather.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import contextvars
+
+import numpy as np
+
+from ..core.element import CubeShape, ElementId
+from ..core.exec import execute_plan, plan_batch
+from ..core.kernels import POOL_MIN_CELLS, BufferPool, fused_cascade
+from ..core.materialize import MaterializedSet, compute_element
+from ..core.operators import OpCounter
+from ..errors import IncompleteSetError, TransientFault
+from ..obs import current_registry, log_event, span
+from ..resilience import check_deadline, current_deadline, fault_point
+from .partition import CubePartition
+
+__all__ = ["ShardedSet"]
+
+_PLAN_CACHE_ENTRIES = 32
+
+
+class ShardedSet:
+    """``S`` shard-local :class:`MaterializedSet`\\ s behind one facade."""
+
+    def __init__(
+        self,
+        partition: CubePartition,
+        base_values: np.ndarray | None = None,
+        *,
+        max_retries: int = 2,
+        retry_backoff_ms: float = 5.0,
+    ):
+        self.partition = partition
+        self.shape: CubeShape = partition.shape
+        self.max_retries = int(max_retries)
+        self.retry_backoff_ms = float(retry_backoff_ms)
+        s = partition.num_shards
+        self._shards = [
+            MaterializedSet(partition.local_shape) for _ in range(s)
+        ]
+        # Views, not copies: the server mutates the base cube in place on
+        # update(), and the degraded path must see those writes.
+        self._base_slabs = (
+            [partition.slab(base_values, i) for i in range(s)]
+            if base_values is not None
+            else [None] * s
+        )
+        self._epochs = [0] * s
+        self._pool = BufferPool(min_cells=POOL_MIN_CELLS)
+        self._stored: dict[ElementId, None] = {}
+        self._plan_cache: dict = {}
+        self._plan_lock = threading.Lock()
+        self.last_scatter_stats: dict = {}
+
+    # ------------------------------------------------------------------
+    # MaterializedSet protocol: introspection
+
+    @property
+    def num_shards(self) -> int:
+        return self.partition.num_shards
+
+    @property
+    def epochs(self) -> tuple[int, ...]:
+        """Per-shard storage epochs (bumped by store/migrate/update)."""
+        return tuple(self._epochs)
+
+    @property
+    def elements(self) -> tuple[ElementId, ...]:
+        """The *global* elements registered via :meth:`store` /
+        :meth:`migrate_selection` (per-shard health may lag — see
+        :attr:`quarantined`)."""
+        return tuple(self._stored)
+
+    @property
+    def storage(self) -> int:
+        """Stored cells across all shards."""
+        return sum(ms.storage for ms in self._shards)
+
+    def __len__(self) -> int:
+        return len(self._stored)
+
+    def __contains__(self, element: ElementId) -> bool:
+        # No global array is ever held; lookups route through assemble(),
+        # which scatters and gathers.  (The range engine probes membership
+        # before assembling — returning False keeps it on the batch path.)
+        return False
+
+    def array(self, element: ElementId) -> np.ndarray:
+        raise KeyError(element)
+
+    @property
+    def quarantined(self) -> tuple[ElementId, ...]:
+        """Local elements quarantined on any shard (shard-local ids)."""
+        out: list[ElementId] = []
+        for ms in self._shards:
+            out.extend(ms.quarantined)
+        return tuple(out)
+
+    def pool_stats(self) -> dict:
+        """Gather-pool counters (per-shard pools: :meth:`shards_health`)."""
+        return self._pool.stats()
+
+    def can_assemble(self, target: ElementId) -> bool:
+        local = self.partition.project(target)
+        return all(
+            ms.can_assemble(local) or slab is not None
+            for ms, slab in zip(self._shards, self._base_slabs)
+        )
+
+    def shards_health(self) -> dict:
+        """JSON-friendly shards section for ``health()``/``repro stats``."""
+        per_shard = []
+        for s, ms in enumerate(self._shards):
+            pool = ms.pool_stats()
+            per_shard.append(
+                {
+                    "shard": s,
+                    "epoch": self._epochs[s],
+                    "stored": len(ms),
+                    "storage": ms.storage,
+                    "quarantined": len(ms.quarantined),
+                    "pool_hits": pool["hits"],
+                    "pool_misses": pool["misses"],
+                }
+            )
+        return {
+            "count": self.num_shards,
+            "axis": self.partition.axis,
+            "shard_extent": self.partition.shard_extent,
+            "per_shard": per_shard,
+        }
+
+    # ------------------------------------------------------------------
+    # MaterializedSet protocol: mutation
+
+    def store(self, element: ElementId, values: np.ndarray) -> None:
+        """Split ``values`` into per-shard slabs and store each locally.
+
+        Requires the element's axis level to stay within the slab
+        (:meth:`CubePartition.splittable`) — true for the root and for
+        every gathered element.  Each shard's
+        :meth:`MaterializedSet.store` copies and seals its slab, so one
+        corrupted store damages exactly one shard.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != element.data_shape:
+            raise ValueError(
+                f"data shape {values.shape} != {element.data_shape}"
+            )
+        if not self.partition.splittable(element):
+            raise ValueError(
+                "element does not split along the shard axis: level "
+                f"{element.nodes[self.partition.axis][0]} exceeds shard "
+                f"depth {self.partition.shard_depth}"
+            )
+        local = self.partition.project(element)
+        for s, ms in enumerate(self._shards):
+            ms.store(local, values[self.partition.data_slab_slices(element, s)])
+            self._epochs[s] += 1
+        self._stored[element] = None
+        with self._plan_lock:
+            self._plan_cache.clear()
+
+    def apply_update(
+        self,
+        coordinates: tuple[int, ...],
+        delta: float,
+        counter: OpCounter | None = None,
+    ) -> None:
+        """Route a single-cell update to the owning shard."""
+        coords = tuple(int(c) for c in coordinates)
+        s = self.partition.shard_of(coords[self.partition.axis])
+        self._shards[s].apply_update(
+            self.partition.local_coordinates(coords), delta, counter=counter
+        )
+        self._epochs[s] += 1
+
+    # ------------------------------------------------------------------
+    # Assembly: scatter–gather
+
+    def assemble(
+        self, target: ElementId, counter: OpCounter | None = None
+    ) -> np.ndarray:
+        return self.assemble_batch([target], counter=counter)[target]
+
+    def assemble_batch(
+        self,
+        targets,
+        counter: OpCounter | None = None,
+        max_workers: int = 1,
+        cost_memo: dict | None = None,
+        backend: str = "thread",
+        dispatch_threshold: int | None = None,
+        process_threshold: int | None = None,
+    ) -> dict[ElementId, np.ndarray]:
+        """Scatter the batch to every shard, merge the partials exactly."""
+        ordered = list(dict.fromkeys(targets))
+        if not ordered:
+            return {}
+        for target in ordered:
+            if target.shape != self.shape:
+                raise ValueError(
+                    "assemble_batch target from a different cube shape"
+                )
+        check_deadline("shard.scatter")
+        local_of = {t: self.partition.project(t) for t in ordered}
+        local_targets = list(dict.fromkeys(local_of.values()))
+        s_count = self.num_shards
+
+        with span(
+            "shard.scatter", shards=s_count, targets=len(ordered)
+        ) as sp:
+            snapshots = [ms.arrays_snapshot() for ms in self._shards]
+            plans, plan_groups = self._plans_for(local_targets, snapshots)
+            counters = [OpCounter() for _ in range(s_count)]
+            degraded: list[int] = []
+
+            def leg(s: int, workers: int):
+                return self._execute_shard(
+                    s,
+                    plans[s],
+                    snapshots[s],
+                    local_targets,
+                    counters[s],
+                    degraded,
+                    max_workers=workers,
+                    backend=backend,
+                    dispatch_threshold=dispatch_threshold,
+                    process_threshold=process_threshold,
+                )
+
+            partials: list[dict] = [None] * s_count  # type: ignore[list-item]
+            if backend == "thread" and max_workers > 1 and s_count > 1:
+                lanes = min(s_count, max_workers)
+                inner = max(1, max_workers // s_count)
+                with ThreadPoolExecutor(max_workers=lanes) as pool:
+                    futures = [
+                        pool.submit(
+                            contextvars.copy_context().run, leg, s, inner
+                        )
+                        for s in range(s_count)
+                    ]
+                    errors = []
+                    for s, future in enumerate(futures):
+                        try:
+                            partials[s] = future.result()
+                        except BaseException as exc:  # noqa: BLE001
+                            errors.append(exc)
+                    if errors:
+                        raise errors[0]
+            else:
+                for s in range(s_count):
+                    partials[s] = leg(s, max_workers)
+
+            # Merge per-shard counters in shard order: one batch, one
+            # deterministic accounting regardless of lane interleaving.
+            own = counter if counter is not None else OpCounter()
+            for shard_counter in counters:
+                own.merge(shard_counter)
+
+            check_deadline("shard.gather")
+            t0 = time.perf_counter()
+            merge_counter = OpCounter()
+            results = {
+                t: self._gather(t, local_of[t], partials, merge_counter)
+                for t in ordered
+            }
+            own.merge(merge_counter)
+            gather_ms = (time.perf_counter() - t0) * 1e3
+
+            registry = current_registry()
+            registry.counter(
+                "shard_scatters_total", "scatter-gather batches served"
+            ).inc()
+            registry.histogram(
+                "shard_gather_ms", "wall milliseconds merging shard partials"
+            ).observe(gather_ms)
+            self.last_scatter_stats = {
+                "targets": len(ordered),
+                "shards": s_count,
+                "plans": plan_groups,
+                "degraded_shards": sorted(set(degraded)),
+                "merge_ops": merge_counter.total,
+                "gather_ms": gather_ms,
+            }
+            sp.set(
+                plans=plan_groups,
+                degraded=len(set(degraded)),
+                merge_ops=merge_counter.total,
+            )
+        return {t: results[t] for t in dict.fromkeys(targets)}
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _plans_for(self, local_targets, snapshots):
+        """One CSE plan per distinct shard storage signature.
+
+        Shards exposing identical healthy element sets share a plan (the
+        planning cost is paid once for the common case of uniform
+        storage); a diverged shard — quarantine dropped an array — gets
+        its own attempt, and ``None`` when its storage cannot reach the
+        targets, which routes that single shard to the degraded path.
+        """
+        plans = [None] * len(snapshots)
+        by_sig: dict = {}
+        for s, snapshot in enumerate(snapshots):
+            by_sig.setdefault(frozenset(snapshot), []).append(s)
+        key_targets = tuple(local_targets)
+        for sig, shard_ids in by_sig.items():
+            cache_key = (key_targets, sig)
+            with self._plan_lock:
+                plan = self._plan_cache.get(cache_key, _MISSING)
+            if plan is _MISSING:
+                stored = tuple(
+                    sorted(sig, key=lambda e: (e.depth, e.nodes))
+                )
+                try:
+                    plan = plan_batch(key_targets, stored)
+                except IncompleteSetError:
+                    plan = None
+                with self._plan_lock:
+                    if len(self._plan_cache) >= _PLAN_CACHE_ENTRIES:
+                        self._plan_cache.clear()
+                    self._plan_cache[cache_key] = plan
+            for s in shard_ids:
+                plans[s] = plan
+        return plans, len(by_sig)
+
+    def _execute_shard(
+        self,
+        s: int,
+        plan,
+        snapshot,
+        local_targets,
+        counter: OpCounter,
+        degraded: list,
+        *,
+        max_workers: int,
+        backend: str,
+        dispatch_threshold: int | None,
+        process_threshold: int | None,
+    ) -> dict[ElementId, np.ndarray]:
+        """One scatter leg: retries, then per-shard degraded fallback."""
+        registry = current_registry()
+        in_flight = registry.gauge(
+            "shard_in_flight", "scatter legs currently executing"
+        )
+        in_flight.inc(shard=str(s))
+        try:
+            with span(
+                "shard.execute", shard=s, targets=len(local_targets)
+            ):
+                fault_point(
+                    "materialize.assemble",
+                    shard=s,
+                    batch=len(local_targets),
+                )
+                check_deadline("shard.execute")
+                attempt = 0
+                while plan is not None:
+                    scratch = OpCounter()
+                    try:
+                        results = execute_plan(
+                            plan,
+                            snapshot,
+                            counter=scratch,
+                            max_workers=max_workers,
+                            backend=backend,
+                            dispatch_threshold=dispatch_threshold,
+                            process_threshold=process_threshold,
+                            pool=self._shards[s].pool,
+                            span_attrs={"shard": s},
+                        )
+                        counter.merge(scratch)
+                        return results
+                    except TransientFault:
+                        attempt += 1
+                        registry.counter(
+                            "shard_retries_total",
+                            "transient-fault retries on scatter legs",
+                        ).inc(shard=str(s))
+                        if attempt > self.max_retries:
+                            break
+                        self._backoff(attempt)
+                return self._degraded_shard(s, local_targets, counter)
+        finally:
+            in_flight.inc(-1.0, shard=str(s))
+
+    def _degraded_shard(
+        self, s: int, local_targets, counter: OpCounter
+    ) -> dict[ElementId, np.ndarray]:
+        """Recompute one shard's targets from its base slab.
+
+        The re-route is shard-local: the other legs keep serving from
+        their materialized elements, so a quarantined (or persistently
+        faulting) shard degrades only its own slab of the answer.
+        """
+        slab = self._base_slabs[s]
+        if slab is None:
+            raise IncompleteSetError(
+                f"shard {s} storage is not complete for the requested "
+                "targets and no base slab is attached"
+            )
+        registry = current_registry()
+        registry.counter(
+            "shard_degraded_total",
+            "scatter legs re-routed to the shard's base slab",
+        ).inc(shard=str(s))
+        log_event("shard_degraded", shard=s, targets=len(local_targets))
+        scratch = OpCounter()
+        results = {
+            le: compute_element(slab, le, counter=scratch)
+            for le in local_targets
+        }
+        counter.merge(scratch)
+        return results
+
+    def _gather(
+        self,
+        target: ElementId,
+        local: ElementId,
+        partials,
+        counter: OpCounter,
+    ) -> np.ndarray:
+        """Concatenate shard partials and run the cross-shard merge."""
+        fault_point("shard.gather", element=target)
+        gathered = self.partition.gathered_element(target)
+        buf = self._pool.take(gathered.data_shape)
+        for s in range(self.num_shards):
+            buf[self.partition.data_slab_slices(gathered, s)] = partials[s][
+                local
+            ]
+        steps = self.partition.merge_steps(target)
+        if not steps:
+            return buf
+        merged = fused_cascade(buf, list(steps), counter=counter, pool=self._pool)
+        self._pool.give(buf)
+        return merged
+
+    def _backoff(self, attempt: int) -> None:
+        delay = (self.retry_backoff_ms / 1e3) * (2 ** (attempt - 1))
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("shard.retry")
+            delay = min(delay, max(0.0, deadline.remaining()))
+        if delay > 0:
+            time.sleep(delay)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+
+    def migrate_selection(
+        self,
+        elements,
+        source: "ShardedSet",
+        counter: OpCounter | None = None,
+    ) -> None:
+        """Populate this set with ``elements`` assembled from ``source``.
+
+        The shard-local analogue of the server's reconfigure store loop:
+        per shard, each projected element is assembled from the *old*
+        shard's storage (cheap — slab-sized work, shard-local routes, with
+        retry and base-slab fallback), depth-ordered so ancestors land
+        first.  Distinct global elements can share a projection; each
+        local element is assembled and stored once.
+        """
+        own = counter if counter is not None else OpCounter()
+        ordered = list(dict.fromkeys(elements))
+        locals_needed = sorted(
+            dict.fromkeys(self.partition.project(e) for e in ordered),
+            key=lambda e: e.depth,
+        )
+        for s, ms in enumerate(self._shards):
+            for le in locals_needed:
+                ms.store(
+                    le, self._local_assemble_resilient(source, s, le, own)
+                )
+            self._epochs[s] = source._epochs[s] + 1
+        self._stored = dict.fromkeys(ordered)
+        with self._plan_lock:
+            self._plan_cache.clear()
+
+    def _local_assemble_resilient(
+        self, source: "ShardedSet", s: int, local: ElementId, counter: OpCounter
+    ) -> np.ndarray:
+        registry = current_registry()
+        attempt = 0
+        while True:
+            scratch = OpCounter()
+            try:
+                values = source._shards[s].assemble(local, counter=scratch)
+                counter.merge(scratch)
+                return values
+            except TransientFault:
+                attempt += 1
+                registry.counter(
+                    "shard_retries_total",
+                    "transient-fault retries on scatter legs",
+                ).inc(shard=str(s))
+                if attempt > self.max_retries:
+                    break
+                self._backoff(attempt)
+            except IncompleteSetError:
+                break
+        slab = self._base_slabs[s]
+        if slab is None:
+            raise IncompleteSetError(
+                f"shard {s} cannot assemble {local.describe()}: storage "
+                "not complete and no base slab attached"
+            )
+        registry.counter(
+            "shard_degraded_total",
+            "scatter legs re-routed to the shard's base slab",
+        ).inc(shard=str(s))
+        scratch = OpCounter()
+        values = compute_element(slab, local, counter=scratch)
+        counter.merge(scratch)
+        return values
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

@@ -114,3 +114,83 @@ class TestChunkPartialSums:
         partials = cube.chunk_partial_sums((2, 2))
         assert partials[1, 1] == 0.0
         assert partials[0, 0] == dense[:4, :4].sum()
+
+
+class TestRangeSum:
+    """Non-aligned boxes crossing chunk boundaries (the gap the earlier
+    suite left open: every aggregate above is chunk- or axis-aligned)."""
+
+    def test_box_crossing_every_chunk_boundary(self, blocky):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (2, 2), shape)
+        # (1, 7) x (1, 7) is not chunk-aligned on either side and crosses
+        # three boundaries per axis of the 2x2 chunk grid.
+        assert cube.range_sum(((1, 7), (1, 7))) == pytest.approx(
+            dense[1:7, 1:7].sum()
+        )
+
+    def test_non_dyadic_odd_extents(self, rng):
+        shape = CubeShape((8, 8))
+        dense = rng.integers(0, 9, size=shape.sizes).astype(float)
+        cube = ChunkedCube.from_dense(dense, (4, 4), shape)
+        # Odd, non-dyadic extents: width 5 and 3, straddling the chunk
+        # seam at index 4 on both axes.
+        assert cube.range_sum(((3, 8), (2, 5))) == pytest.approx(
+            dense[3:8, 2:5].sum()
+        )
+
+    def test_exhaustive_boxes_match_dense(self, rng):
+        shape = CubeShape((8, 4))
+        dense = rng.integers(0, 9, size=shape.sizes).astype(float)
+        cube = ChunkedCube.from_dense(dense, (2, 4), shape)
+        for lo0 in range(8):
+            for hi0 in range(lo0 + 1, 9):
+                for lo1 in range(4):
+                    for hi1 in range(lo1 + 1, 5):
+                        box = ((lo0, hi0), (lo1, hi1))
+                        assert cube.range_sum(box) == pytest.approx(
+                            dense[lo0:hi0, lo1:hi1].sum()
+                        ), box
+
+    def test_empty_chunks_are_skipped(self, blocky):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (2, 2), shape)
+        from repro.core import OpCounter
+
+        counter = OpCounter()
+        # The box covers only the empty quadrant: no chunk is touched.
+        assert cube.range_sum(((4, 8), (4, 8)), counter=counter) == 0.0
+        assert counter.total == 0
+
+    def test_counter_counts_clipped_cells_only(self, blocky):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (4, 4), shape)
+        from repro.core import OpCounter
+
+        counter = OpCounter()
+        value = cube.range_sum(((1, 3), (0, 4)), counter=counter)
+        assert value == pytest.approx(dense[1:3, 0:4].sum())
+        # Only the intersection's cells are summed, not whole chunks.
+        assert counter.total == 2 * 4
+
+    def test_three_dimensional_crossing(self, rng):
+        shape = CubeShape((4, 8, 4))
+        dense = rng.integers(0, 5, size=shape.sizes).astype(float)
+        cube = ChunkedCube.from_dense(dense, (2, 4, 4), shape)
+        assert cube.range_sum(((1, 4), (3, 7), (1, 2))) == pytest.approx(
+            dense[1:4, 3:7, 1:2].sum()
+        )
+
+    @pytest.mark.parametrize(
+        "box,message",
+        [
+            ((((0, 4)),), "1 ranges"),
+            (((0, 9), (0, 8)), "outside extent"),
+            (((-1, 4), (0, 8)), "outside extent"),
+        ],
+    )
+    def test_validation(self, blocky, box, message):
+        shape, dense = blocky
+        cube = ChunkedCube.from_dense(dense, (2, 2), shape)
+        with pytest.raises(ValueError, match=message):
+            cube.range_sum(box)
