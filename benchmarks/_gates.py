@@ -1,0 +1,100 @@
+"""Shared CLI gate plumbing for the ``bench_*.py`` scripts.
+
+Every benchmark exposes the same contract: ``run(...)`` builds a JSON
+report, ``check(report)`` asserts absolute floors (the CI smoke gate),
+and ``compare(report, baseline)`` returns regression messages against a
+checked-in report.  This module owns the parts that were duplicated in
+every ``main()``: the argument parser (``--small`` / ``--check`` /
+``--compare`` / ``--repeats`` / ``--output``), report writing, summary
+printing, and the compare-and-fail exit protocol.
+
+Underscore-prefixed so pytest's benchmark collection skips it; imported
+as a sibling module (the scripts run standalone with their directory on
+``sys.path``, and pytest's default import mode adds it too).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Callable
+
+__all__ = ["REGRESSION_FACTOR", "build_parser", "finish", "ratio_regressed"]
+
+#: Default ``--compare`` tolerance: fail only when a ratio degrades by
+#: more than this factor — machine-to-machine wall noise stays below it.
+REGRESSION_FACTOR = 1.5
+
+
+def build_parser(
+    description: str,
+    *,
+    compare: bool = True,
+    repeats: bool = True,
+    small_help: str = "reduced sizes (CI smoke)",
+    check_help: str = "assert the benchmark's absolute floors",
+) -> argparse.ArgumentParser:
+    """The common benchmark CLI; callers may add script-specific flags."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--small", action="store_true", help=small_help)
+    parser.add_argument("--check", action="store_true", help=check_help)
+    if compare:
+        parser.add_argument(
+            "--compare",
+            default=None,
+            metavar="BASELINE_JSON",
+            help=(
+                "fail if a tracked ratio regressed more than "
+                f"{REGRESSION_FACTOR}x vs this checked-in report"
+            ),
+        )
+    if repeats:
+        parser.add_argument(
+            "--repeats", type=int, default=None, help="wall-time repetitions"
+        )
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    return parser
+
+
+def ratio_regressed(
+    current: float, reference: float, factor: float = REGRESSION_FACTOR
+) -> bool:
+    """True when ``current`` fell more than ``factor`` below ``reference``."""
+    return current * factor < reference
+
+
+def finish(
+    report: dict,
+    args: argparse.Namespace,
+    *,
+    check: Callable[[dict], None] | None = None,
+    compare: Callable[[dict, dict], list[str]] | None = None,
+    render: Callable[[dict], str] | None = None,
+) -> int:
+    """Run the gates and emit the report; returns the process exit code.
+
+    Order matches the historical ``main()`` bodies: ``--check`` asserts
+    first (a floor violation is a loud AssertionError, not an exit code),
+    then the report is written/printed, then ``--compare`` failures are
+    listed on stderr and turn the exit code non-zero.
+    """
+    if args.check and check is not None:
+        check(report)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    print(render(report) if render else json.dumps(report, indent=2))
+    baseline_path = getattr(args, "compare", None)
+    if baseline_path and compare is not None:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        failures = compare(report, baseline)
+        for message in failures:
+            print(f"REGRESSION {message}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0

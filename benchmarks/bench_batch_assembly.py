@@ -25,13 +25,12 @@ or under pytest-benchmark with the rest of the suite.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
 from itertools import combinations
 
 import numpy as np
+from _gates import REGRESSION_FACTOR, build_parser, finish, ratio_regressed
 
 from repro.core.element import CubeShape
 from repro.core.exec import plan_batch
@@ -176,34 +175,42 @@ def check(report: dict) -> None:
             )
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--small", action="store_true", help="tiny star shape (CI smoke)"
-    )
-    parser.add_argument(
-        "--check", action="store_true", help="assert the shared plan wins"
-    )
-    parser.add_argument(
-        "--repeats", type=int, default=None, help="wall-time repetitions"
-    )
-    parser.add_argument(
-        "--output", default=None, help="write the JSON report here"
-    )
-    args = parser.parse_args(argv)
+def compare(report: dict, baseline: dict) -> list[str]:
+    """Regression gate against a checked-in report.
 
-    report = run(small=args.small, repeats=args.repeats)
-    if args.check:
-        check(report)
-    rendered = json.dumps(report, indent=2)
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(rendered + "\n")
-        print(f"wrote {args.output}")
+    The operation-count speedup is deterministic (``OpCounter`` is exact),
+    so any drop at all fails; the wall ratio gets the usual noise-tolerant
+    factor.
+    """
+    failures: list[str] = []
+    base = {wl["name"]: wl for wl in baseline.get("workloads", [])}
+    for wl in report["workloads"]:
+        ref = base.get(wl["name"])
+        if ref is None or wl["shape"] != ref.get("shape"):
+            continue
+        if wl["ops_speedup"] < ref["ops_speedup"]:
+            failures.append(
+                f"{wl['name']}: ops speedup {wl['ops_speedup']:.3f}x fell "
+                f"below baseline {ref['ops_speedup']:.3f}x (exact counter)"
+            )
+        if ratio_regressed(
+            wl["wall_speedup_1_worker"], ref["wall_speedup_1_worker"]
+        ):
+            failures.append(
+                f"{wl['name']}: wall speedup "
+                f"{wl['wall_speedup_1_worker']:.2f}x regressed more than "
+                f"{REGRESSION_FACTOR}x from baseline "
+                f"{ref['wall_speedup_1_worker']:.2f}x"
+            )
+    return failures
+
+
+def render(report: dict) -> str:
+    lines = []
     for wl in report["workloads"]:
         seq = wl["sequential"]
         one = wl["shared_plan"]
-        print(
+        lines.append(
             f"{wl['name']}: sequential {seq['operations']} ops "
             f"{seq['wall_ms']:.3f} ms | shared(1) {one['operations']} ops "
             f"{one['wall_ms']:.3f} ms | "
@@ -213,7 +220,18 @@ def main(argv=None) -> int:
                 for w in WORKERS
             )
         )
-    return 0
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = build_parser(
+        __doc__.splitlines()[0],
+        small_help="tiny star shape (CI smoke)",
+        check_help="assert the shared plan wins",
+    )
+    args = parser.parse_args(argv)
+    report = run(small=args.small, repeats=args.repeats)
+    return finish(report, args, check=check, compare=compare, render=render)
 
 
 # ---------------------------------------------------------------------------

@@ -30,14 +30,13 @@ or under pytest-benchmark with the rest of the suite.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
 import tracemalloc
 from itertools import combinations
 
 import numpy as np
+from _gates import REGRESSION_FACTOR, build_parser, finish, ratio_regressed
 
 from repro.core.element import CubeShape
 from repro.core.exec import execute_plan, plan_batch
@@ -61,9 +60,6 @@ CASCADE_STEPS = (
     (0, False),
     (1, False),
 )
-
-#: ``--compare`` fails when a speedup ratio degrades by more than this.
-REGRESSION_FACTOR = 1.5
 
 
 def _best_wall(fn, repeats: int) -> float:
@@ -452,7 +448,7 @@ def compare(report: dict, baseline: dict) -> list[str]:
     failures: list[str] = []
 
     def gate(label: str, current: float, reference: float) -> None:
-        if current * REGRESSION_FACTOR < reference:
+        if ratio_regressed(current, reference):
             failures.append(
                 f"{label}: speedup {current:.2f}x regressed more than "
                 f"{REGRESSION_FACTOR}x from baseline {reference:.2f}x"
@@ -482,47 +478,17 @@ def compare(report: dict, baseline: dict) -> list[str]:
     return failures
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--small", action="store_true", help="small shapes (CI smoke)"
-    )
-    parser.add_argument(
-        "--check", action="store_true", help="assert the fused path wins"
-    )
-    parser.add_argument(
-        "--compare",
-        default=None,
-        metavar="BASELINE_JSON",
-        help="fail if a speedup ratio regressed >1.5x vs this report",
-    )
-    parser.add_argument(
-        "--repeats", type=int, default=None, help="wall-time repetitions"
-    )
-    parser.add_argument(
-        "--output", default=None, help="write the JSON report here"
-    )
-    args = parser.parse_args(argv)
-
-    report = run(small=args.small, repeats=args.repeats)
-    if args.check:
-        check(report)
-    rendered = json.dumps(report, indent=2)
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(rendered + "\n")
-        print(f"wrote {args.output}")
-
+def render(report: dict) -> str:
     cascade = report["cascade"]
-    print(
+    lines = [
         f"cascade {tuple(cascade['shape'])} x{cascade['steps']} steps: "
         f"step-by-step {cascade['step_by_step']['wall_ms']:.4f} ms | "
         f"fused {cascade['fused_warm_pool']['wall_ms']:.4f} ms "
         f"({cascade['wall_speedup']:.2f}x, "
         f"{cascade['fused_warm_pool']['allocations']} allocs/call)"
-    )
+    ]
     for wl in report["batches"]:
-        print(
+        lines.append(
             f"{wl['name']}: sequential {wl['sequential']['wall_ms']:.3f} ms | "
             f"unfused {wl['unfused_exec']['wall_ms']:.3f} ms | "
             f"fused(1) {wl['fused_1_worker']['wall_ms']:.3f} ms "
@@ -533,21 +499,23 @@ def main(argv=None) -> int:
             )
         )
     for section in report["process_shm"]:
-        print(
+        lines.append(
             f"{section['name']} ({section['cells']} cells): serial "
             f"{section['serial']['wall_ms']:.2f} ms | shm process(2) "
             f"{section['process_2_workers']['wall_ms']:.2f} ms"
         )
+    return "\n".join(lines)
 
-    if args.compare:
-        with open(args.compare) as fh:
-            baseline = json.load(fh)
-        failures = compare(report, baseline)
-        for message in failures:
-            print(f"REGRESSION {message}", file=sys.stderr)
-        if failures:
-            return 1
-    return 0
+
+def main(argv=None) -> int:
+    parser = build_parser(
+        __doc__.splitlines()[0],
+        small_help="small shapes (CI smoke)",
+        check_help="assert the fused path wins",
+    )
+    args = parser.parse_args(argv)
+    report = run(small=args.small, repeats=args.repeats)
+    return finish(report, args, check=check, compare=compare, render=render)
 
 
 # ---------------------------------------------------------------------------

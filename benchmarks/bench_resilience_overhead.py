@@ -26,12 +26,11 @@ or under pytest-benchmark with the rest of the suite.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
 
 import numpy as np
+from _gates import build_parser, finish
 
 from repro.cube.datacube import DataCube
 from repro.cube.dimensions import Dimension
@@ -44,6 +43,10 @@ def make_server(sizes, seed=2024, **kwargs) -> OLAPServer:
     rng = np.random.default_rng(seed)
     values = rng.integers(0, 100, size=sizes).astype(np.float64)
     dims = [Dimension(f"d{i}", list(range(n))) for i, n in enumerate(sizes)]
+    # Legacy clear-everything updates: ``timed_rounds`` uses an update
+    # between rounds to evict the result cache so assembly really runs;
+    # the default patch policy would keep it warm.
+    kwargs.setdefault("update_policy", "clear")
     return OLAPServer(DataCube(values, dims, measure="amount"), **kwargs)
 
 
@@ -96,24 +99,18 @@ def run(sizes, rounds=REPEATS) -> dict:
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default=None)
-    parser.add_argument("--small", action="store_true")
-    parser.add_argument("--check", action="store_true")
-    args = parser.parse_args(argv)
+def check(result: dict) -> None:
+    # The bounded configuration must not blow up the fault-free path;
+    # the factor is loose because CI machines are noisy.
+    assert result["bounded_over_plain"] < 5.0, result
 
+
+def main(argv=None) -> int:
+    parser = build_parser(__doc__.splitlines()[0], compare=False)
+    args = parser.parse_args(argv)
     sizes = (8, 8) if args.small else (16, 16, 16)
-    result = run(sizes)
-    print(json.dumps(result, indent=2))
-    if args.output:
-        with open(args.output, "w") as fh:
-            json.dump(result, fh, indent=2)
-    if args.check:
-        # The bounded configuration must not blow up the fault-free path;
-        # the factor is loose because CI machines are noisy.
-        assert result["bounded_over_plain"] < 5.0, result
-    return 0
+    result = run(sizes, rounds=args.repeats or REPEATS)
+    return finish(result, args, check=check)
 
 
 # ----------------------------------------------------------------------

@@ -27,13 +27,12 @@ or under pytest-benchmark with the rest of the suite.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
 from itertools import combinations
 
 import numpy as np
+from _gates import REGRESSION_FACTOR, build_parser, finish, ratio_regressed
 
 from repro.core.element import CubeShape
 from repro.core.materialize import MaterializedSet
@@ -56,9 +55,6 @@ SMALL_SHARDS = (1, 2, 4)
 #: only asserts the scatter layer did not collapse (stayed within ~2x of
 #: the single-shard wall).
 SPEEDUP_FLOOR = {"full": 1.6, "small": 0.5}
-
-#: ``--compare`` fails when a speedup ratio degrades by more than this.
-REGRESSION_FACTOR = 1.5
 
 
 def _best_wall(fn, repeats: int) -> float:
@@ -215,7 +211,7 @@ def compare(report: dict, baseline: dict) -> list[str]:
             continue
         current = entry["speedup_vs_1_shard"]
         reference = ref["speedup_vs_1_shard"]
-        if current * REGRESSION_FACTOR < reference:
+        if ratio_regressed(current, reference):
             failures.append(
                 f"{entry['shards']} shards: speedup {current:.2f}x "
                 f"regressed more than {REGRESSION_FACTOR}x from baseline "
@@ -224,60 +220,32 @@ def compare(report: dict, baseline: dict) -> list[str]:
     return failures
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--small", action="store_true", help="small cube (CI smoke)"
-    )
-    parser.add_argument(
-        "--check", action="store_true", help="assert the scaling gates"
-    )
-    parser.add_argument(
-        "--compare",
-        default=None,
-        metavar="BASELINE_JSON",
-        help="fail if a speedup ratio regressed >1.5x vs this report",
-    )
-    parser.add_argument(
-        "--repeats", type=int, default=None, help="wall-time repetitions"
-    )
-    parser.add_argument(
-        "--output", default=None, help="write the JSON report here"
-    )
-    args = parser.parse_args(argv)
-
-    report = run(small=args.small, repeats=args.repeats)
-    if args.check:
-        check(report)
-    rendered = json.dumps(report, indent=2)
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(rendered + "\n")
-        print(f"wrote {args.output}")
-
+def render(report: dict) -> str:
     mono = report["monolithic"]
-    print(
+    lines = [
         f"{tuple(report['shape'])} ({report['cells']} cells), "
         f"{report['targets']} targets: monolithic {mono['wall_ms']:.1f} ms"
-    )
+    ]
     for entry in report["shards"]:
-        print(
+        lines.append(
             f"  {entry['shards']} shard(s): {entry['wall_ms']:.1f} ms "
             f"({entry['speedup_vs_1_shard']:.2f}x vs 1 shard, "
             f"{entry['speedup_vs_monolithic']:.2f}x vs monolithic, "
             f"gather {entry['gather_ms']:.2f} ms, "
             f"{entry['merge_ops']} merge ops)"
         )
+    return "\n".join(lines)
 
-    if args.compare:
-        with open(args.compare) as fh:
-            baseline = json.load(fh)
-        failures = compare(report, baseline)
-        for message in failures:
-            print(f"REGRESSION {message}", file=sys.stderr)
-        if failures:
-            return 1
-    return 0
+
+def main(argv=None) -> int:
+    parser = build_parser(
+        __doc__.splitlines()[0],
+        small_help="small cube (CI smoke)",
+        check_help="assert the scaling gates",
+    )
+    args = parser.parse_args(argv)
+    report = run(small=args.small, repeats=args.repeats)
+    return finish(report, args, check=check, compare=compare, render=render)
 
 
 # ---------------------------------------------------------------------------

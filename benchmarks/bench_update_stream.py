@@ -1,0 +1,350 @@
+"""Patch-in-place delta maintenance vs clear-everything invalidation.
+
+Drives two :class:`~repro.server.OLAPServer` instances — identical cubes,
+identical update/query trace — through a trickle-ingest workload: every
+round applies a small batch of point deltas (``update_many``) and then
+serves the steady-state query mix (every group-by view, a shared-plan
+batch, two range sums).  The servers differ only in ``update_policy``:
+
+- **patch** (the default): deltas are propagated into the warm result
+  cache and the range engine's dyadic intermediates in
+  O(affected cells x depth) per entry — queries keep hitting cache.
+- **clear** (the legacy baseline): every update bumps the cache
+  generation and drops the range intermediates, so each round re-assembles
+  every view from the materialized set.
+
+Both servers are asserted bit-identical to a server freshly built on the
+final cube (integer-valued, so float64 assembly is exact).  The report
+carries the steady-state cache hit rate, exact scalar-operation totals
+(:class:`OpCounter` via ``server_operations_total``), per-kind latency
+quantiles from the ``server_latency_ms`` histogram, and the end-to-end
+round speedup — plus a sharded leg showing a single-cell update bumps
+exactly one shard epoch.
+
+Runs standalone (writes ``BENCH_update.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_update_stream.py \
+        --output BENCH_update.json
+    ... --small --check                  # CI smoke: small cube + gates
+    ... --compare BENCH_update.json      # fail on >1.5x speedup regression
+
+or under pytest-benchmark with the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from itertools import combinations
+
+import numpy as np
+from _gates import REGRESSION_FACTOR, build_parser, finish, ratio_regressed
+
+from repro.cube.datacube import DataCube
+from repro.cube.dimensions import Dimension
+from repro.server import OLAPServer
+
+FULL_SIZES = (16, 64, 64)
+SMALL_SIZES = (8, 16, 16)
+
+#: Trickle batch per round: a handful of point deltas, like a streaming
+#: fact-table ingest between dashboard refreshes.
+UPDATES_PER_ROUND = 12
+
+#: Minimum end-to-end speedup (updates + queries per round) of the patch
+#: policy over clear-everything.  The full cube carries the paper-sized
+#: claim; the small cube's views are microseconds to rebuild, so its
+#: floor only asserts patching never *loses* end to end.
+ROUND_SPEEDUP_FLOOR = {"full": 2.0, "small": 1.0}
+
+
+def _best_wall(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _server_on(values: np.ndarray, policy: str, **kwargs) -> OLAPServer:
+    dims = [
+        Dimension(f"d{i}", list(range(n)))
+        for i, n in enumerate(values.shape)
+    ]
+    return OLAPServer(
+        DataCube(values.copy(), dims, measure="amount"),
+        update_policy=policy,
+        **kwargs,
+    )
+
+
+def _build_server(sizes, policy: str, seed: int = 7, **kwargs) -> OLAPServer:
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 100, size=sizes).astype(np.float64)
+    return _server_on(values, policy, **kwargs)
+
+
+def _requests(sizes) -> list[list[str]]:
+    """Every group-by view of the cube, as dimension-name keep-lists."""
+    names = [f"d{i}" for i in range(len(sizes))]
+    return [
+        list(keep)
+        for k in range(len(names) + 1)
+        for keep in combinations(names, k)
+    ]
+
+
+def _ranges(sizes):
+    full = tuple((0, n) for n in sizes)
+    inner = tuple((1, max(2, n - 1)) for n in sizes)
+    return (full, inner)
+
+
+def _serve_round(server: OLAPServer, requests, ranges) -> None:
+    for request in requests:
+        server.view(request)
+    server.query_batch(requests)
+    for bounds in ranges:
+        server.range_sum(bounds)
+
+
+def _trace(sizes, rounds: int, seed: int = 51):
+    """The same deltas for every policy: ``rounds`` batches of points."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(rounds):
+        coords = np.stack(
+            [
+                rng.integers(0, n, size=UPDATES_PER_ROUND)
+                for n in sizes
+            ],
+            axis=1,
+        ).astype(np.int64)
+        deltas = rng.integers(-9, 10, size=UPDATES_PER_ROUND).astype(
+            np.float64
+        )
+        batches.append((coords, deltas))
+    return batches
+
+
+def _counter_total(server: OLAPServer, name: str) -> float:
+    metric = server.metrics.get(name)
+    total = getattr(metric, "total", None)
+    return float(total()) if callable(total) else 0.0
+
+
+def measure_policy(policy: str, sizes, rounds: int) -> dict:
+    """One policy through the full trace; returns steady-state accounting."""
+    server = _build_server(sizes, policy)
+    requests = _requests(sizes)
+    ranges = _ranges(sizes)
+    reference = server.cube.values.copy()
+
+    _serve_round(server, requests, ranges)  # warm the caches
+
+    names = (
+        "view_cache_hits_total",
+        "view_cache_misses_total",
+        "server_operations_total",
+        "server_update_cache_patched_total",
+        "server_update_cache_cleared_total",
+    )
+    before = {name: _counter_total(server, name) for name in names}
+
+    update_wall = 0.0
+    query_walls = []
+    for coords, deltas in _trace(sizes, rounds):
+        t0 = time.perf_counter()
+        server.update_many(coords, deltas)
+        update_wall += time.perf_counter() - t0
+        np.add.at(reference, tuple(coords.T), deltas)
+        t0 = time.perf_counter()
+        _serve_round(server, requests, ranges)
+        query_walls.append(time.perf_counter() - t0)
+
+    delta = {name: _counter_total(server, name) - before[name] for name in names}
+    lookups = delta["view_cache_hits_total"] + delta["view_cache_misses_total"]
+
+    # Differential: bit-identical to a server freshly built on the final
+    # cube (integer deltas on an integer cube — exact in float64).
+    fresh = _server_on(reference, "clear")
+    bit_identical = server.cube.values.tobytes() == reference.tobytes()
+    for request in requests:
+        bit_identical = bit_identical and (
+            server.view(request).tobytes() == fresh.view(request).tobytes()
+        )
+    for bounds in ranges:
+        bit_identical = bit_identical and (
+            server.range_sum(bounds) == fresh.range_sum(bounds)
+        )
+
+    latency = server.health()["slo"]["latency_ms"]
+    return {
+        "policy": policy,
+        "rounds": rounds,
+        "updates": rounds * UPDATES_PER_ROUND,
+        "bit_identical": bit_identical,
+        "update_wall_ms": update_wall * 1e3,
+        "query_wall_ms_total": sum(query_walls) * 1e3,
+        "query_wall_ms_best_round": min(query_walls) * 1e3,
+        "round_wall_ms": (update_wall + sum(query_walls)) * 1e3,
+        "cache_hit_rate": (
+            delta["view_cache_hits_total"] / lookups if lookups else 0.0
+        ),
+        "assembly_operations": delta["server_operations_total"],
+        "cache_patched": delta["server_update_cache_patched_total"],
+        "cache_cleared": delta["server_update_cache_cleared_total"],
+        "latency_ms": latency,
+    }
+
+
+def measure_shard_isolation(sizes) -> dict:
+    """A single-cell update on a sharded patch-policy server must bump
+    exactly the owning shard's epoch and leave the others' warm."""
+    server = _build_server(sizes, "patch", shards=4)
+    _serve_round(server, _requests(sizes), _ranges(sizes))
+    before = list(server._state.materialized.epochs)
+    server.update(3.0, **{f"d{i}": 0 for i in range(len(sizes))})
+    after = list(server._state.materialized.epochs)
+    bumped = [i for i, (b, a) in enumerate(zip(before, after)) if a != b]
+    return {
+        "shards": len(before),
+        "epochs_bumped_by_point_update": len(bumped),
+        "isolated": len(bumped) == 1,
+    }
+
+
+def run(small: bool = False, repeats: int | None = None) -> dict:
+    sizes = SMALL_SIZES if small else FULL_SIZES
+    rounds = repeats if repeats is not None else (8 if small else 20)
+    patch = measure_policy("patch", sizes, rounds)
+    clear = measure_policy("clear", sizes, rounds)
+    return {
+        "benchmark": "streaming-ingest delta maintenance",
+        "mode": "small" if small else "full",
+        "shape": list(sizes),
+        "cells": int(np.prod(sizes)),
+        "rounds": rounds,
+        "updates_per_round": UPDATES_PER_ROUND,
+        "patch": patch,
+        "clear": clear,
+        "round_wall_speedup": clear["round_wall_ms"] / patch["round_wall_ms"],
+        "query_wall_speedup": (
+            clear["query_wall_ms_total"] / patch["query_wall_ms_total"]
+        ),
+        "assembly_ops_ratio": (
+            clear["assembly_operations"] / patch["assembly_operations"]
+            if patch["assembly_operations"]
+            else None
+        ),
+        "shard_isolation": measure_shard_isolation(sizes),
+    }
+
+
+def check(report: dict) -> None:
+    """Smoke gates: exact answers, no coarse clears, patching must pay."""
+    patch, clear = report["patch"], report["clear"]
+    assert patch["bit_identical"], "patch policy answers drifted"
+    assert clear["bit_identical"], "clear policy answers drifted"
+    assert patch["cache_cleared"] == 0, (
+        f"patch policy fell back to coarse invalidation "
+        f"{patch['cache_cleared']} times"
+    )
+    assert patch["cache_patched"] > 0, "patch policy never patched an entry"
+    assert clear["cache_cleared"] == clear["rounds"], (
+        "clear policy must coarse-invalidate once per update batch"
+    )
+    assert patch["cache_hit_rate"] > clear["cache_hit_rate"], (
+        f"patching must keep the cache warmer: "
+        f"{patch['cache_hit_rate']:.3f} vs {clear['cache_hit_rate']:.3f}"
+    )
+    assert patch["assembly_operations"] < clear["assembly_operations"], (
+        "patching must spend fewer scalar operations than re-assembly"
+    )
+    floor = ROUND_SPEEDUP_FLOOR[report["mode"]]
+    assert report["round_wall_speedup"] >= floor, (
+        f"end-to-end round speedup {report['round_wall_speedup']:.2f}x "
+        f"is below the {floor}x floor"
+    )
+    assert report["shard_isolation"]["isolated"], (
+        "a point update must bump exactly one shard epoch"
+    )
+
+
+def compare(report: dict, baseline: dict) -> list[str]:
+    """Regression gate against a checked-in report (ratios only)."""
+    failures: list[str] = []
+    if report["shape"] != baseline.get("shape"):
+        return failures
+    for key in ("round_wall_speedup", "query_wall_speedup"):
+        if ratio_regressed(report[key], baseline[key]):
+            failures.append(
+                f"{key}: {report[key]:.2f}x regressed more than "
+                f"{REGRESSION_FACTOR}x from baseline {baseline[key]:.2f}x"
+            )
+    # Hit rate and op counts are deterministic for a fixed trace; allow a
+    # small slack for workload-mix tweaks, not for real regressions.
+    if report["patch"]["cache_hit_rate"] < (
+        baseline["patch"]["cache_hit_rate"] - 0.05
+    ):
+        failures.append(
+            f"patch cache hit rate {report['patch']['cache_hit_rate']:.3f} "
+            f"fell below baseline "
+            f"{baseline['patch']['cache_hit_rate']:.3f}"
+        )
+    return failures
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"{tuple(report['shape'])} ({report['cells']} cells), "
+        f"{report['rounds']} rounds x {report['updates_per_round']} deltas"
+    ]
+    for policy in ("patch", "clear"):
+        entry = report[policy]
+        view_p99 = entry["latency_ms"].get("view", {}).get("p99_ms")
+        lines.append(
+            f"  {policy}: round {entry['round_wall_ms']:.1f} ms "
+            f"(updates {entry['update_wall_ms']:.1f} ms, queries "
+            f"{entry['query_wall_ms_total']:.1f} ms), hit rate "
+            f"{entry['cache_hit_rate']:.1%}, "
+            f"{entry['assembly_operations']:.0f} ops, view p99 "
+            f"{view_p99} ms, patched={entry['cache_patched']:.0f} "
+            f"cleared={entry['cache_cleared']:.0f}"
+        )
+    iso = report["shard_isolation"]
+    lines.append(
+        f"  speedup: {report['round_wall_speedup']:.2f}x end-to-end, "
+        f"{report['query_wall_speedup']:.2f}x query-side, "
+        f"{report['assembly_ops_ratio']:.1f}x fewer scalar ops; "
+        f"point update bumped {iso['epochs_bumped_by_point_update']}/"
+        f"{iso['shards']} shard epochs"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = build_parser(
+        __doc__.splitlines()[0],
+        small_help="small cube (CI smoke)",
+        check_help="assert the patch policy wins",
+    )
+    args = parser.parse_args(argv)
+    report = run(small=args.small, repeats=args.repeats)
+    return finish(report, args, check=check, compare=compare, render=render)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point (small cube; assertions always on)
+
+
+def test_update_stream_small(benchmark):
+    report = benchmark.pedantic(
+        lambda: run(small=True, repeats=4), rounds=1, iterations=1
+    )
+    check(report)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

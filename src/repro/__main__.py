@@ -10,6 +10,7 @@ Usage::
     python -m repro stats [--json] [--queries N] [--seed N] [--serve]
     python -m repro chaos [--seed N] [--json] [--output report.json]
     python -m repro trace [--output trace.json] [--check] [--backend B]
+    python -m repro update [--trace FILE] [--shards N,M] [--backend B]
 
 ``stats`` drives an instrumented demo server (repeated views, roll-ups,
 range queries, one mid-run reconfiguration) and prints its metrics
@@ -30,6 +31,13 @@ Chrome trace-event JSON (load it at ``chrome://tracing`` or
 https://ui.perfetto.dev).  ``--check`` exits non-zero unless the batch
 produced a single connected trace whose measured operation counts equal
 the plan — the telemetry acceptance gate.
+
+``update`` replays a seeded (or ``--trace FILE``) interleaving of cell
+updates, bulk ingest batches, and warm-cache queries through the
+streaming differential gate, and exits non-zero unless every answer is
+bit-identical to recompute-from-scratch with *zero* coarse cache
+invalidations on the linear path — the streaming-ingest acceptance gate,
+also run as a CI smoke job.
 """
 
 from __future__ import annotations
@@ -114,11 +122,14 @@ def _run_stats(
     """Serve a demo workload on an instrumented server; report its stats."""
     from .obs.reporting import render_json, render_text
 
+    import numpy as np
+
     server = _demo_server(seed, shards=shards)
     sizes = server.shape.sizes
     # Repeated aggregated views (the repeats hit the result cache), a
-    # roll-up, range sums, then a reconfiguration and a second round that
-    # misses once per view (new epoch) and hits afterwards.
+    # roll-up, range sums, streaming updates (point + bulk — patched into
+    # the warm cache, not cleared), then a reconfiguration and a second
+    # round that misses once per view (new epoch) and hits afterwards.
     for _ in range(max(1, queries // 2)):
         server.view(["product"])
         server.view(["store"])
@@ -126,6 +137,13 @@ def _run_stats(
     server.rollup({"day": 1})
     server.range_sum(tuple((0, n) for n in sizes))
     server.range_sum(tuple((n // 4, 3 * n // 4) for n in sizes))
+    first_cell = {
+        dim.name: dim.values[0] for dim in server.cube.dimensions
+    }
+    server.update(5.0, **first_cell)
+    server.update_many(
+        np.zeros((3, len(sizes)), dtype=np.int64), [1.0, 2.0, -1.0]
+    )
     server.reconfigure()
     for _ in range(max(1, queries - queries // 2)):
         server.view(["product"])
@@ -279,6 +297,43 @@ def _run_shard(
     return 0 if report["ok"] else 1
 
 
+def _run_update(
+    seed: int,
+    shards_spec: str,
+    backend: str,
+    workers: int,
+    trace_path: str | None,
+    json_output: bool,
+    output: str | None,
+) -> int:
+    """Run the streaming-ingest differential gate; non-zero on divergence."""
+    import json
+    from pathlib import Path
+
+    from .streaming import (
+        UpdateStreamConfig,
+        load_trace,
+        render_report,
+        run_update_differential,
+    )
+
+    counts = tuple(int(s) for s in shards_spec.split(",") if s)
+    trace = load_trace(trace_path) if trace_path else None
+    report = run_update_differential(
+        UpdateStreamConfig(
+            seed=seed,
+            shard_counts=counts,
+            backend=backend,
+            workers=workers,
+        ),
+        trace=trace,
+    )
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2) if json_output else render_report(report))
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and regenerate the requested experiments."""
     parser = argparse.ArgumentParser(
@@ -300,13 +355,15 @@ def main(argv: list[str] | None = None) -> int:
             "chaos",
             "trace",
             "shard",
+            "update",
         ],
         help="which experiment to regenerate ('stats' runs the "
         "instrumented server demo; 'chaos' runs the seeded "
         "fault-injection acceptance replay; 'trace' serves a traced "
         "query batch and reports its planned-vs-measured profile; "
         "'shard' replays a workload sharded vs monolithic and checks "
-        "byte-identity)",
+        "byte-identity; 'update' replays an interleaved update/query "
+        "trace and checks delta patching against recompute-from-scratch)",
     )
     parser.add_argument(
         "--trials",
@@ -375,11 +432,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--shards",
         default="1,2,4",
-        help="with 'shard': comma-separated shard counts to gate "
+        help="with 'shard'/'update': comma-separated shard counts to gate "
         "(each a power of two); with 'stats': shard count of the demo "
         "server (first value)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        help="with 'update': replay this JSON trace file instead of the "
+        "seeded generator (see repro.streaming.generate_trace)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "update":
+        seed = 23 if args.seed is None else args.seed
+        return _run_update(
+            seed,
+            args.shards,
+            args.backend,
+            args.workers,
+            args.trace,
+            args.json,
+            args.output,
+        )
 
     if args.experiment == "shard":
         seed = 11 if args.seed is None else args.seed

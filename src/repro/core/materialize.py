@@ -28,6 +28,7 @@ from ..errors import IncompleteSetError
 from ..obs import add_span_event, current_registry, log_event, span
 from ..resilience.deadline import check_deadline
 from ..resilience.faults import corrupt_array, fault_point
+from .delta import patch_array, validate_coordinates
 from .element import CubeShape, ElementId
 from .exec import BatchPlan, execute_plan, plan_batch
 from .kernels import (
@@ -290,6 +291,16 @@ class MaterializedSet:
         that run :func:`~repro.core.exec.execute_plan` directly against the
         stored arrays and want temporaries recycled into the same pool."""
         return self._pool
+
+    def array_refs(self) -> dict[ElementId, np.ndarray]:
+        """Identity snapshot of the stored arrays, *without* verification.
+
+        For callers that need to know which live ndarray objects belong to
+        storage — the server's cache patcher skips cache entries aliasing a
+        stored array so a delta is never applied twice — not for reading
+        values (use :meth:`array` / :meth:`arrays_snapshot`, which verify).
+        """
+        return dict(self._arrays)
 
     def arrays_snapshot(self) -> dict[ElementId, np.ndarray]:
         """A point-in-time ``{element: values}`` view of healthy storage.
@@ -581,86 +592,48 @@ class MaterializedSet:
         change of ``delta`` at cube cell ``coordinates`` touches exactly one
         coefficient per stored element: the cell whose dyadic block contains
         the coordinate, with sign ``(-1)**bit`` for each residual step whose
-        split put the coordinate in the odd half.  The cost is O(d) per
-        stored element — no recomputation from the cube.
+        split put the coordinate in the odd half (the math lives in
+        :mod:`repro.core.delta`).  The cost is O(d) per stored element — no
+        recomputation from the cube.
         """
-        if len(coordinates) != self.shape.ndim:
-            raise ValueError(
-                f"{len(coordinates)} coordinates for a "
-                f"{self.shape.ndim}-dimensional cube"
-            )
-        for coord, size in zip(coordinates, self.shape.sizes):
-            if not 0 <= coord < size:
-                raise ValueError(f"coordinate {coord} outside [0, {size})")
-        # Verify before mutating (corruption folded into an update would be
-        # sealed over and become undetectable), reseal after.
-        self._verify_unverified()
-        for element, values in list(self._arrays.items()):
-            cell = []
-            sign = 1.0
-            for (level, index), coord in zip(element.nodes, coordinates):
-                position = coord
-                for step in range(level):
-                    bit = (index >> (level - 1 - step)) & 1
-                    if bit and (position & 1):
-                        # Residual step with the coordinate in the odd
-                        # half: out[p] = in[2p] - in[2p+1] flips the sign.
-                        sign = -sign
-                    position >>= 1
-                cell.append(position)
-            values[tuple(cell)] += sign * delta
-            self._seal(element)
-            if counter is not None:
-                counter.add(additions=1, label="incremental update")
+        self.apply_updates(
+            np.asarray(coordinates, dtype=np.int64)[None, :],
+            np.array([delta], dtype=np.float64),
+            counter=counter,
+            label="incremental update",
+        )
 
     def apply_updates(
         self,
         coordinates: np.ndarray,
         deltas: np.ndarray,
         counter: OpCounter | None = None,
+        label: str = "batch update",
     ) -> None:
         """Vectorized :meth:`apply_update` for a batch of cell deltas.
 
         ``coordinates`` is ``(n, d)`` int, ``deltas`` is ``(n,)``.  The
-        per-element work is O(n * d) with numpy bit arithmetic — suitable
-        for refreshing a materialized set from a day's worth of new fact
-        rows without recomputation.
+        per-element work is O(n * d) with numpy bit arithmetic
+        (:func:`repro.core.delta.patch_array`) — suitable for refreshing a
+        materialized set from a day's worth of new fact rows without
+        recomputation.
         """
-        coordinates = np.asarray(coordinates, dtype=np.int64)
+        coordinates = validate_coordinates(self.shape, coordinates)
         deltas = np.asarray(deltas, dtype=np.float64)
-        if coordinates.ndim != 2 or coordinates.shape[1] != self.shape.ndim:
-            raise ValueError(
-                f"coordinates must be (n, {self.shape.ndim}); "
-                f"got {coordinates.shape}"
-            )
         if deltas.shape != (coordinates.shape[0],):
             raise ValueError("deltas length must match coordinate rows")
-        sizes = np.array(self.shape.sizes, dtype=np.int64)
-        if coordinates.size and (
-            (coordinates < 0).any() or (coordinates >= sizes[None, :]).any()
-        ):
-            raise ValueError("coordinates outside the cube extents")
         if not coordinates.size:
             return
 
+        # Verify before mutating (corruption folded into an update would be
+        # sealed over and become undetectable), reseal after.
         self._verify_unverified()
         for element, values in list(self._arrays.items()):
-            signs = np.ones(coordinates.shape[0], dtype=np.float64)
-            cells = np.empty_like(coordinates)
-            for m, (level, index) in enumerate(element.nodes):
-                position = coordinates[:, m].copy()
-                for step in range(level):
-                    bit = (index >> (level - 1 - step)) & 1
-                    if bit:
-                        signs = np.where(position & 1, -signs, signs)
-                    position >>= 1
-                cells[:, m] = position
-            np.add.at(values, tuple(cells.T), signs * deltas)
+            patch_array(
+                element, values, coordinates, deltas,
+                counter=counter, label=label,
+            )
             self._seal(element)
-            if counter is not None:
-                counter.add(
-                    additions=coordinates.shape[0], label="batch update"
-                )
 
     def assemble_view(
         self, aggregated_dims, counter: OpCounter | None = None

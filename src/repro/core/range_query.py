@@ -28,6 +28,7 @@ import numpy as np
 
 from ..errors import TransientFault
 from ..obs import current_registry, span
+from .delta import patch_array, validate_coordinates
 from .element import CubeShape, ElementId
 from .materialize import MaterializedSet
 from .operators import OpCounter
@@ -110,9 +111,55 @@ class RangeQueryEngine:
 
         Stored elements are maintained incrementally by the owning
         :class:`MaterializedSet`; only the engine's own assembled copies go
-        stale when the underlying data changes.
+        stale when the underlying data changes.  This is the coarse
+        fallback — a *linear* data change should go through
+        :meth:`apply_updates`, which repairs the copies in place.
         """
         self._cache.clear()
+
+    def apply_updates(
+        self,
+        coordinates,
+        deltas,
+        counter: OpCounter | None = None,
+    ) -> int:
+        """Patch every on-demand assembled intermediate for a delta batch.
+
+        ``coordinates`` is an ``(n, d)`` batch of cube cells, ``deltas``
+        the matching values added to them.  Each cached intermediate is a
+        pure partial-sum element (no residual steps), so a delta lands on
+        exactly one cell per intermediate with sign ``+1``; the repair is
+        O(n) per cached array and the warm cache survives the update.
+        Stored elements are the owning set's job
+        (:meth:`MaterializedSet.apply_updates`) — the engine's cache never
+        holds them (:meth:`_ensure_intermediates` skips stored elements),
+        so nothing here is double-patched.
+
+        Returns the number of cached intermediates patched.
+        """
+        coordinates = validate_coordinates(self.shape, coordinates)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if deltas.shape != (coordinates.shape[0],):
+            raise ValueError(
+                f"deltas must be ({coordinates.shape[0]},); got {deltas.shape}"
+            )
+        if not len(deltas) or not self._cache:
+            return 0
+        for element, values in self._cache.items():
+            patch_array(
+                element,
+                values,
+                coordinates,
+                deltas,
+                counter=counter,
+                label="range intermediate patch",
+            )
+        patched = len(self._cache)
+        current_registry().counter(
+            "range_intermediate_patched_total",
+            "on-demand assembled intermediates repaired in place by deltas",
+        ).inc(patched)
+        return patched
 
     @classmethod
     def with_gaussian_pyramid(

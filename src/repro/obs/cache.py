@@ -4,6 +4,20 @@
 cache: bounded by entry count and optionally by total *weight* (cells, for
 arrays), with hit/miss/eviction/clear counters and size gauges registered
 under a configurable name prefix so several caches can share a registry.
+
+Entries carry a **generation tag** for incremental maintenance.  A data
+update has three invalidation granularities, coarsest to finest:
+
+- :meth:`clear` — drop everything eagerly (the pre-delta behaviour, still
+  what a selection change wants);
+- :meth:`bump_generation` — the coarse *epoch* fallback: every current
+  entry becomes stale and is dropped lazily on its next lookup (counted as
+  ``{name}_stale_drops_total``), so untouched keys cost nothing until
+  they are actually consulted;
+- :meth:`patch` / :meth:`mark_stale` — the fine-grained path: a linear
+  delta is folded into a cached value *in place* (the entry stays a hit,
+  counted as ``{name}_patches_total``), or a single touched key is marked
+  stale for lazy repair while every other key stays valid.
 """
 
 from __future__ import annotations
@@ -16,6 +30,17 @@ from typing import Any
 from .metrics import MetricsRegistry, current_registry
 
 __all__ = ["LRUCache"]
+
+
+class _Entry:
+    """One cached value with its weight and generation stamp."""
+
+    __slots__ = ("value", "weight", "generation")
+
+    def __init__(self, value, weight: float, generation: int):
+        self.value = value
+        self.weight = weight
+        self.generation = generation
 
 
 class LRUCache:
@@ -35,7 +60,9 @@ class LRUCache:
     registry / name:
         Metrics land in ``registry`` (default: the current registry) as
         ``{name}_hits_total``, ``{name}_misses_total``,
-        ``{name}_evictions_total``, ``{name}_clears_total`` and the gauges
+        ``{name}_evictions_total``, ``{name}_clears_total``,
+        ``{name}_patches_total``, ``{name}_stale_drops_total``,
+        ``{name}_generation_bumps_total`` and the gauges
         ``{name}_size`` / ``{name}_weight``.
 
     All operations take an internal lock, so concurrent query threads can
@@ -57,8 +84,9 @@ class LRUCache:
         self.max_weight = max_weight
         self._lock = threading.RLock()
         self._weigh = weigh or (lambda _value: 1.0)
-        self._entries: OrderedDict[Any, tuple[Any, float]] = OrderedDict()
+        self._entries: OrderedDict[Any, _Entry] = OrderedDict()
         self._weight = 0.0
+        self._generation = 0
         registry = registry if registry is not None else current_registry()
         self.name = name
         self._hits = registry.counter(
@@ -73,6 +101,18 @@ class LRUCache:
         self._clears = registry.counter(
             f"{name}_clears_total", "whole-cache invalidations"
         )
+        self._patches = registry.counter(
+            f"{name}_patches_total",
+            "cached values repaired in place by delta patching",
+        )
+        self._stale_drops = registry.counter(
+            f"{name}_stale_drops_total",
+            "stale entries dropped lazily on lookup",
+        )
+        self._generation_bumps = registry.counter(
+            f"{name}_generation_bumps_total",
+            "coarse generation bumps (lazy whole-cache invalidations)",
+        )
         self._size_gauge = registry.gauge(
             f"{name}_size", "entries currently cached"
         )
@@ -85,15 +125,27 @@ class LRUCache:
     # ------------------------------------------------------------------
 
     def get(self, key, default=None):
-        """The cached value (refreshing recency), or ``default`` on a miss."""
+        """The cached value (refreshing recency), or ``default`` on a miss.
+
+        An entry stamped before the last :meth:`bump_generation` (or
+        :meth:`mark_stale`) is dropped here and reported as a miss — the
+        lazy arm of the coarse invalidation path.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses.inc()
                 return default
+            if entry.generation != self._generation:
+                del self._entries[key]
+                self._weight -= entry.weight
+                self._stale_drops.inc()
+                self._misses.inc()
+                self._sync_gauges()
+                return default
             self._entries.move_to_end(key)
             self._hits.inc()
-            return entry[0]
+            return entry.value
 
     def put(self, key, value) -> None:
         """Insert (or refresh) ``key``; evicts LRU entries to fit."""
@@ -101,23 +153,23 @@ class LRUCache:
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
-                self._weight -= old[1]
+                self._weight -= old.weight
             if self.max_weight is not None and weight > self.max_weight:
                 # Heavier than the whole budget: drop rather than thrash.
                 self._sync_gauges()
                 return
-            self._entries[key] = (value, weight)
+            self._entries[key] = _Entry(value, weight, self._generation)
             self._weight += weight
             while len(self._entries) > self.max_entries or (
                 self.max_weight is not None and self._weight > self.max_weight
             ):
-                _, (_, evicted_weight) = self._entries.popitem(last=False)
-                self._weight -= evicted_weight
+                _, evicted = self._entries.popitem(last=False)
+                self._weight -= evicted.weight
                 self._evictions.inc()
             self._sync_gauges()
 
     def clear(self) -> None:
-        """Invalidate everything (counted separately from evictions)."""
+        """Invalidate everything eagerly (counted separately from evictions)."""
         with self._lock:
             if self._entries:
                 self._clears.inc()
@@ -125,15 +177,63 @@ class LRUCache:
             self._weight = 0.0
             self._sync_gauges()
 
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+
+    @property
+    def generation(self) -> int:
+        """The current data generation new entries are stamped with."""
+        with self._lock:
+            return self._generation
+
+    def bump_generation(self) -> None:
+        """Coarse fallback: mark every current entry stale, lazily.
+
+        Nothing is freed here; each stale entry is dropped (and counted)
+        on its next lookup, or evicted by ordinary capacity pressure.  Use
+        when a data change cannot be expressed as an in-place patch.
+        """
+        with self._lock:
+            self._generation += 1
+            self._generation_bumps.inc()
+
+    def mark_stale(self, key) -> bool:
+        """Scoped invalidation: stale exactly one key, others stay valid."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            entry.generation = self._generation - 1
+            return True
+
+    def patch(self, key, fn: Callable[[Any], bool]) -> bool:
+        """Repair one cached value in place.
+
+        ``fn(value)`` mutates the cached value and returns ``True`` when it
+        patched (``False`` = leave untouched and uncounted, e.g. the value
+        aliases storage that was already patched).  Stale or absent keys
+        return ``False`` without calling ``fn``.  Recency is *not*
+        refreshed — patching maintains a value, it does not signal demand.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.generation != self._generation:
+                return False
+            if not fn(entry.value):
+                return False
+            self._patches.inc()
+            return True
+
+    # ------------------------------------------------------------------
+
     def _sync_gauges(self) -> None:
         self._size_gauge.set(len(self._entries))
         self._weight_gauge.set(self._weight)
 
-    # ------------------------------------------------------------------
-
     def __contains__(self, key) -> bool:
         with self._lock:
-            return key in self._entries
+            entry = self._entries.get(key)
+            return entry is not None and entry.generation == self._generation
 
     def __len__(self) -> int:
         with self._lock:
@@ -153,6 +253,10 @@ class LRUCache:
         return hits / lookups if lookups else 0.0
 
     def keys(self) -> tuple:
-        """Cached keys, least recently used first."""
+        """Non-stale cached keys, least recently used first."""
         with self._lock:
-            return tuple(self._entries)
+            return tuple(
+                key
+                for key, entry in self._entries.items()
+                if entry.generation == self._generation
+            )

@@ -21,9 +21,12 @@ Serving amenities that live only here:
 - **Result cache** — assembled aggregated views and roll-ups are kept in a
   bounded LRU keyed by ``(ElementId, selection epoch)``.  The epoch is
   bumped by :meth:`reconfigure` (so Algorithm-2 re-selections atomically
-  invalidate every cached answer) and the cache is cleared by
-  :meth:`update` (stored arrays change in place).  Hits, misses, and
-  evictions are exposed through the same registry.
+  invalidate every cached answer); data updates (:meth:`update` /
+  :meth:`update_many`) *patch* cached answers in place — every element is
+  linear in the cube, so a delta lands on exactly one cell per cached
+  array (see :mod:`repro.core.delta`) — with a coarse lazy generation
+  bump as the fallback.  Hits, misses, evictions, and patches are exposed
+  through the same registry.
 - **Resilience** — the serving surface is bounded and failure-tolerant:
 
   * *Snapshot serving state.*  ``(materialized, range_engine, epoch,
@@ -62,6 +65,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .core.adaptive import AccessTracker
+from .core.delta import patch_array, validate_coordinates
 from .core.element import ElementId
 from .core.engine import SelectionEngine
 from .core.materialize import MaterializedSet, compute_element
@@ -146,6 +150,7 @@ class OLAPServer:
         degrade_to_base: bool = True,
         shards: int = 1,
         shard_axis: int | None = None,
+        update_policy: str = "patch",
     ):
         """``storage_budget`` (cells) enables Algorithm 2 redundancy when it
         exceeds the cube volume; ``decay``/``smoothing`` configure workload
@@ -168,7 +173,13 @@ class OLAPServer:
         serves every query scatter–gather over per-shard materialized
         sets — see :mod:`repro.shard`.  Answers are bit-identical to
         monolithic serving for integer-valued cubes on any axis, and for
-        float cubes when the shard axis is the last dimension."""
+        float cubes when the shard axis is the last dimension.
+
+        ``update_policy`` picks what a data update does to warm serving
+        state: ``"patch"`` (default) propagates the delta into cached
+        answers and range intermediates in place (exact — every view
+        element is linear in the cube), ``"clear"`` restores the legacy
+        drop-everything behaviour."""
         self.cube = cube
         self.shape = cube.shape_id
         self.storage_budget = storage_budget
@@ -190,6 +201,11 @@ class OLAPServer:
         self.max_retries = max_retries
         self.retry_backoff_ms = retry_backoff_ms
         self.degrade_to_base = degrade_to_base
+        if update_policy not in ("patch", "clear"):
+            raise ValueError(
+                f"update_policy must be 'patch' or 'clear', got {update_policy!r}"
+            )
+        self.update_policy = update_policy
         self._admission = (
             threading.BoundedSemaphore(max_in_flight)
             if max_in_flight is not None
@@ -922,6 +938,9 @@ class OLAPServer:
             "timeouts": _total("server_timeouts_total"),
             "retries": _total("server_retries_total"),
             "degraded_serves": _total("server_degraded_total"),
+            "updates": _total("server_updates_total"),
+            "updates_cache_patched": _total("server_update_cache_patched_total"),
+            "updates_cache_cleared": _total("server_update_cache_cleared_total"),
             "cache_bypasses": _total("server_cache_bypass_total"),
             "integrity_failures": _total("integrity_failures_total"),
             "faults_injected": _total("faults_injected_total"),
@@ -971,21 +990,181 @@ class OLAPServer:
         """Apply a single-record update incrementally.
 
         Adjusts the base cube and propagates the delta into every stored
-        element in O(d) each (no recomputation).  Stored element arrays are
-        owned copies, so both updates are required and independent.  Cached
-        query answers are invalidated (synthesized results would otherwise
-        go stale); the epoch is *not* bumped — the selection is unchanged.
+        element, every cached query answer, and every range-engine
+        intermediate in O(depth) each (no recomputation, no invalidation
+        on the linear path — see :meth:`update_many`).  The epoch is *not*
+        bumped: the selection is unchanged.
         """
-        with self.obs.activate(), span("server.update"):
-            state = self._state
-            index = tuple(
-                dim.encode(coordinates[dim.name])
-                for dim in self.cube.dimensions
+        index = tuple(
+            dim.encode(coordinates[dim.name]) for dim in self.cube.dimensions
+        )
+        self._apply_updates(
+            np.asarray(index, dtype=np.int64)[None, :],
+            np.array([delta], dtype=np.float64),
+        )
+
+    def update_many(self, coordinates, deltas) -> None:
+        """Bulk streaming ingest: apply a batch of cell deltas at once.
+
+        ``coordinates`` is either an ``(n, d)`` array of already-encoded
+        integer cell indices or a sequence of ``{dimension: value}``
+        mappings (encoded as :meth:`update` does); ``deltas`` is the
+        matching ``(n,)`` batch of values added.
+
+        One call takes the reconfiguration ordering guarantee once, routes
+        the whole batch through ``MaterializedSet.apply_updates`` /
+        ``ShardedSet.apply_updates`` (sharded cubes: only owning shards
+        re-seal and bump epochs — untouched shards keep all warm state),
+        then *patches* cached assembled answers and range intermediates in
+        place.  Every view element is linear in the cube values (P1/R1 are
+        signed pair sums), so each delta lands on exactly one cell per
+        cached array with a computable sign — the patch is exact for
+        integer cubes.  A value the cache shares with storage (stored
+        arrays and the base cube are served by reference) is skipped: it
+        was already patched at the source.  Any failure on this path falls
+        back to the coarse lazy generation bump, never to a wrong answer.
+        """
+        if len(coordinates) and isinstance(coordinates[0], Mapping):
+            coordinates = np.array(
+                [
+                    tuple(
+                        dim.encode(record[dim.name])
+                        for dim in self.cube.dimensions
+                    )
+                    for record in coordinates
+                ],
+                dtype=np.int64,
             )
-            state.materialized.apply_update(index, delta)
-            self.cube.values[index] += delta
-            state.cache.clear()
-            state.range_engine.invalidate()
+        coordinates = validate_coordinates(self.shape, np.asarray(coordinates))
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if deltas.shape != (coordinates.shape[0],):
+            raise ValueError(
+                f"deltas must be ({coordinates.shape[0]},); got {deltas.shape}"
+            )
+        if not len(deltas):
+            return
+        self._apply_updates(coordinates, deltas)
+
+    def _apply_updates(
+        self, coordinates: np.ndarray, deltas: np.ndarray
+    ) -> None:
+        """Shared delta path: storage + base cube + warm-state propagation.
+
+        Runs under ``_reconfigure_lock`` — the same ordering guarantee the
+        snapshot swap uses — so a concurrent :meth:`reconfigure` either
+        completes before the update (and its new set is patched) or builds
+        its new set from a base cube that already carries the delta; the
+        in-flight delta can never miss the next snapshot.
+        """
+        with self._reconfigure_lock, self.obs.activate(), span(
+            "server.update", cells=len(deltas)
+        ):
+            state = self._state
+            counter = OpCounter()
+            state.materialized.apply_updates(
+                coordinates, deltas, counter=counter
+            )
+            np.add.at(
+                self.cube.values, tuple(coordinates.T), deltas
+            )
+            patched, cleared = self._propagate_updates(
+                state, coordinates, deltas, counter
+            )
             self.metrics.counter(
                 "server_updates_total", "incremental cell updates applied"
-            ).inc()
+            ).inc(len(deltas))
+            self.metrics.counter(
+                "server_operations_total", "scalar operations spent serving"
+            ).inc(counter.total)
+            log_event(
+                "update",
+                cells=len(deltas),
+                patched=patched,
+                cleared=cleared,
+            )
+
+    def _propagate_updates(
+        self,
+        state: _ServingState,
+        coordinates: np.ndarray,
+        deltas: np.ndarray,
+        counter: OpCounter,
+    ) -> tuple[int, int]:
+        """Repair the snapshot's warm state for a delta batch.
+
+        Returns ``(entries patched, coarse invalidations)``.  The patch
+        path walks the result cache and the range engine's assembled
+        intermediates; the coarse path (policy ``"clear"``, or any patch
+        failure) lazily stales the whole cache and drops the
+        intermediates — correct for *any* change, just cold."""
+        with span("update.propagate", cells=len(deltas)) as sp:
+            patched = 0
+            if self.update_policy == "patch":
+                try:
+                    patched = self._patch_warm_state(
+                        state, coordinates, deltas, counter
+                    )
+                except Exception:
+                    self._coarse_invalidate(state)
+                    sp.set(mode="fallback", patched=0)
+                    return 0, 1
+                self.metrics.counter(
+                    "server_update_cache_patched_total",
+                    "cached entries repaired in place by update deltas",
+                ).inc(patched)
+                sp.set(mode="patch", patched=patched)
+                return patched, 0
+            self._coarse_invalidate(state)
+            sp.set(mode="clear", patched=0)
+            return 0, 1
+
+    def _patch_warm_state(
+        self,
+        state: _ServingState,
+        coordinates: np.ndarray,
+        deltas: np.ndarray,
+        counter: OpCounter,
+    ) -> int:
+        """Patch every cached answer and range intermediate in place.
+
+        Serving hands out stored arrays (and, on the degraded path, the
+        base cube's own root) by reference, so a cache entry may *be* the
+        storage that ``apply_updates`` already repaired — those are
+        recognised by object identity and skipped, never patched twice.
+        """
+        aliases = {id(self.cube.values)}
+        aliases.update(
+            id(a) for a in state.materialized.array_refs().values()
+        )
+        patched = 0
+        for key in state.cache.keys():
+            element = key[0]
+
+            def _patch(values, element=element):
+                if id(values) in aliases:
+                    return False
+                patch_array(
+                    element,
+                    values,
+                    coordinates,
+                    deltas,
+                    counter=counter,
+                    label="cache patch",
+                )
+                return True
+
+            if state.cache.patch(key, _patch):
+                patched += 1
+        patched += state.range_engine.apply_updates(
+            coordinates, deltas, counter=counter
+        )
+        return patched
+
+    def _coarse_invalidate(self, state: _ServingState) -> None:
+        """Fallback: lazily stale the result cache, drop intermediates."""
+        state.cache.bump_generation()
+        state.range_engine.invalidate()
+        self.metrics.counter(
+            "server_update_cache_cleared_total",
+            "coarse warm-state invalidations performed by updates",
+        ).inc()

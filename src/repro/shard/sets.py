@@ -45,6 +45,7 @@ import contextvars
 
 import numpy as np
 
+from ..core.delta import validate_coordinates
 from ..core.element import CubeShape, ElementId
 from ..core.exec import execute_plan, plan_batch
 from ..core.kernels import POOL_MIN_CELLS, BufferPool, fused_cascade
@@ -128,6 +129,15 @@ class ShardedSet:
 
     def array(self, element: ElementId) -> np.ndarray:
         raise KeyError(element)
+
+    def array_refs(self) -> dict[ElementId, np.ndarray]:
+        """Identity snapshot of globally stored arrays: always empty.
+
+        No global array is ever held — every served array is a fresh
+        gather buffer — so a caller patching its own cached copies never
+        aliases sharded storage.
+        """
+        return {}
 
     @property
     def quarantined(self) -> tuple[ElementId, ...]:
@@ -215,6 +225,41 @@ class ShardedSet:
             self.partition.local_coordinates(coords), delta, counter=counter
         )
         self._epochs[s] += 1
+
+    def apply_updates(
+        self,
+        coordinates,
+        deltas,
+        counter: OpCounter | None = None,
+        label: str = "batch update",
+    ) -> None:
+        """Route a delta batch to the owning shards in one grouped pass.
+
+        ``coordinates`` is ``(n, d)`` global cube cells, ``deltas`` the
+        ``(n,)`` values added.  Rows are grouped by owning shard and each
+        owner gets *one* :meth:`MaterializedSet.apply_updates` call on
+        shard-local coordinates; only touched shards re-seal their arrays
+        and bump their epoch — the others keep their storage, epoch, and
+        any caches keyed on it completely intact.
+        """
+        coordinates = validate_coordinates(self.shape, coordinates)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if deltas.shape != (coordinates.shape[0],):
+            raise ValueError(
+                f"deltas must be ({coordinates.shape[0]},); got {deltas.shape}"
+            )
+        if not len(deltas):
+            return
+        axis = self.partition.axis
+        owners = coordinates[:, axis] // self.partition.shard_extent
+        for s in np.unique(owners):
+            rows = owners == s
+            local = coordinates[rows].copy()
+            local[:, axis] %= self.partition.shard_extent
+            self._shards[int(s)].apply_updates(
+                local, deltas[rows], counter=counter, label=label
+            )
+            self._epochs[int(s)] += 1
 
     # ------------------------------------------------------------------
     # Assembly: scatter–gather

@@ -64,3 +64,73 @@ class TestStatsCLI:
         assert payload["span_summary"]["server.query"]["count"] == len(
             query_spans
         )
+
+    def test_stats_surfaces_update_patch_counters(self, capsys):
+        import json
+
+        assert main(["stats", "--json", "--queries", "4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        health = payload["health"]
+        assert health["updates"] == 4.0  # one point + three bulk cells
+        assert health["updates_cache_patched"] > 0
+        assert health["updates_cache_cleared"] == 0.0
+        metrics = payload["metrics"]
+        assert (
+            sum(
+                metrics["server_update_cache_patched_total"][
+                    "values"
+                ].values()
+            )
+            > 0
+        )
+        names = {s["name"] for s in payload["spans"]}
+        assert {"server.update", "update.propagate"} <= names
+
+
+class TestUpdateCLI:
+    def test_update_gate_passes(self, capsys):
+        assert main(["update", "--shards", "1,2", "--seed", "23"]) == 0
+        out = capsys.readouterr().out
+        assert "BIT-IDENTICAL" in out
+        assert "coarse_cleared=0" in out
+        assert out.rstrip().endswith("PASS")
+
+    def test_update_gate_json_and_output(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "update",
+                    "--shards",
+                    "1",
+                    "--json",
+                    "--output",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"]
+        assert json.loads(report_path.read_text()) == payload
+
+    def test_update_replays_a_trace_file(self, capsys, tmp_path):
+        from repro.streaming import (
+            UpdateStreamConfig,
+            generate_trace,
+            save_trace,
+        )
+
+        trace_path = tmp_path / "trace.json"
+        save_trace(
+            generate_trace(UpdateStreamConfig(operations=12)), trace_path
+        )
+        assert (
+            main(["update", "--shards", "1", "--trace", str(trace_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace_ops=13" in out  # 12 steps + the mid-trace reconfigure
+        assert "PASS" in out

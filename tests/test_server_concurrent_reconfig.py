@@ -158,6 +158,83 @@ class TestConcurrentReconfigure:
         assert not bad, bad
 
 
+class TestConcurrentUpdates:
+    """Updates racing reconfigure: no delta may miss the next snapshot.
+
+    Regression: :meth:`OLAPServer.update` used to mutate ``cube.values``
+    after patching the snapshot's materialized set *outside* the
+    reconfigure lock, so a concurrent ``reconfigure()`` could rebuild the
+    new serving state from a base cube that had the stored-set half of an
+    in-flight delta but not the base-cube half (or vice versa).  Updates
+    now run under the same ordering guarantee as the snapshot swap; after
+    any interleaving, the cube and every served view must carry exactly
+    the sum of all applied deltas.
+    """
+
+    server_kwargs: dict = {}
+
+    def _hammer(self, updaters=2, updates_each=40, reconfigures=8):
+        server = _make_server(**self.server_kwargs)
+        base = server.cube.values.copy()
+        applied = np.zeros_like(base)
+        lock = threading.Lock()
+        errors: list = []
+
+        def updater(worker: int):
+            rng = np.random.default_rng(worker)
+            try:
+                for step in range(updates_each):
+                    i = int(rng.integers(0, base.shape[0]))
+                    j = int(rng.integers(0, base.shape[1]))
+                    delta = float(rng.integers(1, 5))
+                    if step % 3 == 2:
+                        server.update_many(
+                            np.array([[i, j], [0, 0]]), [delta, 1.0]
+                        )
+                        with lock:
+                            applied[i, j] += delta
+                            applied[0, 0] += 1.0
+                    else:
+                        server.update(delta, d0=i, d1=j)
+                        with lock:
+                            applied[i, j] += delta
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=updater, args=(w,))
+            for w in range(updaters)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(reconfigures):
+                server.reconfigure()
+        finally:
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors
+        return server, base + applied
+
+    def test_no_delta_is_lost_across_reconfigurations(self):
+        server, expected = self._hammer()
+        assert np.array_equal(server.cube.values, expected)
+        # Served answers must reflect every delta too — the materialized
+        # set the last reconfigure built, plus any updates patched into
+        # it afterwards.
+        assert np.array_equal(
+            server.view(["d0"]).ravel(), expected.sum(axis=1)
+        )
+        assert np.array_equal(
+            server.view(["d0", "d1"]), expected
+        )
+        assert server.range_sum(((0, 8), (0, 8))) == expected.sum()
+
+
+class TestShardedConcurrentUpdates(TestConcurrentUpdates):
+    server_kwargs = {"shards": 2}
+
+
 class TestShardedConcurrentReconfigure(TestConcurrentReconfigure):
     """The same hammer against a two-shard server.
 

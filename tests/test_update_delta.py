@@ -1,0 +1,427 @@
+"""Delta propagation: the math, the cache plumbing, and the server path.
+
+The filter bank is linear (P1/R1 are signed pair sums), so a cube-cell
+delta touches exactly one cell of every view element with a computable
+sign.  These tests pin that law (:mod:`repro.core.delta`) against brute
+recomputation, then the machinery built on it: generation-tagged LRU
+entries, range-engine intermediate patching, sharded batch routing, and
+the server's patch-instead-of-clear update path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delta import (
+    delta_cell,
+    delta_cells,
+    dyadic_scope,
+    patch_array,
+    validate_coordinates,
+)
+from repro.core.element import CubeShape, ElementId
+from repro.core.materialize import MaterializedSet, compute_element
+from repro.core.range_query import RangeQueryEngine
+from repro.cube.datacube import DataCube
+from repro.cube.dimensions import Dimension
+from repro.obs import LRUCache
+from repro.obs.metrics import MetricsRegistry
+from repro.server import OLAPServer
+from repro.shard.partition import CubePartition
+from repro.shard.sets import ShardedSet
+
+SHAPES = [CubeShape((4, 4)), CubeShape((8, 2)), CubeShape((2, 2, 4))]
+
+
+def _all_elements(shape: CubeShape):
+    """Every element id of the shape's full dyadic graph."""
+    import itertools
+
+    per_dim = []
+    for depth in shape.depths:
+        nodes = [
+            (k, j) for k in range(depth + 1) for j in range(1 << k)
+        ]
+        per_dim.append(nodes)
+    return [
+        ElementId(shape, nodes) for nodes in itertools.product(*per_dim)
+    ]
+
+
+class TestDeltaCell:
+    """A point delta touches exactly one cell, with the predicted sign."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_matches_brute_recomputation(self, shape):
+        rng = np.random.default_rng(3)
+        base = rng.integers(-9, 10, size=shape.sizes).astype(np.float64)
+        for element in _all_elements(shape):
+            before = compute_element(base, element)
+            for _ in range(4):
+                coords = tuple(
+                    int(rng.integers(0, n)) for n in shape.sizes
+                )
+                delta = float(rng.integers(1, 7))
+                bumped = base.copy()
+                bumped[coords] += delta
+                after = compute_element(bumped, element)
+                diff = after - before
+                cell, sign = delta_cell(element, coords)
+                assert diff[cell] == sign * delta
+                touched = np.count_nonzero(diff)
+                assert touched == 1
+
+    def test_sign_flips_on_odd_residual_half(self):
+        # R1 at level 1: out[p] = in[2p] - in[2p+1]; the odd slot is
+        # subtracted, so its sign is -1 and the even slot's is +1.
+        shape = CubeShape((4,))
+        element = ElementId(shape, ((1, 1),))
+        assert delta_cell(element, (0,)) == ((0,), 1.0)
+        assert delta_cell(element, (1,)) == ((0,), -1.0)
+        assert delta_cell(element, (2,)) == ((1,), 1.0)
+        assert delta_cell(element, (3,)) == ((1,), -1.0)
+
+    def test_rank_mismatch_raises(self):
+        shape = CubeShape((4, 4))
+        element = shape.root()
+        with pytest.raises(ValueError):
+            delta_cell(element, (1,))
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_vectorized_equals_scalar(self, shape):
+        rng = np.random.default_rng(5)
+        coords = np.stack(
+            [rng.integers(0, n, size=16) for n in shape.sizes], axis=1
+        )
+        for element in _all_elements(shape)[::3]:
+            cells, signs = delta_cells(element, coords)
+            for row in range(coords.shape[0]):
+                cell, sign = delta_cell(element, tuple(coords[row]))
+                assert tuple(cells[row]) == cell
+                assert signs[row] == sign
+
+
+class TestValidateAndScope:
+    def test_validate_rejects_rank_and_bounds(self):
+        shape = CubeShape((4, 4))
+        with pytest.raises(ValueError, match="coordinates must be"):
+            validate_coordinates(shape, np.zeros((2, 3), dtype=np.int64))
+        with pytest.raises(ValueError, match="outside"):
+            validate_coordinates(shape, np.array([[0, 4]]))
+        with pytest.raises(ValueError, match="outside"):
+            validate_coordinates(shape, np.array([[-1, 0]]))
+
+    def test_dyadic_scope_names_the_touched_subtree(self):
+        shape = CubeShape((8, 4))
+        scope = dyadic_scope(shape, np.array([[1, 3], [6, 3]]))
+        assert scope[0] == {0: [1, 6], 1: [0, 3], 2: [0, 1], 3: [0]}
+        assert scope[1] == {0: [3], 1: [1], 2: [0]}
+
+    def test_scope_bounds_patch_cells(self):
+        # Every element's touched cells are drawn from the scope at the
+        # element's per-axis levels.
+        shape = CubeShape((8, 4))
+        rng = np.random.default_rng(11)
+        coords = np.stack(
+            [rng.integers(0, n, size=5) for n in shape.sizes], axis=1
+        )
+        scope = dyadic_scope(shape, coords)
+        for element in _all_elements(shape)[::5]:
+            cells, _ = delta_cells(element, coords)
+            for axis, (level, _index) in enumerate(element.nodes):
+                assert set(cells[:, axis].tolist()) <= set(scope[axis][level])
+
+
+class TestPatchArray:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_patch_equals_recompute(self, shape):
+        rng = np.random.default_rng(7)
+        base = rng.integers(0, 50, size=shape.sizes).astype(np.float64)
+        coords = np.stack(
+            [rng.integers(0, n, size=6) for n in shape.sizes], axis=1
+        )
+        deltas = rng.integers(-5, 6, size=6).astype(np.float64)
+        bumped = base.copy()
+        np.add.at(bumped, tuple(coords.T), deltas)
+        for element in _all_elements(shape)[::4]:
+            values = compute_element(base, element).copy()
+            applied = patch_array(element, values, coords, deltas)
+            assert applied == 6
+            assert np.array_equal(values, compute_element(bumped, element))
+
+    def test_empty_batch_is_a_no_op(self):
+        shape = CubeShape((4, 4))
+        values = np.zeros(shape.root().data_shape)
+        assert patch_array(
+            shape.root(), values, np.empty((0, 2), dtype=np.int64), []
+        ) == 0
+        assert not values.any()
+
+
+class TestCacheGenerations:
+    def _cache(self, **kw):
+        registry = MetricsRegistry()
+        return LRUCache(registry=registry, name="c", **kw), registry
+
+    def test_bump_generation_lazily_drops_stale_entries(self):
+        cache, registry = self._cache(max_entries=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.bump_generation()
+        assert len(cache) == 2  # nothing freed eagerly
+        assert "a" not in cache
+        assert cache.get("a") is None  # dropped on lookup, counted
+        assert registry.counter("c_stale_drops_total").total() == 1
+        assert registry.counter("c_generation_bumps_total").total() == 1
+        cache.put("a", 3)
+        assert cache.get("a") == 3  # fresh entries live at the new gen
+
+    def test_keys_exclude_stale_entries(self):
+        cache, _ = self._cache(max_entries=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.keys() == ("a", "b")
+        cache.mark_stale("a")
+        assert cache.keys() == ("b",)
+        assert cache.get("b") == 2
+
+    def test_mark_stale_is_scoped_to_one_key(self):
+        cache, registry = self._cache(max_entries=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.mark_stale("a")
+        assert not cache.mark_stale("missing")
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert registry.counter("c_stale_drops_total").total() == 1
+
+    def test_patch_repairs_in_place_and_counts(self):
+        cache, registry = self._cache(max_entries=4)
+        box = {"v": 1}
+        cache.put("a", box)
+
+        def bump(value):
+            value["v"] += 10
+            return True
+
+        assert cache.patch("a", bump)
+        assert cache.get("a")["v"] == 11
+        assert registry.counter("c_patches_total").total() == 1
+
+    def test_patch_skip_protocol_and_stale_keys(self):
+        cache, registry = self._cache(max_entries=4)
+        cache.put("a", object())
+        assert not cache.patch("a", lambda _v: False)  # alias skip
+        assert not cache.patch("missing", lambda _v: True)
+        cache.bump_generation()
+        assert not cache.patch("a", lambda _v: True)  # stale: fn not run
+        assert registry.counter("c_patches_total").total() == 0
+
+    def test_stale_weight_is_released_on_drop(self):
+        cache, _ = self._cache(max_entries=4, weigh=lambda v: v)
+        cache.put("a", 10.0)
+        cache.bump_generation()
+        assert cache.weight == 10.0
+        cache.get("a")
+        assert cache.weight == 0.0
+
+
+class TestRangeEnginePatch:
+    def test_patched_intermediates_match_fresh_engine(self):
+        shape = CubeShape((8, 8))
+        rng = np.random.default_rng(13)
+        base = rng.integers(0, 50, size=shape.sizes).astype(np.float64)
+        materialized = MaterializedSet.from_cube(base.copy(), [shape.root()])
+        engine = RangeQueryEngine(materialized)
+        ranges = ((1, 7), (2, 6))
+        engine.range_sum(ranges)  # warms on-demand intermediates
+        assert engine._cache
+
+        coords = np.array([[3, 3], [0, 7], [6, 2]])
+        deltas = np.array([4.0, -2.0, 9.0])
+        materialized.apply_updates(coords, deltas)
+        np.add.at(base, tuple(coords.T), deltas)
+        patched = engine.apply_updates(coords, deltas)
+        assert patched == len(engine._cache)
+
+        fresh = RangeQueryEngine(
+            MaterializedSet.from_cube(base.copy(), [shape.root()])
+        )
+        for probe in (ranges, ((0, 8), (0, 8)), ((3, 5), (1, 8))):
+            assert (
+                engine.range_sum(probe).value
+                == fresh.range_sum(probe).value
+            )
+
+    def test_validation_and_empty_batch(self):
+        shape = CubeShape((4, 4))
+        engine = RangeQueryEngine(
+            MaterializedSet.from_cube(np.zeros(shape.sizes), [shape.root()])
+        )
+        with pytest.raises(ValueError, match="deltas must be"):
+            engine.apply_updates(np.array([[0, 0]]), [1.0, 2.0])
+        assert engine.apply_updates(np.empty((0, 2), dtype=np.int64), []) == 0
+
+
+class TestShardedBatchRouting:
+    def _sharded(self, sizes=(8, 8), shards=4, seed=17):
+        rng = np.random.default_rng(seed)
+        base = rng.integers(0, 50, size=sizes).astype(np.float64)
+        shape = CubeShape(sizes)
+        partition = CubePartition.for_shape(shape, shards)
+        sharded = ShardedSet(partition, base_values=base)
+        sharded.store(shape.root(), base)
+        return sharded, base, shape
+
+    def test_bulk_matches_single_cell_routing(self):
+        sharded, base, shape = self._sharded()
+        single, _, _ = self._sharded()
+        rng = np.random.default_rng(19)
+        coords = np.stack(
+            [rng.integers(0, n, size=10) for n in shape.sizes], axis=1
+        )
+        deltas = rng.integers(-5, 6, size=10).astype(np.float64)
+        sharded.apply_updates(coords, deltas)
+        for row, delta in zip(coords, deltas):
+            single.apply_update(tuple(int(c) for c in row), float(delta))
+        assert (
+            sharded.assemble(shape.root()).tobytes()
+            == single.assemble(shape.root()).tobytes()
+        )
+
+    def test_only_owning_shards_bump_epochs(self):
+        sharded, _, shape = self._sharded(shards=4)
+        axis = sharded.partition.axis
+        extent = sharded.partition.shard_extent
+        before = sharded.epochs
+        # All deltas land in shard 2's slab of the shard axis.
+        coords = np.zeros((3, len(shape.sizes)), dtype=np.int64)
+        coords[:, axis] = 2 * extent
+        sharded.apply_updates(coords, [1.0, 2.0, 3.0])
+        after = sharded.epochs
+        assert after[2] == before[2] + 1
+        assert [a for i, a in enumerate(after) if i != 2] == [
+            b for i, b in enumerate(before) if i != 2
+        ]
+
+    def test_validation_and_empty_batch(self):
+        sharded, _, _ = self._sharded()
+        with pytest.raises(ValueError, match="outside"):
+            sharded.apply_updates(np.array([[0, 99]]), [1.0])
+        with pytest.raises(ValueError, match="deltas must be"):
+            sharded.apply_updates(np.array([[0, 0]]), [1.0, 2.0])
+        before = sharded.epochs
+        sharded.apply_updates(np.empty((0, 2), dtype=np.int64), [])
+        assert sharded.epochs == before
+
+    def test_array_refs_is_empty(self):
+        sharded, _, _ = self._sharded()
+        assert sharded.array_refs() == {}
+
+
+def _make_server(sizes=(8, 16), seed=29, **kwargs):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 50, size=sizes).astype(np.float64)
+    dims = [Dimension(f"d{i}", list(range(n))) for i, n in enumerate(sizes)]
+    return (
+        OLAPServer(DataCube(values.copy(), dims, measure="m"), **kwargs),
+        values,
+    )
+
+
+class TestServerUpdatePath:
+    def test_warm_cache_is_patched_not_cleared(self):
+        server, base = _make_server()
+        server.view(["d0"])
+        server.view(["d1"])
+        server.range_sum(((1, 7), (3, 13)))
+        server.update(5.0, d0=3, d1=9)
+        server.update_many(np.array([[0, 0], [7, 15]]), [1.0, -2.0])
+        ref = base.copy()
+        ref[3, 9] += 5.0
+        ref[0, 0] += 1.0
+        ref[7, 15] += -2.0
+        assert np.array_equal(server.cube.values, ref)
+        assert np.array_equal(
+            server.view(["d0"]).ravel(), ref.sum(axis=1)
+        )
+        assert server.range_sum(((1, 7), (3, 13))) == ref[1:7, 3:13].sum()
+        health = server.health()
+        assert health["updates"] == 3
+        assert health["updates_cache_patched"] > 0
+        assert health["updates_cache_cleared"] == 0
+        # The result cache was never wholesale-cleared.
+        assert (
+            server.metrics.counter("view_cache_clears_total").total() == 0
+        )
+
+    def test_update_many_accepts_mappings(self):
+        server, base = _make_server()
+        server.update_many([{"d0": 2, "d1": 4}, {"d0": 2, "d1": 4}], [3.0, 1.0])
+        assert server.cube.values[2, 4] == base[2, 4] + 4.0
+
+    def test_update_many_validates(self):
+        server, _ = _make_server()
+        with pytest.raises(ValueError, match="outside"):
+            server.update_many(np.array([[0, 99]]), [1.0])
+        with pytest.raises(ValueError, match="deltas must be"):
+            server.update_many(np.array([[0, 0]]), [1.0, 2.0])
+        server.update_many(np.empty((0, 2), dtype=np.int64), [])  # no-op
+
+    def test_stored_aliases_are_not_double_patched(self):
+        # The root is stored; a full-cube view serves the stored array by
+        # reference and caches that same object.  The patcher must skip
+        # it — apply_updates already repaired storage — or the delta
+        # would land twice.
+        server, base = _make_server()
+        full = server.view(["d0", "d1"])
+        server.update(7.0, d0=1, d1=2)
+        ref = base.copy()
+        ref[1, 2] += 7.0
+        assert np.array_equal(server.view(["d0", "d1"]), ref)
+        assert np.array_equal(full, ref)  # same live array, patched once
+
+    def test_clear_policy_restores_legacy_behaviour(self):
+        server, base = _make_server(update_policy="clear")
+        server.view(["d0"])
+        server.update(2.0, d0=1, d1=1)
+        health = server.health()
+        assert health["updates_cache_cleared"] == 1
+        assert health["updates_cache_patched"] == 0
+        ref = base.copy()
+        ref[1, 1] += 2.0
+        assert np.array_equal(server.view(["d0"]).ravel(), ref.sum(axis=1))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="update_policy"):
+            _make_server(update_policy="nuke")
+
+    def test_sharded_update_leaves_other_shards_warm(self):
+        server, base = _make_server(sizes=(8, 16), shards=4)
+        server.view(["d0"])
+        before = server.materialized.epochs
+        server.update(3.0, d0=0, d1=1)  # shard axis 1, owner shard 0
+        after = server.materialized.epochs
+        assert after[0] == before[0] + 1
+        assert after[1:] == before[1:]
+        ref = base.copy()
+        ref[0, 1] += 3.0
+        assert np.array_equal(server.view(["d0"]).ravel(), ref.sum(axis=1))
+        assert server.health()["updates_cache_cleared"] == 0
+
+    def test_patch_failure_falls_back_to_coarse(self, monkeypatch):
+        server, base = _make_server()
+        server.view(["d0"])
+        monkeypatch.setattr(
+            type(server._state.range_engine),
+            "apply_updates",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        server.update(4.0, d0=2, d1=2)
+        health = server.health()
+        assert health["updates_cache_cleared"] == 1
+        ref = base.copy()
+        ref[2, 2] += 4.0
+        # Coarse fallback is cold but still correct.
+        assert np.array_equal(server.view(["d0"]).ravel(), ref.sum(axis=1))
