@@ -11,6 +11,7 @@ Usage::
     python -m repro chaos [--seed N] [--json] [--output report.json]
     python -m repro trace [--output trace.json] [--check] [--backend B]
     python -m repro update [--trace FILE] [--shards N,M] [--backend B]
+    python -m repro recover [--seed N] [--shards N,M] [--json] [--output R]
 
 ``stats`` drives an instrumented demo server (repeated views, roll-ups,
 range queries, one mid-run reconfiguration) and prints its metrics
@@ -38,6 +39,16 @@ streaming differential gate, and exits non-zero unless every answer is
 bit-identical to recompute-from-scratch with *zero* coarse cache
 invalidations on the linear path — the streaming-ingest acceptance gate,
 also run as a CI smoke job.
+
+``recover`` runs the kill-and-recover durability gate: sacrificial child
+processes drive durable servers (WAL + snapshots) through a seeded
+update/query trace and are ``SIGKILL``\\ ed at seeded points — between
+operations, mid-WAL-append, mid-snapshot — then each survivor directory
+is restored (including onto different shard counts) and checked for zero
+lost acknowledged updates, a bounded unacknowledged tail, and answers
+byte-identical to a never-crashed reference.  Exits non-zero on any lost
+update or divergent answer — the durability acceptance gate, also run as
+a CI smoke job.
 """
 
 from __future__ import annotations
@@ -334,6 +345,39 @@ def _run_update(
     return 0 if report["ok"] else 1
 
 
+def _run_recover(
+    seed: int,
+    shards_spec: str,
+    backend: str,
+    workers: int,
+    json_output: bool,
+    output: str | None,
+) -> int:
+    """Run the kill-and-recover durability gate; non-zero on any loss."""
+    import json
+    from pathlib import Path
+
+    from .durability.gate import (
+        RecoveryGateConfig,
+        render_report,
+        run_recovery_gate,
+    )
+
+    counts = tuple(int(s) for s in shards_spec.split(",") if s)
+    report = run_recovery_gate(
+        RecoveryGateConfig(
+            seed=seed,
+            shard_counts=counts,
+            backend=backend,
+            workers=workers,
+        )
+    )
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2) if json_output else render_report(report))
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and regenerate the requested experiments."""
     parser = argparse.ArgumentParser(
@@ -356,6 +400,7 @@ def main(argv: list[str] | None = None) -> int:
             "trace",
             "shard",
             "update",
+            "recover",
         ],
         help="which experiment to regenerate ('stats' runs the "
         "instrumented server demo; 'chaos' runs the seeded "
@@ -363,7 +408,9 @@ def main(argv: list[str] | None = None) -> int:
         "query batch and reports its planned-vs-measured profile; "
         "'shard' replays a workload sharded vs monolithic and checks "
         "byte-identity; 'update' replays an interleaved update/query "
-        "trace and checks delta patching against recompute-from-scratch)",
+        "trace and checks delta patching against recompute-from-scratch; "
+        "'recover' SIGKILLs durable servers at seeded points and checks "
+        "restore loses no acknowledged update)",
     )
     parser.add_argument(
         "--trials",
@@ -443,6 +490,17 @@ def main(argv: list[str] | None = None) -> int:
         "seeded generator (see repro.streaming.generate_trace)",
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == "recover":
+        seed = 31 if args.seed is None else args.seed
+        return _run_recover(
+            seed,
+            args.shards,
+            args.backend,
+            args.workers,
+            args.json,
+            args.output,
+        )
 
     if args.experiment == "update":
         seed = 23 if args.seed is None else args.seed

@@ -1,0 +1,475 @@
+"""The kill-and-recover differential gate (``python -m repro recover``).
+
+The durability claim is behavioural, so the gate tests the behaviour, not
+the bytes: a sacrificial child process drives a seeded interleaved
+update/query trace (the same generator the streaming gate replays —
+:func:`repro.streaming.generate_trace`) against a durable
+:class:`~repro.server.OLAPServer`, taking periodic snapshots, while a
+seeded ``"kill"`` fault rule ``SIGKILL``\\ s it at a chosen invocation of
+``wal.append`` (mid-record, after the first half reached the OS — a
+genuinely torn tail) or ``snapshot.write`` (between snapshot files — a
+half-written staging directory).  The parent then restores from the
+survivor directory and checks, per scenario:
+
+- **Zero lost acknowledged updates.**  The child appends the WAL sequence
+  of every *returned* update to a fsynced ack log; the restored server's
+  last applied sequence must reach the highest acknowledged one.
+- **Bounded unacknowledged tail.**  At most one batch beyond the last ack
+  may replay — the single batch that was in flight when the kill landed.
+- **Byte-identical answers.**  A reference replica is rebuilt by applying
+  exactly the restored prefix of the deterministic mutation sequence to
+  the base cube; the restored cube, aggregated views, a roll-up, and
+  range sums must match byte for byte (the cube is integer-valued, so
+  equality is exact, not approximate).
+
+The matrix crosses shard layouts (1/2/4 by default) with seeded kill
+points on both sites plus a clean-shutdown control, and per layout one
+scenario also restores onto a *different* shard count — recovery is not
+allowed to depend on resurrecting the exact process topology that died.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from random import Random
+from shutil import rmtree
+
+import numpy as np
+
+from ..core.materialize import compute_element
+from ..core.range_query import range_sum_direct
+from ..cube.datacube import DataCube
+from ..cube.dimensions import Dimension
+from ..cube.hierarchy import rollup_element
+from . import DurabilityConfig
+
+__all__ = ["RecoveryGateConfig", "run_recovery_gate", "render_report"]
+
+
+@dataclass(frozen=True)
+class RecoveryGateConfig:
+    seed: int = 31
+    #: Power-of-two extents (the filter-bank domain requirement).
+    sizes: tuple[int, ...] = (8, 8, 8)
+    shard_counts: tuple[int, ...] = (1, 2, 4)
+    operations: int = 48
+    bulk_max: int = 5
+    fsync: str = "interval"
+    backend: str = "thread"
+    workers: int = 2
+    #: Mutations between the child's explicit snapshots.
+    snapshot_every: int = 6
+    #: Small segments so the trace genuinely rotates and prunes.
+    segment_bytes: int = 2048
+    #: Seeded kill points per layout, by site.
+    wal_kills: int = 5
+    snapshot_kills: int = 2
+    include_clean: bool = True
+    cross_restore: bool = True
+    timeout_s: float = 90.0
+
+
+def _build_cube(seed: int, sizes: tuple[int, ...]) -> DataCube:
+    """The deterministic integer-valued cube both sides rebuild."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 100, size=sizes).astype(np.float64)
+    dims = [Dimension(f"d{i}", list(range(n))) for i, n in enumerate(sizes)]
+    return DataCube(values, dims, measure="amount")
+
+
+def _stream_config(config: RecoveryGateConfig):
+    from ..streaming import UpdateStreamConfig
+
+    return UpdateStreamConfig(
+        seed=config.seed,
+        sizes=config.sizes,
+        backend=config.backend,
+        workers=config.workers,
+        operations=config.operations,
+        bulk_max=config.bulk_max,
+    )
+
+
+def _mutations(trace: list[dict]) -> list[dict]:
+    """The trace's mutation ops, in order — mutation *k* is WAL seq *k+1*."""
+    return [op for op in trace if op["op"] in ("update", "update_many")]
+
+
+def _child_main(payload: dict) -> None:
+    """Sacrificial child: drive the trace durably until killed (or done).
+
+    Module-level so the ``spawn`` start method can import it by name.
+    The ack protocol is the ground truth the parent judges against: the
+    applied WAL sequence is appended to the ack log — flushed *and*
+    fsynced — only after the update call returned, so every line is an
+    acknowledgement the recovered server is obliged to honour.
+    """
+    from ..resilience.faults import FaultInjector, FaultRule
+    from ..server import OLAPServer
+    from ..streaming import generate_trace
+
+    config = RecoveryGateConfig(**payload["config"])
+    trace = generate_trace(_stream_config(config))
+    names = [f"d{i}" for i in range(len(config.sizes))]
+    server = OLAPServer(
+        _build_cube(config.seed, config.sizes),
+        shards=payload["shards"],
+        durability=DurabilityConfig(
+            payload["directory"],
+            fsync=config.fsync,
+            segment_bytes=config.segment_bytes,
+        ),
+    )
+    rules = []
+    if payload["kill_site"]:
+        rules.append(
+            FaultRule(
+                site=payload["kill_site"],
+                kind="kill",
+                start_after=payload["kill_after"],
+                max_fires=1,
+            )
+        )
+    injector = FaultInjector(rules, seed=config.seed)
+    mutations = 0
+    with open(payload["acks"], "a") as acks, injector.activate():
+
+        def ack() -> None:
+            acks.write(f"{server._applied_seq}\n")
+            acks.flush()
+            os.fsync(acks.fileno())
+
+        for op in trace:
+            kind = op["op"]
+            if kind == "update":
+                server.update(
+                    float(op["delta"]),
+                    **{n: c for n, c in zip(names, op["coords"])},
+                )
+            elif kind == "update_many":
+                server.update_many(
+                    np.asarray(op["coords"], dtype=np.int64),
+                    np.asarray(op["deltas"], dtype=np.float64),
+                )
+            elif kind == "view":
+                server.view(list(op["dims"]))
+            elif kind == "query_batch":
+                server.query_batch(
+                    [list(r) for r in op["requests"]],
+                    max_workers=config.workers,
+                    backend=config.backend,
+                )
+            elif kind == "rollup":
+                server.rollup(op["levels"])
+            elif kind == "range":
+                server.range_sum(tuple((lo, hi) for lo, hi in op["ranges"]))
+            elif kind == "reconfigure":
+                server.reconfigure()
+            if kind in ("update", "update_many"):
+                ack()
+                mutations += 1
+                if mutations % config.snapshot_every == 0:
+                    server.snapshot()
+    server.close()
+
+
+def _read_last_ack(acks: Path) -> int:
+    if not acks.is_file():
+        return 0
+    last = 0
+    for line in acks.read_text().splitlines():
+        line = line.strip()
+        if line:
+            last = int(line)
+    return last
+
+
+def _verify_restore(
+    directory: Path,
+    restore_shards: int,
+    max_acked: int,
+    mutation_ops: list[dict],
+    config: RecoveryGateConfig,
+) -> dict:
+    """Restore in-process and differential-check against the trace prefix."""
+    from ..server import OLAPServer
+
+    server = OLAPServer.restore(directory, shards=restore_shards)
+    try:
+        applied = server._applied_seq
+        names = [f"d{i}" for i in range(len(config.sizes))]
+
+        # The reference: base cube + exactly the restored mutation prefix.
+        replica = _build_cube(config.seed, config.sizes).values.copy()
+        for op in mutation_ops[:applied]:
+            if op["op"] == "update":
+                replica[tuple(op["coords"])] += float(op["delta"])
+            else:
+                coords = np.asarray(op["coords"], dtype=np.int64)
+                np.add.at(
+                    replica,
+                    tuple(coords.T),
+                    np.asarray(op["deltas"], dtype=np.float64),
+                )
+
+        compared = 0
+        mismatches: list[str] = []
+
+        def check(label: str, got: bytes, want: bytes) -> None:
+            nonlocal compared
+            compared += 1
+            if got != want:
+                mismatches.append(label)
+
+        check("cube", server.cube.values.tobytes(), replica.tobytes())
+        shape = server.shape
+        for dims in ([], [names[0]], names[:2], list(names)):
+            aggregated = [
+                i for i, name in enumerate(names) if name not in set(dims)
+            ]
+            element = shape.aggregated_view(aggregated)
+            check(
+                f"view:{dims}",
+                server.view(list(dims)).tobytes(),
+                compute_element(replica, element).tobytes(),
+            )
+        levels = {names[0]: 1}
+        check(
+            "rollup",
+            server.rollup(levels).tobytes(),
+            compute_element(
+                replica, rollup_element(server.cube, levels)
+            ).tobytes(),
+        )
+        for ranges in (
+            tuple((0, n) for n in config.sizes),
+            tuple((n // 4, 3 * n // 4) for n in config.sizes),
+        ):
+            got = float(server.range_sum(ranges))
+            want = float(range_sum_direct(replica, ranges))
+            check(f"range:{ranges}", np.float64(got).tobytes(),
+                  np.float64(want).tobytes())
+
+        lost = max(0, max_acked - applied)
+        tail = applied - max_acked
+        return {
+            "restore_shards": restore_shards,
+            "applied": applied,
+            "replayed": server._replayed_records,
+            "acked": max_acked,
+            "lost_acked": lost,
+            "unacked_tail": tail,
+            "compared": compared,
+            "mismatches": mismatches,
+            "ok": (
+                lost == 0
+                and tail <= 1
+                and compared > 0
+                and not mismatches
+            ),
+        }
+    finally:
+        server.close()
+
+
+def _scenarios(config: RecoveryGateConfig, mutation_count: int) -> list[dict]:
+    """The seeded kill matrix: deterministic in the gate seed."""
+    out = []
+    counts = list(config.shard_counts)
+    for shards in counts:
+        cross = counts[(counts.index(shards) + 1) % len(counts)]
+        rng = Random(f"{config.seed}:{shards}")
+        # wal.append is visited once per mutation; offsets stay inside
+        # the trace's actual mutation count so every kill really fires.
+        wal_pool = range(0, max(config.wal_kills, min(12, mutation_count)))
+        wal_offsets = rng.sample(wal_pool, config.wal_kills)
+        # snapshot.write fires per file per snapshot; the first in-trace
+        # snapshot provides at least cube+set+manifest invocations.
+        snap_offsets = rng.sample(range(0, 3), config.snapshot_kills)
+        for i, offset in enumerate(sorted(wal_offsets)):
+            out.append(
+                {
+                    "shards": shards,
+                    "kill_site": "wal.append",
+                    "kill_after": offset,
+                    "restore_shards": (
+                        [shards, cross]
+                        if config.cross_restore and i == 0 and cross != shards
+                        else [shards]
+                    ),
+                }
+            )
+        for offset in sorted(snap_offsets):
+            out.append(
+                {
+                    "shards": shards,
+                    "kill_site": "snapshot.write",
+                    "kill_after": offset,
+                    "restore_shards": [shards],
+                }
+            )
+        if config.include_clean:
+            out.append(
+                {
+                    "shards": shards,
+                    "kill_site": None,
+                    "kill_after": 0,
+                    "restore_shards": [shards],
+                }
+            )
+    return out
+
+
+def run_recovery_gate(
+    config: RecoveryGateConfig | None = None,
+    workdir: str | Path | None = None,
+) -> dict:
+    """Run the full kill/restore matrix; returns a JSON-friendly report."""
+    config = config or RecoveryGateConfig()
+    trace = None
+    owned = workdir is None
+    root = Path(workdir) if workdir else Path(
+        tempfile.mkdtemp(prefix="repro-recover-")
+    )
+    root.mkdir(parents=True, exist_ok=True)
+    ctx = multiprocessing.get_context("spawn")
+    payload_config = {
+        "seed": config.seed,
+        "sizes": tuple(config.sizes),
+        "shard_counts": tuple(config.shard_counts),
+        "operations": config.operations,
+        "bulk_max": config.bulk_max,
+        "fsync": config.fsync,
+        "backend": config.backend,
+        "workers": config.workers,
+        "snapshot_every": config.snapshot_every,
+        "segment_bytes": config.segment_bytes,
+        "wal_kills": config.wal_kills,
+        "snapshot_kills": config.snapshot_kills,
+        "include_clean": config.include_clean,
+        "cross_restore": config.cross_restore,
+        "timeout_s": config.timeout_s,
+    }
+    try:
+        from ..streaming import generate_trace
+
+        trace = generate_trace(_stream_config(config))
+        mutation_ops = _mutations(trace)
+        scenarios = []
+        kill_points = 0
+        ok = True
+        for index, scenario in enumerate(
+            _scenarios(config, len(mutation_ops))
+        ):
+            directory = root / f"scn-{index:03d}"
+            acks = root / f"scn-{index:03d}.acks"
+            child = ctx.Process(
+                target=_child_main,
+                args=(
+                    {
+                        "config": payload_config,
+                        "shards": scenario["shards"],
+                        "directory": str(directory),
+                        "acks": str(acks),
+                        "kill_site": scenario["kill_site"],
+                        "kill_after": scenario["kill_after"],
+                    },
+                ),
+            )
+            child.start()
+            child.join(config.timeout_s)
+            timed_out = child.is_alive()
+            if timed_out:
+                child.kill()
+                child.join()
+            exitcode = child.exitcode
+            killed = exitcode == -signal.SIGKILL
+            max_acked = _read_last_ack(acks)
+            restores = [
+                _verify_restore(
+                    directory, target, max_acked, mutation_ops, config
+                )
+                for target in scenario["restore_shards"]
+            ]
+            expected_exit = (
+                killed if scenario["kill_site"] else exitcode == 0
+            )
+            scenario_ok = (
+                not timed_out
+                and expected_exit
+                and all(r["ok"] for r in restores)
+            )
+            if scenario["kill_site"] and killed:
+                kill_points += 1
+            ok = ok and scenario_ok
+            scenarios.append(
+                {
+                    "shards": scenario["shards"],
+                    "kill_site": scenario["kill_site"],
+                    "kill_after": scenario["kill_after"],
+                    "exitcode": exitcode,
+                    "killed": killed,
+                    "timed_out": timed_out,
+                    "acked": max_acked,
+                    "restores": restores,
+                    "ok": scenario_ok,
+                }
+            )
+        return {
+            "seed": config.seed,
+            "sizes": list(config.sizes),
+            "fsync": config.fsync,
+            "backend": config.backend,
+            "trace_ops": len(trace),
+            "mutations": len(mutation_ops),
+            "scenarios": scenarios,
+            "kill_points": kill_points,
+            "ok": ok,
+        }
+    finally:
+        if owned:
+            rmtree(root, ignore_errors=True)
+
+
+def render_report(report: dict) -> str:
+    lines = [
+        f"kill-and-recover gate: seed={report['seed']} "
+        f"sizes={tuple(report['sizes'])} fsync={report['fsync']} "
+        f"backend={report['backend']} trace_ops={report['trace_ops']} "
+        f"({report['mutations']} mutations)"
+    ]
+    for scn in report["scenarios"]:
+        site = scn["kill_site"] or "clean-shutdown"
+        death = (
+            "SIGKILL"
+            if scn["killed"]
+            else ("timeout" if scn["timed_out"] else f"exit {scn['exitcode']}")
+        )
+        lines.append(
+            f"  shards={scn['shards']} {site}@{scn['kill_after']}: {death}, "
+            f"acked seq {scn['acked']}"
+        )
+        for r in scn["restores"]:
+            verdict = "OK" if r["ok"] else "FAILED"
+            lines.append(
+                f"    restore shards={r['restore_shards']}: applied "
+                f"{r['applied']} (replayed {r['replayed']}), lost_acked="
+                f"{r['lost_acked']} tail={r['unacked_tail']}, "
+                f"{r['compared']} answers compared -> {verdict}"
+                + (f" at {r['mismatches']}" if r["mismatches"] else "")
+            )
+    lines.append(
+        f"{report['kill_points']} SIGKILL points exercised; "
+        + ("PASS" if report["ok"] else "FAIL")
+    )
+    return "\n".join(lines)
+
+
+def save_report(report: dict, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")

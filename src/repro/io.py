@@ -28,6 +28,7 @@ older versions still load — they just skip verification.)
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import zipfile
@@ -61,6 +62,10 @@ def _normalize_path(path: str | Path) -> Path:
     return path
 
 
+#: Distinguishes concurrent in-process writers of the same destination.
+_TMP_COUNTER = itertools.count()
+
+
 def _atomic_savez(path: Path, **arrays) -> None:
     """Write a compressed archive atomically (temp sibling + rename).
 
@@ -68,15 +73,24 @@ def _atomic_savez(path: Path, **arrays) -> None:
     :func:`os.replace` is a same-filesystem rename — atomic on POSIX.
     Writing to an open file object also stops numpy appending a second
     suffix of its own.
+
+    The temp name is unique per call (pid + in-process counter), so
+    concurrent saves of the same destination never clobber each other's
+    half-written bytes — last rename wins with a complete archive either
+    way — and a failed save always unlinks *its own* debris, even when
+    another writer has already renamed its temp into place.  (A save
+    killed outright can still orphan one ``*.tmp`` sibling; sweep them
+    freely, no reader ever opens one.)
     """
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+    )
     try:
         with open(tmp, "wb") as fh:
             np.savez_compressed(fh, **arrays)
         os.replace(tmp, path)
     finally:
-        if tmp.exists():
-            tmp.unlink()
+        tmp.unlink(missing_ok=True)
 
 
 def _load_archive(path: str | Path, expected_format: int, what: str):

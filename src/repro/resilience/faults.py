@@ -23,6 +23,11 @@ Three fault kinds are supported:
 - ``"latency"`` — sleep ``rule.latency_ms`` (exercises deadlines).
 - ``"corrupt"`` — add ``rule.magnitude`` to one deterministic cell of the
   array at the site (exercises checksum quarantine + degradation).
+- ``"kill"`` — ``SIGKILL`` the current process on the spot, no cleanup, no
+  atexit, no flushing (exercises crash recovery: the ``wal.append`` and
+  ``snapshot.write`` sites place it mid-write, so the recovery gate can
+  prove torn records and half-written snapshots restore cleanly).  Only
+  meaningful in a sacrificial child process.
 
 Every fired fault is recorded (:class:`FiredFault`) and counted in the
 active metrics registry as ``faults_injected_total{site=,kind=}``.
@@ -30,7 +35,9 @@ active metrics registry as ``faults_injected_total{site=,kind=}``.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -63,7 +70,7 @@ class FaultRule:
     """
 
     site: str
-    kind: str  # "error" | "latency" | "corrupt"
+    kind: str  # "error" | "latency" | "corrupt" | "kill"
     probability: float = 1.0
     error: type[Exception] = TransientFault
     latency_ms: float = 0.0
@@ -72,7 +79,7 @@ class FaultRule:
     start_after: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("error", "latency", "corrupt"):
+        if self.kind not in ("error", "latency", "corrupt", "kill"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError(f"probability {self.probability} outside [0, 1]")
@@ -173,18 +180,22 @@ class FaultInjector:
         )
 
     def hit(self, site: str, **context) -> None:
-        """Apply latency/error rules due at this visit of ``site``.
+        """Apply latency/error/kill rules due at this visit of ``site``.
 
         Latency is applied before any error, so a site can be both slow and
-        failing under one plan.
+        failing under one plan.  A due ``"kill"`` rule SIGKILLs the process
+        outright — nothing after the fault point runs, by design.
         """
-        for rule_index, invocation in self._due(site, ("latency", "error")):
+        for rule_index, invocation in self._due(site, ("latency", "error", "kill")):
             rule = self.rules[rule_index]
             if rule.kind == "latency":
                 self._record(
                     site, "latency", invocation, f"{rule.latency_ms:g}ms"
                 )
                 time.sleep(rule.latency_ms / 1e3)
+            elif rule.kind == "kill":
+                self._record(site, "kill", invocation, "SIGKILL")
+                os.kill(os.getpid(), signal.SIGKILL)
             else:
                 self._record(site, "error", invocation, rule.error.__name__)
                 if issubclass(rule.error, TransientFault):

@@ -52,6 +52,14 @@ Serving amenities that live only here:
     remaining set is incomplete, to the base cube itself
     (``degrade_to_base``), which the paper's perfect-reconstruction
     property guarantees can answer anything.
+
+- **Durability** — with ``durability=`` set, every update batch is
+  appended to a write-ahead log before it is acknowledged,
+  :meth:`snapshot` persists the whole serving state atomically (on demand
+  or on a background cadence, pruning covered WAL segments), and
+  :meth:`restore` rebuilds a server — same layout or re-sharded — from
+  snapshot + WAL replay with zero lost acknowledged updates.  See
+  :mod:`repro.durability` and the ``python -m repro recover`` gate.
 """
 
 from __future__ import annotations
@@ -61,6 +69,7 @@ import time
 from collections.abc import Iterable, Mapping, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -76,6 +85,13 @@ from .core.select_basis import select_minimum_cost_basis
 from .cube.builder import build_cube
 from .cube.datacube import DataCube
 from .cube.hierarchy import rollup_element
+from .durability import (
+    DurabilityConfig,
+    WriteAheadLog,
+    latest_snapshot,
+    load_snapshot,
+    write_snapshot,
+)
 from .errors import (
     AdmissionRejected,
     IncompleteSetError,
@@ -151,6 +167,7 @@ class OLAPServer:
         shards: int = 1,
         shard_axis: int | None = None,
         update_policy: str = "patch",
+        durability: DurabilityConfig | str | Path | None = None,
     ):
         """``storage_budget`` (cells) enables Algorithm 2 redundancy when it
         exceeds the cube volume; ``decay``/``smoothing`` configure workload
@@ -179,7 +196,17 @@ class OLAPServer:
         state: ``"patch"`` (default) propagates the delta into cached
         answers and range intermediates in place (exact — every view
         element is linear in the cube), ``"clear"`` restores the legacy
-        drop-everything behaviour."""
+        drop-everything behaviour.
+
+        ``durability`` (a :class:`~repro.durability.DurabilityConfig` or a
+        bare directory path) makes acknowledged updates survive crashes:
+        every update batch is appended to a write-ahead log before
+        returning, :meth:`snapshot` persists the full serving state, and
+        :meth:`restore` rebuilds a server from snapshot + WAL replay.  The
+        directory must be *fresh* — construction bootstraps an initial
+        snapshot so recovery is possible from the first update, and an
+        existing lineage must be reopened through :meth:`restore`
+        instead."""
         self.cube = cube
         self.shape = cube.shape_id
         self.storage_budget = storage_budget
@@ -232,6 +259,20 @@ class OLAPServer:
             epoch=0,
             cache=self._new_cache(),
         )
+        # Durability: attached last, so the bootstrap snapshot captures a
+        # fully constructed server.
+        self._durability: DurabilityConfig | None = None
+        self._wal: WriteAheadLog | None = None
+        self._applied_seq = 0
+        self._snapshot_seq = 0
+        self._snapshots_taken = 0
+        self._replayed_records = 0
+        self._last_snapshot_monotonic: float | None = None
+        self._replaying = False
+        self._snapshot_stop = threading.Event()
+        self._snapshot_thread: threading.Thread | None = None
+        if durability is not None:
+            self._attach_durability(durability, bootstrap=True)
 
     def _new_cache(self) -> LRUCache:
         return LRUCache(
@@ -870,6 +911,287 @@ class OLAPServer:
             return new_set.storage, float(expected)
 
     # ------------------------------------------------------------------
+    # Durability: WAL attachment, snapshot, restore
+
+    def _attach_durability(
+        self, durability: DurabilityConfig | str | Path, *, bootstrap: bool
+    ) -> None:
+        """Open the WAL (and, on first attach, bootstrap a snapshot).
+
+        ``bootstrap=True`` is the constructor path and requires a fresh
+        directory: an existing WAL or snapshot means this directory
+        already belongs to a server lineage, and silently starting a new
+        one over it would orphan acknowledged state — reopen it with
+        :meth:`restore` instead.
+        """
+        if not isinstance(durability, DurabilityConfig):
+            durability = DurabilityConfig(durability)
+        wal = WriteAheadLog(
+            durability.wal_dir,
+            fsync=durability.fsync,
+            fsync_interval_ms=durability.fsync_interval_ms,
+            segment_bytes=durability.segment_bytes,
+        )
+        if bootstrap and (
+            wal.last_seq or latest_snapshot(durability.snapshot_dir)
+        ):
+            wal.close()
+            raise ValueError(
+                f"durability directory {durability.directory} already holds "
+                "serving state; reopen it with OLAPServer.restore()"
+            )
+        self._durability = durability
+        self._wal = wal
+        self._applied_seq = wal.last_seq
+        if bootstrap:
+            self.snapshot()
+        if durability.snapshot_interval_s is not None:
+            self.start_snapshotter(durability.snapshot_interval_s)
+
+    def snapshot(self, directory: str | Path | None = None) -> Path:
+        """Atomically persist the current serving state; returns its path.
+
+        Runs under the reconfigure lock — the same ordering guarantee
+        updates and re-selections take — so the written cube, materialized
+        arrays, selection, epoch, and last-applied WAL sequence are one
+        consistent cut.  With no ``directory`` the snapshot lands in the
+        durability directory and WAL segments it fully covers are pruned;
+        an explicit ``directory`` writes an export copy and leaves the
+        WAL alone.
+        """
+        with self._reconfigure_lock, self.obs.activate(), span(
+            "server.snapshot"
+        ) as sp:
+            state = self._state
+            if directory is not None:
+                snap_dir = Path(directory)
+            elif self._durability is not None:
+                snap_dir = self._durability.snapshot_dir
+            else:
+                raise ValueError(
+                    "no snapshot directory: pass one, or construct the "
+                    "server with durability="
+                )
+            retain = (
+                self._durability.retain_snapshots
+                if self._durability is not None
+                else 2
+            )
+            path = write_snapshot(
+                snap_dir,
+                cube=self.cube,
+                materialized=state.materialized,
+                partition=self._partition,
+                epoch=state.epoch,
+                last_seq=self._applied_seq,
+                retain=retain,
+            )
+            pruned = 0
+            if directory is None:
+                self._snapshots_taken += 1
+                self._snapshot_seq = self._applied_seq
+                self._last_snapshot_monotonic = time.monotonic()
+                if self._wal is not None:
+                    pruned = self._wal.prune(self._snapshot_seq)
+            self.metrics.counter(
+                "server_snapshots_total", "serving-state snapshots taken"
+            ).inc()
+            log_event(
+                "snapshot_taken",
+                path=str(path),
+                last_seq=self._applied_seq,
+                epoch=state.epoch,
+                wal_segments_pruned=pruned,
+            )
+            sp.set(
+                last_seq=self._applied_seq,
+                epoch=state.epoch,
+                pruned=pruned,
+            )
+            return path
+
+    @classmethod
+    def restore(
+        cls,
+        durability: DurabilityConfig | str | Path,
+        *,
+        shards: int | None = None,
+        shard_axis: int | None = None,
+        **kwargs,
+    ) -> "OLAPServer":
+        """Rebuild a server from its durability directory.
+
+        Loads the newest complete snapshot, installs its serving state,
+        then replays the WAL suffix (records after the snapshot's
+        ``last_seq``) through the normal update path — so the restored
+        server contains **every acknowledged update**, including the ones
+        that never made a snapshot, and stays open for business: the WAL
+        keeps appending where it left off.
+
+        By default the snapshot's own layout is restored directly (per-
+        shard local sets installed as-is).  Passing a different ``shards``
+        / ``shard_axis`` re-shards on restore: the snapshot's selection is
+        rebuilt from the restored base cube under the new partition —
+        exact, because every element is a pure function of the cube.
+        Remaining ``kwargs`` go to the constructor (budgets, cache sizes,
+        resilience knobs).
+        """
+        if not isinstance(durability, DurabilityConfig):
+            durability = DurabilityConfig(durability)
+        snap = latest_snapshot(durability.snapshot_dir)
+        if snap is None:
+            raise FileNotFoundError(
+                f"no snapshot under {durability.snapshot_dir}; nothing to "
+                "restore (a durable server bootstraps one at construction)"
+            )
+        loaded = load_snapshot(snap)
+        manifest = loaded["manifest"]
+        target_shards = manifest["shards"] if shards is None else int(shards)
+        if shards is None and shard_axis is None:
+            target_axis = manifest["shard_axis"]
+        else:
+            target_axis = shard_axis
+        same_layout = (
+            target_shards == manifest["shards"]
+            and (target_shards == 1 or target_axis == manifest["shard_axis"])
+        )
+        server = cls(
+            loaded["cube"],
+            shards=target_shards,
+            shard_axis=target_axis,
+            **kwargs,
+        )
+        server._install_snapshot(loaded, same_layout=same_layout)
+        server._attach_durability(durability, bootstrap=False)
+        server._replay_wal(manifest["last_seq"], snapshot_path=snap)
+        return server
+
+    def _install_snapshot(self, loaded: dict, *, same_layout: bool) -> None:
+        """Swap in a snapshot's serving state (selection, arrays, epoch).
+
+        Same layout: the loaded arrays are adopted directly.  Different
+        layout (re-shard on restore): the selection is rebuilt from the
+        restored base cube — depth-ordered stores for a monolithic
+        target, a base-slab migration for a sharded one.
+        """
+        manifest = loaded["manifest"]
+        elements = loaded["elements"]
+        epoch = int(manifest["epoch"])
+        with self._reconfigure_lock, self.obs.activate(), span(
+            "server.restore_install", same_layout=same_layout
+        ):
+            if same_layout and self._partition is None:
+                new_set = loaded["sets"][0]
+            elif same_layout:
+                new_set = self._new_materialized()
+                new_set.install_restored(
+                    elements, loaded["sets"], manifest["shard_epochs"]
+                )
+            else:
+                counter = OpCounter()
+                new_set = self._new_materialized()
+                ordered = sorted(set(elements), key=lambda e: e.depth)
+                if self._partition is not None:
+                    # An empty sharded source with base slabs attached:
+                    # every projected local is computed from the restored
+                    # cube's slab (migrate_selection's degraded route).
+                    new_set.migrate_selection(
+                        ordered, self._new_materialized(), counter
+                    )
+                else:
+                    for element in ordered:
+                        new_set.store(
+                            element,
+                            compute_element(
+                                self.cube.values, element, counter=counter
+                            ),
+                        )
+            new_state = _ServingState(
+                materialized=new_set,
+                range_engine=RangeQueryEngine(new_set),
+                epoch=epoch,
+                cache=self._new_cache(),
+            )
+            self._state = new_state
+            self.metrics.gauge(
+                "server_epoch", "current selection epoch of the result cache"
+            ).set(epoch)
+
+    def _replay_wal(self, after_seq: int, snapshot_path: Path) -> None:
+        """Apply the WAL suffix through the normal update path."""
+        self._applied_seq = int(after_seq)
+        self._snapshot_seq = int(after_seq)
+        self._last_snapshot_monotonic = time.monotonic()
+        count = 0
+        self._replaying = True
+        try:
+            with self.obs.activate():
+                for record in self._wal.replay(after_seq=after_seq):
+                    self._apply_updates(record.coordinates, record.deltas)
+                    self._applied_seq = record.seq
+                    count += 1
+        finally:
+            self._replaying = False
+        self._replayed_records = count
+        with self.obs.activate():
+            log_event(
+                "recovery_replayed",
+                snapshot=str(snapshot_path),
+                records=count,
+                from_seq=int(after_seq),
+                to_seq=self._applied_seq,
+            )
+
+    def start_snapshotter(self, interval_s: float) -> None:
+        """Snapshot on a background cadence until :meth:`close`.
+
+        Failures are counted and logged, never raised into the serving
+        path; the next tick tries again.
+        """
+        if self._snapshot_thread is not None:
+            return
+
+        def _loop() -> None:
+            while not self._snapshot_stop.wait(interval_s):
+                try:
+                    self.snapshot()
+                except Exception as exc:  # noqa: BLE001 - keep the cadence
+                    self.metrics.counter(
+                        "server_snapshot_failures_total",
+                        "background snapshots that raised",
+                    ).inc()
+                    with self.obs.activate():
+                        log_event(
+                            "snapshot_failed",
+                            error=type(exc).__name__,
+                            detail=str(exc),
+                        )
+
+        self._snapshot_thread = threading.Thread(
+            target=_loop, name="repro-snapshotter", daemon=True
+        )
+        self._snapshot_thread.start()
+
+    def close(self) -> None:
+        """Stop the background snapshotter and close the WAL (final sync).
+
+        Idempotent; a server without durability closes as a no-op.
+        """
+        self._snapshot_stop.set()
+        thread = self._snapshot_thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._snapshot_thread = None
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "OLAPServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Health
 
     def health(self) -> dict:
@@ -953,6 +1275,27 @@ class OLAPServer:
                 "scatters": _total("shard_scatters_total"),
                 "shard_retries": _total("shard_retries_total"),
                 "shard_degraded": _total("shard_degraded_total"),
+            }
+        if self._wal is not None:
+            age = (
+                round(time.monotonic() - self._last_snapshot_monotonic, 3)
+                if self._last_snapshot_monotonic is not None
+                else None
+            )
+            payload["durability"] = {
+                "path": str(self._durability.directory),
+                "fsync": self._wal.fsync,
+                "wal": self._wal.stats(),
+                "wal_appends_total": _total("wal_appends_total"),
+                "wal_replayed_total": _total("wal_replayed_total"),
+                "applied_seq": self._applied_seq,
+                "snapshots_taken": self._snapshots_taken,
+                "last_snapshot_seq": self._snapshot_seq,
+                "snapshot_age_s": age,
+                # WAL records an eventual restore must replay: how far the
+                # log has run ahead of the newest snapshot.
+                "replay_lag": self._applied_seq - self._snapshot_seq,
+                "replayed_records": self._replayed_records,
             }
         return payload
 
@@ -1060,6 +1403,15 @@ class OLAPServer:
             "server.update", cells=len(deltas)
         ):
             state = self._state
+            if self._wal is not None and not self._replaying:
+                # Write-ahead: the record is durable (flushed, fsynced per
+                # policy) before any in-memory state changes, so returning
+                # from update()/update_many() — the acknowledgement — is
+                # covered by the log.  Replayed records skip this (they
+                # are already in the log).
+                self._applied_seq = self._wal.append(
+                    coordinates, deltas, epoch=state.epoch
+                )
             counter = OpCounter()
             state.materialized.apply_updates(
                 coordinates, deltas, counter=counter

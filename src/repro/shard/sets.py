@@ -567,6 +567,49 @@ class ShardedSet:
         with self._plan_lock:
             self._plan_cache.clear()
 
+    # ------------------------------------------------------------------
+    # Durability
+
+    def local_sets(self) -> tuple[MaterializedSet, ...]:
+        """The per-shard local sets, in shard order (for snapshotting)."""
+        return tuple(self._shards)
+
+    def install_restored(
+        self,
+        elements,
+        local_sets,
+        epochs=None,
+    ) -> None:
+        """Adopt snapshot-loaded per-shard sets as this set's storage.
+
+        The same-layout restore path: ``local_sets`` were written by
+        :func:`~repro.durability.write_snapshot` from a partition with
+        identical shard count and axis, so each is installed directly —
+        no reassembly, no projection.  ``elements`` is the *global*
+        selection the locals realize; ``epochs`` restores the per-shard
+        storage epochs (defaults to all zeros).
+        """
+        local_sets = list(local_sets)
+        if len(local_sets) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} local sets, got {len(local_sets)}"
+            )
+        for s, local in enumerate(local_sets):
+            if local.shape != self.partition.local_shape:
+                raise ValueError(
+                    f"shard {s} local set has shape {local.shape.sizes}, "
+                    f"expected {self.partition.local_shape.sizes}"
+                )
+        self._shards = local_sets
+        self._stored = dict.fromkeys(elements)
+        self._epochs = (
+            [int(e) for e in epochs]
+            if epochs is not None
+            else [0] * self.num_shards
+        )
+        with self._plan_lock:
+            self._plan_cache.clear()
+
     def _local_assemble_resilient(
         self, source: "ShardedSet", s: int, local: ElementId, counter: OpCounter
     ) -> np.ndarray:

@@ -1,0 +1,181 @@
+"""Snapshot/restore round trips through the durable serving stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cube.datacube import DataCube
+from repro.cube.dimensions import Dimension
+from repro.durability import DurabilityConfig, latest_snapshot, list_snapshots
+from repro.server import OLAPServer
+
+
+def _cube(rng: np.random.Generator, sizes=(8, 8, 8)) -> DataCube:
+    values = rng.integers(0, 100, size=sizes).astype(np.float64)
+    dims = [
+        Dimension(f"d{i}", list(range(n))) for i, n in enumerate(sizes)
+    ]
+    return DataCube(values, dims, measure="sales")
+
+
+def _mutate(server: OLAPServer, rng: np.random.Generator, batches: int):
+    """Apply ``batches`` update batches and return them for replaying."""
+    applied = []
+    for _ in range(batches):
+        n = int(rng.integers(1, 4))
+        coords = rng.integers(0, 8, size=(n, 3)).astype(np.int64)
+        deltas = rng.integers(-5, 6, size=n).astype(np.float64)
+        server.update_many(coords, deltas)
+        applied.append((coords, deltas))
+    return applied
+
+
+def _answers(server: OLAPServer) -> dict[str, bytes]:
+    return {
+        "cube": server.cube.values.tobytes(),
+        "d0": server.view(["d0"]).tobytes(),
+        "d0d1": server.view(["d0", "d1"]).tobytes(),
+        "d2": server.view(["d2"]).tobytes(),
+    }
+
+
+def _config(tmp_path, **overrides) -> DurabilityConfig:
+    defaults = dict(fsync="off")
+    defaults.update(overrides)
+    return DurabilityConfig(tmp_path / "durable", **defaults)
+
+
+class TestBootstrap:
+    def test_fresh_directory_bootstraps_a_snapshot(self, tmp_path, rng):
+        config = _config(tmp_path)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            assert server._applied_seq == 0
+        assert latest_snapshot(config.snapshot_dir) is not None
+
+    def test_existing_lineage_rejected(self, tmp_path, rng):
+        config = _config(tmp_path)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            _mutate(server, rng, 2)
+        with pytest.raises(ValueError, match="restore"):
+            OLAPServer(_cube(rng), durability=config)
+
+    def test_restore_without_snapshot_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no snapshot"):
+            OLAPServer.restore(_config(tmp_path))
+
+
+class TestRoundTrip:
+    def test_monolithic(self, tmp_path, rng):
+        config = _config(tmp_path)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            _mutate(server, rng, 4)
+            server.snapshot()
+            _mutate(server, rng, 3)  # WAL-only suffix
+            expected = _answers(server)
+            applied = server._applied_seq
+        with OLAPServer.restore(config) as restored:
+            assert restored._applied_seq == applied == 7
+            assert restored._replayed_records == 3
+            assert _answers(restored) == expected
+            # The lineage stays open for business.
+            restored.update(2.0, d0=1, d1=2, d2=3)
+            assert restored._applied_seq == applied + 1
+
+    def test_sharded_same_layout(self, tmp_path, rng):
+        config = _config(tmp_path)
+        with OLAPServer(_cube(rng), shards=2, durability=config) as server:
+            _mutate(server, rng, 5)
+            server.snapshot()
+            _mutate(server, rng, 2)
+            expected = _answers(server)
+        with OLAPServer.restore(config) as restored:
+            assert restored.shards == 2
+            assert restored._replayed_records == 2
+            assert _answers(restored) == expected
+
+    @pytest.mark.parametrize("target_shards", [1, 4])
+    def test_sharded_restore_onto_different_shard_count(
+        self, tmp_path, rng, target_shards
+    ):
+        config = _config(tmp_path)
+        with OLAPServer(_cube(rng), shards=2, durability=config) as server:
+            _mutate(server, rng, 5)
+            server.snapshot()
+            _mutate(server, rng, 2)
+            expected = _answers(server)
+        with OLAPServer.restore(config, shards=target_shards) as restored:
+            assert restored.shards == target_shards
+            assert _answers(restored) == expected
+
+    def test_restore_survives_staging_debris(self, tmp_path, rng):
+        config = _config(tmp_path)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            _mutate(server, rng, 3)
+            expected = _answers(server)
+        debris = config.snapshot_dir / ".staging-snap-crashed"
+        debris.mkdir()
+        (debris / "cube.npz").write_bytes(b"half-written")
+        with OLAPServer.restore(config) as restored:
+            assert _answers(restored) == expected
+
+
+class TestHousekeeping:
+    def test_snapshot_prunes_covered_wal_segments(self, tmp_path, rng):
+        config = _config(tmp_path, segment_bytes=256)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            _mutate(server, rng, 10)
+            assert len(server._wal.segments()) > 1
+            server.snapshot()
+            assert len(server._wal.segments()) == 1
+            assert server.health()["durability"]["replay_lag"] == 0
+
+    def test_retain_snapshots(self, tmp_path, rng):
+        config = _config(tmp_path, retain_snapshots=2)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            for _ in range(3):
+                _mutate(server, rng, 1)
+                server.snapshot()
+            assert len(list_snapshots(config.snapshot_dir)) == 2
+
+    def test_export_snapshot_leaves_lineage_alone(self, tmp_path, rng):
+        config = _config(tmp_path, segment_bytes=256)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            _mutate(server, rng, 8)
+            segments = len(server._wal.segments())
+            taken = server._snapshots_taken
+            export = server.snapshot(tmp_path / "export")
+            assert export.parent == tmp_path / "export"
+            assert len(server._wal.segments()) == segments
+            assert server._snapshots_taken == taken
+
+    def test_health_reports_durability(self, tmp_path, rng):
+        config = _config(tmp_path)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            _mutate(server, rng, 3)
+            section = server.health()["durability"]
+            assert section["applied_seq"] == 3
+            assert section["replay_lag"] == 3
+            assert section["wal"]["last_seq"] == 3
+            assert section["snapshots_taken"] == 1
+            assert section["snapshot_age_s"] >= 0
+            assert section["fsync"] == "off"
+        plain = OLAPServer(_cube(rng))
+        assert "durability" not in plain.health()
+
+
+class TestEvents:
+    def test_rotation_snapshot_and_replay_events(self, tmp_path, rng):
+        config = _config(tmp_path, segment_bytes=256)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            _mutate(server, rng, 10)
+            server.snapshot()
+            events = server.obs.events
+            assert events.events("wal_rotated")
+            taken = events.events("snapshot_taken")
+            assert taken and taken[-1]["last_seq"] == 10
+        with OLAPServer.restore(config) as restored:
+            replayed = restored.obs.events.events("recovery_replayed")
+            assert len(replayed) == 1
+            assert replayed[0]["records"] == 0  # snapshot covered everything
+            assert replayed[0]["to_seq"] == 10

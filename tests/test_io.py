@@ -254,3 +254,56 @@ class TestTruncatedArchives:
         )
         loaded = load_cube(path)
         np.testing.assert_array_equal(loaded.values, np.ones((2, 2)))
+
+
+class TestAtomicSaveDebris:
+    def test_failed_save_leaves_no_tmp_debris(self, tmp_path, cube):
+        # A save that dies mid-write must unlink its own temp file and
+        # leave any previous archive untouched.
+        target = tmp_path / "cube.npz"
+        save_cube(cube, target)
+        before = target.read_bytes()
+
+        def boom(fh, **arrays):
+            fh.write(b"partial bytes")
+            raise OSError("disk full")
+
+        import repro.io as io_module
+
+        original = io_module.np.savez_compressed
+        io_module.np.savez_compressed = boom
+        try:
+            with pytest.raises(OSError, match="disk full"):
+                save_cube(cube, target)
+        finally:
+            io_module.np.savez_compressed = original
+
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert target.read_bytes() == before
+        np.testing.assert_array_equal(load_cube(target).values, cube.values)
+
+    def test_concurrent_saves_use_distinct_temp_names(self, tmp_path, cube):
+        # Concurrent writers of one destination must never share a temp
+        # path: each save rename-completes with a full archive and sweeps
+        # only its own debris.
+        import threading
+
+        target = tmp_path / "cube.npz"
+        errors = []
+
+        def save():
+            try:
+                for _ in range(3):
+                    save_cube(cube, target)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=save) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        assert list(tmp_path.glob("*.tmp")) == []
+        np.testing.assert_array_equal(load_cube(target).values, cube.values)

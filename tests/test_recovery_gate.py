@@ -1,0 +1,41 @@
+"""Reduced run of the kill-and-recover chaos gate.
+
+The full gate (``repro recover``) exercises ~20 SIGKILL points across
+1/2/4-shard layouts; here a trimmed configuration keeps the spawn-based
+children cheap enough for the tier-1 suite while still covering a real
+mid-append kill, a mid-snapshot kill, and a clean shutdown.
+"""
+
+from __future__ import annotations
+
+from repro.durability.gate import (
+    RecoveryGateConfig,
+    render_report,
+    run_recovery_gate,
+)
+
+
+def test_reduced_gate_passes(tmp_path):
+    config = RecoveryGateConfig(
+        seed=11,
+        shard_counts=(1,),
+        operations=20,
+        snapshot_every=4,
+        wal_kills=1,
+        snapshot_kills=1,
+        include_clean=True,
+        cross_restore=False,
+        segment_bytes=1024,
+    )
+    report = run_recovery_gate(config, workdir=tmp_path)
+    assert report["ok"], render_report(report)
+    assert report["kill_points"] >= 2
+    for scenario in report["scenarios"]:
+        for restore in scenario["restores"]:
+            assert restore["lost_acked"] == 0
+            assert restore["unacked_tail"] <= 1
+            assert restore["compared"] > 0
+            assert restore["mismatches"] == []
+    killed = [s for s in report["scenarios"] if s["killed"]]
+    clean = [s for s in report["scenarios"] if not s["killed"]]
+    assert killed and clean
