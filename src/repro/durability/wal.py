@@ -79,7 +79,7 @@ _PAYLOAD_HEADER = struct.Struct("<QIII")  # seq, epoch, n, d
 _MAX_PAYLOAD = 1 << 31
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class WalRecord:
     """One durable update batch: ``n`` cell deltas applied at ``seq``."""
 
@@ -226,6 +226,15 @@ class WriteAheadLog:
             for record in self._iter_segment(tail.read_bytes()):
                 self._last_seq = max(self._last_seq, record.seq)
             self._fh = open(tail, "ab")
+            if self._fh.tell() == 0:
+                # A crash tore the segment header itself (e.g. SIGKILL
+                # during rotation's 12-byte header write), so truncation
+                # emptied the file.  Rewrite the header before appending:
+                # a headerless segment scans as fully invalid, and every
+                # record appended into one would be silently discarded by
+                # the *next* recovery.
+                self._fh.write(_SEGMENT_HEADER)
+                self._fh.flush()
 
     def _scan_segment(self, raw: bytes) -> int:
         """The byte length of the valid prefix of one segment."""

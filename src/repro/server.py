@@ -945,8 +945,13 @@ class OLAPServer:
         self._applied_seq = wal.last_seq
         if bootstrap:
             self.snapshot()
-        if durability.snapshot_interval_s is not None:
-            self.start_snapshotter(durability.snapshot_interval_s)
+            # On the restore path the snapshotter must not start yet:
+            # until _replay_wal resets _applied_seq and applies the
+            # suffix, a snapshot would claim coverage of WAL records the
+            # in-memory state does not hold and prune them.  restore()
+            # starts it after replay completes.
+            if durability.snapshot_interval_s is not None:
+                self.start_snapshotter(durability.snapshot_interval_s)
 
     def snapshot(self, directory: str | Path | None = None) -> Path:
         """Atomically persist the current serving state; returns its path.
@@ -1047,10 +1052,15 @@ class OLAPServer:
         loaded = load_snapshot(snap)
         manifest = loaded["manifest"]
         target_shards = manifest["shards"] if shards is None else int(shards)
-        if shards is None and shard_axis is None:
+        if shard_axis is not None:
+            target_axis = shard_axis
+        elif target_shards == manifest["shards"]:
+            # An explicit shards= equal to the snapshot's own count is the
+            # same layout — inherit the snapshot's axis so restore takes
+            # the direct-install path instead of a rebuild.
             target_axis = manifest["shard_axis"]
         else:
-            target_axis = shard_axis
+            target_axis = None
         same_layout = (
             target_shards == manifest["shards"]
             and (target_shards == 1 or target_axis == manifest["shard_axis"])
@@ -1064,6 +1074,8 @@ class OLAPServer:
         server._install_snapshot(loaded, same_layout=same_layout)
         server._attach_durability(durability, bootstrap=False)
         server._replay_wal(manifest["last_seq"], snapshot_path=snap)
+        if durability.snapshot_interval_s is not None:
+            server.start_snapshotter(durability.snapshot_interval_s)
         return server
 
     def _install_snapshot(self, loaded: dict, *, same_layout: bool) -> None:
@@ -1403,13 +1415,14 @@ class OLAPServer:
             "server.update", cells=len(deltas)
         ):
             state = self._state
+            seq = None
             if self._wal is not None and not self._replaying:
                 # Write-ahead: the record is durable (flushed, fsynced per
                 # policy) before any in-memory state changes, so returning
                 # from update()/update_many() — the acknowledgement — is
                 # covered by the log.  Replayed records skip this (they
                 # are already in the log).
-                self._applied_seq = self._wal.append(
+                seq = self._wal.append(
                     coordinates, deltas, epoch=state.epoch
                 )
             counter = OpCounter()
@@ -1422,6 +1435,12 @@ class OLAPServer:
             patched, cleared = self._propagate_updates(
                 state, coordinates, deltas, counter
             )
+            if seq is not None:
+                # Only now does the record count as applied: advancing
+                # _applied_seq before the in-memory apply would let a
+                # snapshot claim (and prune) a record the state never
+                # absorbed if apply_updates raised above.
+                self._applied_seq = seq
             self.metrics.counter(
                 "server_updates_total", "incremental cell updates applied"
             ).inc(len(deltas))

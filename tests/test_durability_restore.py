@@ -94,6 +94,24 @@ class TestRoundTrip:
             assert restored._replayed_records == 2
             assert _answers(restored) == expected
 
+    def test_explicit_matching_shards_takes_direct_install(
+        self, tmp_path, rng
+    ):
+        """``shards=`` equal to the snapshot's own count is the same
+        layout: restore must install the per-shard sets directly
+        (preserving shard epochs) rather than rebuilding from the cube."""
+        config = _config(tmp_path)
+        with OLAPServer(_cube(rng), shards=2, durability=config) as server:
+            _mutate(server, rng, 3)
+            server.reconfigure()  # bump per-shard epochs past zero
+            server.snapshot()
+            epochs = tuple(server._state.materialized.epochs)
+            expected = _answers(server)
+        with OLAPServer.restore(config, shards=2) as restored:
+            assert restored.shards == 2
+            assert tuple(restored._state.materialized.epochs) == epochs
+            assert _answers(restored) == expected
+
     @pytest.mark.parametrize("target_shards", [1, 4])
     def test_sharded_restore_onto_different_shard_count(
         self, tmp_path, rng, target_shards
@@ -118,6 +136,73 @@ class TestRoundTrip:
         (debris / "cube.npz").write_bytes(b"half-written")
         with OLAPServer.restore(config) as restored:
             assert _answers(restored) == expected
+
+
+class TestApplyFailure:
+    def test_failed_apply_does_not_advance_applied_seq(self, tmp_path, rng):
+        """If the in-memory apply raises after the WAL append, the record
+        must not count as applied: a snapshot taken afterwards would
+        otherwise claim coverage of (and prune) state that was never
+        absorbed."""
+        config = _config(tmp_path)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            _mutate(server, rng, 2)
+            state = server._state
+            original = state.materialized.apply_updates
+
+            def exploding(*args, **kwargs):
+                raise RuntimeError("apply exploded")
+
+            state.materialized.apply_updates = exploding
+            try:
+                with pytest.raises(RuntimeError, match="apply exploded"):
+                    server.update(1.0, d0=0, d1=0, d2=0)
+            finally:
+                state.materialized.apply_updates = original
+            assert server._wal.last_seq == 3  # write-ahead happened
+            assert server._applied_seq == 2  # but it was never applied
+            server.snapshot()
+            # The unapplied record stays replayable past the snapshot.
+            assert [
+                r.seq
+                for r in server._wal.replay(after_seq=server._snapshot_seq)
+            ] == [3]
+
+
+class TestSnapshotterOrdering:
+    def test_restore_starts_snapshotter_only_after_replay(
+        self, tmp_path, rng, monkeypatch
+    ):
+        """A snapshot fired before WAL replay completes would record
+        coverage of unapplied records and prune them; restore must not
+        start the background snapshotter until replay is done."""
+        config = _config(tmp_path, snapshot_interval_s=3600.0)
+        with OLAPServer(_cube(rng), durability=config) as server:
+            assert server._snapshot_thread is not None
+            _mutate(server, rng, 3)
+        calls = []
+        orig_replay = OLAPServer._replay_wal
+        orig_start = OLAPServer.start_snapshotter
+        monkeypatch.setattr(
+            OLAPServer,
+            "_replay_wal",
+            lambda self, *a, **k: (
+                calls.append("replay"),
+                orig_replay(self, *a, **k),
+            )[-1],
+        )
+        monkeypatch.setattr(
+            OLAPServer,
+            "start_snapshotter",
+            lambda self, *a, **k: (
+                calls.append("snapshotter"),
+                orig_start(self, *a, **k),
+            )[-1],
+        )
+        with OLAPServer.restore(config) as restored:
+            assert calls == ["replay", "snapshotter"]
+            assert restored._snapshot_thread is not None
+            assert restored._applied_seq == 3
 
 
 class TestHousekeeping:

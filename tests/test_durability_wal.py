@@ -94,6 +94,17 @@ class TestRecordCodec:
             record, _ = decoded
             assert record == WalRecord(seq, epoch, coords, deltas)
 
+    def test_record_unhashable_but_comparable(self, rng):
+        coords, deltas = _batch(rng)
+        record = WalRecord(1, 0, coords, deltas)
+        assert record == WalRecord(1, 0, coords.copy(), deltas.copy())
+        assert record != WalRecord(2, 0, coords, deltas)
+        # ndarray fields make a field-based hash impossible; the class
+        # must be cleanly unhashable, not blow up inside a dataclass
+        # generated __hash__.
+        with pytest.raises(TypeError, match="unhashable"):
+            hash(record)
+
     def test_shape_validation(self):
         with pytest.raises(ValueError, match="coordinates"):
             encode_record(1, 0, np.zeros(3, dtype=np.int64), np.zeros(3))
@@ -186,6 +197,15 @@ class TestTornTail:
             )
             assert next_seq == len(replayed) + 1
             reopened.close()
+            # And the post-recovery append is itself durable: a *second*
+            # recovery (e.g. the tear hit the segment header, so the
+            # first one truncated to zero bytes) must still replay it.
+            final = WriteAheadLog(torn_dir, fsync="off")
+            assert final.last_seq == next_seq
+            assert [r.seq for r in final.replay()] == list(
+                range(1, next_seq + 1)
+            )
+            final.close()
 
     def test_torn_tail_counted(self, tmp_path, rng):
         wal = WriteAheadLog(tmp_path, fsync="off")
@@ -198,6 +218,27 @@ class TestTornTail:
         assert reopened.stats()["torn_discarded"] == 1
         assert reopened.last_seq == 0
         reopened.close()
+
+    @pytest.mark.parametrize("debris", [b"", b"REPROWA", b"REPROWAL\x01"])
+    def test_torn_rotation_header_not_a_data_sink(self, tmp_path, rng, debris):
+        """A crash during rotation's header write leaves a tail segment
+        with a missing or partial header.  Recovery must rewrite the
+        header — a headerless tail would swallow every later append,
+        which the *next* recovery would then silently discard."""
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        for _ in range(3):
+            wal.append(*_batch(rng))
+        wal.close()
+        (tmp_path / "wal-00000000000000000004.seg").write_bytes(debris)
+        reopened = WriteAheadLog(tmp_path, fsync="off")
+        # The empty tail still anchors the sequence at its start - 1.
+        assert reopened.last_seq == 3
+        assert reopened.append(*_batch(rng)) == 4
+        reopened.close()
+        final = WriteAheadLog(tmp_path, fsync="off")
+        assert final.last_seq == 4
+        assert [r.seq for r in final.replay()] == [1, 2, 3, 4]
+        final.close()
 
     def test_failed_append_truncates_and_log_survives(self, tmp_path, rng):
         wal = WriteAheadLog(tmp_path, fsync="off")
