@@ -9,7 +9,11 @@ Measures the three serving strategies over two workloads:
 
 Strategies: per-target :meth:`MaterializedSet.assemble` (sequential), the
 shared-plan executor at one worker (the pure algorithmic win — CSE, no
-threads), and the thread-pool executor at 2 and 4 workers.  Scalar
+threads), the thread-pool executor at 2 and 4 workers, and the
+**server-default path** (the tuning profile's worker count with
+cost-aware dispatch free to demote) — ``--check`` asserts the demoted
+multi-worker walls stay within :data:`DEMOTED_WALL_FACTOR` of the
+1-worker wall on the Table 2 cube, holding the small-batch cliff shut.  Scalar
 operations are exact (:class:`OpCounter`); wall time is min-of-N and
 measures steady-state serving — repeated batches hit the set's plan cache
 (sequential assembly has no analogue: it re-prices its routes per call).
@@ -33,11 +37,19 @@ import numpy as np
 from _gates import REGRESSION_FACTOR, build_parser, finish, ratio_regressed
 
 from repro.core.element import CubeShape
-from repro.core.exec import plan_batch
+from repro.core.exec import execute_plan, plan_batch
 from repro.core.materialize import MaterializedSet
 from repro.core.operators import OpCounter
+from repro.tuning import DEFAULT_TUNING
 
 WORKERS = (2, 4)
+
+#: Multi-worker walls must stay within this factor of the 1-worker wall
+#: on the tiny workloads: cost-aware dispatch demotes batches whose nodes
+#: never repay a thread round-trip, so asking for more workers than the
+#: work supports must cost (almost) nothing.  This is the small-batch
+#: cliff the dispatch threshold exists to prevent — hold it with a gate.
+DEMOTED_WALL_FACTOR = 1.2
 
 
 def group_by_views(shape: CubeShape):
@@ -128,6 +140,29 @@ def measure_workload(name, ms, targets, repeats: int) -> dict:
             "wall_ms": _best_wall(lambda: shared(workers), repeats) * 1e3,
         }
 
+    # The server-default path: exactly what ``OLAPServer.query_batch``
+    # runs — the tuning profile's worker count with cost-aware dispatch
+    # free to demote.  One instrumented execution records whether the
+    # executor actually demoted (tiny workloads must never pay the
+    # multi-worker cliff the raw 2/4-worker rows would otherwise show).
+    stats: dict = {}
+    execute_plan(
+        plan,
+        ms.arrays_snapshot(),
+        max_workers=DEFAULT_TUNING.max_workers,
+        stats=stats,
+    )
+    result["server_default"] = {
+        "workers": DEFAULT_TUNING.max_workers,
+        "demoted": stats["demoted"],
+        "dispatch_threshold": stats["dispatch_threshold"],
+        "largest_node_cost": stats["largest_node_cost"],
+        "wall_ms": _best_wall(
+            lambda: shared(DEFAULT_TUNING.max_workers), repeats
+        )
+        * 1e3,
+    }
+
     seq = result["sequential"]
     one = result["shared_plan"]
     result["ops_saved"] = seq["operations"] - one["operations"]
@@ -173,6 +208,27 @@ def check(report: dict) -> None:
             assert threaded["operations"] == one["operations"], (
                 f"{wl['name']}: thread count must not change the op count"
             )
+        if wl["name"] == "table2_2x2":
+            # The small-batch cliff gate: on a cube this tiny no node can
+            # repay a thread round-trip, so the dispatcher must demote and
+            # every multi-worker wall must track the 1-worker wall.
+            sd = wl["server_default"]
+            assert sd["demoted"], (
+                f"table2: server-default path dispatched to the pool "
+                f"(largest node {sd['largest_node_cost']} vs threshold "
+                f"{sd['dispatch_threshold']}) - demotion is broken"
+            )
+            ceiling = DEMOTED_WALL_FACTOR * one["wall_ms"]
+            for label in [
+                f"shared_plan_{w}_workers" for w in WORKERS
+            ] + ["server_default"]:
+                wall = wl[label]["wall_ms"]
+                assert wall <= ceiling, (
+                    f"table2: demoted {label} wall {wall:.4f}ms exceeds "
+                    f"{DEMOTED_WALL_FACTOR}x the 1-worker wall "
+                    f"{one['wall_ms']:.4f}ms - the multi-worker cliff "
+                    f"is back"
+                )
 
 
 def compare(report: dict, baseline: dict) -> list[str]:
@@ -218,6 +274,16 @@ def render(report: dict) -> str:
                 f"shared({w}) "
                 f"{wl[f'shared_plan_{w}_workers']['wall_ms']:.3f} ms"
                 for w in WORKERS
+            )
+        )
+        sd = wl["server_default"]
+        lines.append(
+            f"  server default ({sd['workers']} workers): "
+            f"{sd['wall_ms']:.3f} ms, "
+            + (
+                "demoted to serial"
+                if sd["demoted"]
+                else f"dispatched (largest node {sd['largest_node_cost']})"
             )
         )
     return "\n".join(lines)

@@ -69,6 +69,7 @@ from .obs import LRUCache, MetricsRegistry, Observability, Tracer
 from .resilience import Deadline, FaultInjector, FaultRule
 from .server import OLAPServer
 from .shard import CubePartition, ShardedSet
+from .tuning import DEFAULT_TUNING, TuningConfig
 
 __version__ = "1.1.0"
 
@@ -89,6 +90,8 @@ __all__ = [
     "QueryTimeout",
     "ReproError",
     "TransientFault",
+    "TuningConfig",
+    "DEFAULT_TUNING",
     "DynamicViewAssembler",
     "ElementId",
     "FastBasisResult",

@@ -378,6 +378,102 @@ def _run_recover(
     return 0 if report["ok"] else 1
 
 
+def _run_tune(
+    seed: int,
+    rounds: int,
+    trial_batches: int,
+    batches: int | None,
+    output: str,
+    measure: bool,
+    json_output: bool,
+) -> int:
+    """Autotune TuningConfig on the drifting soak and emit tuned.json."""
+    import dataclasses
+    import json
+
+    from .soak import SoakConfig, autotune, measure_speedup, render_tune_report
+
+    config = SoakConfig(seed=seed)
+    if batches is not None:
+        config = dataclasses.replace(config, batches=batches)
+    best, report = autotune(
+        config, rounds=rounds, trial_batches=trial_batches
+    )
+    speedup = measure_speedup(config, best) if measure else None
+    if speedup is not None:
+        report["speedup"] = speedup
+    path = best.save(output)
+    if json_output:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_tune_report(report, speedup))
+        print(f"  tuned profile written to {path}")
+    return 0
+
+
+def _run_soak(
+    seed: int,
+    check: bool,
+    backend: str,
+    batches: int | None,
+    tuning_path: str | None,
+    json_output: bool,
+    output: str | None,
+) -> int:
+    """Replay the drifting soak; with --check, gate on bit-identity."""
+    import dataclasses
+    import json
+    from pathlib import Path
+
+    from .soak import (
+        SoakConfig,
+        render_check_report,
+        render_soak_report,
+        run_soak,
+        run_soak_check,
+    )
+    from .tuning import TuningConfig
+
+    tuning = TuningConfig.load(tuning_path) if tuning_path else None
+    if check:
+        # The gate always runs its own small cube; seed/batches override.
+        kwargs = {}
+        if seed != 101:
+            kwargs["seed"] = seed
+        if batches is not None:
+            kwargs["batches"] = batches
+        report = run_soak_check(
+            config=None if not kwargs else dataclasses.replace(
+                SoakConfig(
+                    sizes=(16, 16, 8),
+                    batches=18,
+                    phase_batches=6,
+                    batch_size=6,
+                    burst_every=4,
+                    burst_cells=16,
+                ),
+                **kwargs,
+            ),
+            backends=(backend,) if backend != "both" else ("thread", "process"),
+            tuning=tuning,
+        )
+        rendered = render_check_report(report)
+        code = 0 if report["ok"] else 1
+    else:
+        config = SoakConfig(
+            seed=seed, backend=backend if backend != "both" else "thread"
+        )
+        if batches is not None:
+            config = dataclasses.replace(config, batches=batches)
+        report = run_soak(config, tuning=tuning)
+        rendered = render_soak_report(report)
+        code = 0
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2) if json_output else rendered)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and regenerate the requested experiments."""
     parser = argparse.ArgumentParser(
@@ -401,6 +497,8 @@ def main(argv: list[str] | None = None) -> int:
             "shard",
             "update",
             "recover",
+            "tune",
+            "soak",
         ],
         help="which experiment to regenerate ('stats' runs the "
         "instrumented server demo; 'chaos' runs the seeded "
@@ -410,7 +508,11 @@ def main(argv: list[str] | None = None) -> int:
         "byte-identity; 'update' replays an interleaved update/query "
         "trace and checks delta patching against recompute-from-scratch; "
         "'recover' SIGKILLs durable servers at seeded points and checks "
-        "restore loses no acknowledged update)",
+        "restore loses no acknowledged update; 'tune' autotunes the "
+        "TuningConfig knobs on the drifting soak workload and writes "
+        "tuned.json; 'soak' replays the drifting workload — with "
+        "--check it gates bit-identity and SLO coverage on both "
+        "executor backends)",
     )
     parser.add_argument(
         "--trials",
@@ -472,9 +574,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=["thread", "process"],
-        default="thread",
-        help="with 'trace'/'shard': DAG executor backend",
+        choices=["thread", "process", "both"],
+        default=None,
+        help="with 'trace'/'shard'/'soak': DAG executor backend "
+        "(default thread; 'soak --check' defaults to both)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="with 'tune': coordinate-descent passes over the knob axes",
+    )
+    parser.add_argument(
+        "--trial-batches",
+        type=int,
+        default=24,
+        help="with 'tune': soak batches per stage-1 trial",
+    )
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=None,
+        help="with 'tune'/'soak': override the soak batch count",
+    )
+    parser.add_argument(
+        "--tuning",
+        default=None,
+        help="with 'soak': replay under this tuned profile "
+        "(a tuned.json written by 'tune')",
+    )
+    parser.add_argument(
+        "--no-measure",
+        action="store_true",
+        help="with 'tune': skip the tuned-vs-default speedup measurement",
     )
     parser.add_argument(
         "--shards",
@@ -490,13 +622,39 @@ def main(argv: list[str] | None = None) -> int:
         "seeded generator (see repro.streaming.generate_trace)",
     )
     args = parser.parse_args(argv)
+    backend = args.backend or "thread"
+
+    if args.experiment == "tune":
+        seed = 101 if args.seed is None else args.seed
+        return _run_tune(
+            seed,
+            args.rounds,
+            args.trial_batches,
+            args.batches,
+            args.output or "tuned.json",
+            not args.no_measure,
+            args.json,
+        )
+
+    if args.experiment == "soak":
+        seed = 101 if args.seed is None else args.seed
+        soak_backend = args.backend or ("both" if args.check else "thread")
+        return _run_soak(
+            seed,
+            args.check,
+            soak_backend,
+            args.batches,
+            args.tuning,
+            args.json,
+            args.output if args.experiment == "soak" else None,
+        )
 
     if args.experiment == "recover":
         seed = 31 if args.seed is None else args.seed
         return _run_recover(
             seed,
             args.shards,
-            args.backend,
+            backend,
             args.workers,
             args.json,
             args.output,
@@ -507,7 +665,7 @@ def main(argv: list[str] | None = None) -> int:
         return _run_update(
             seed,
             args.shards,
-            args.backend,
+            backend,
             args.workers,
             args.trace,
             args.json,
@@ -519,7 +677,7 @@ def main(argv: list[str] | None = None) -> int:
         return _run_shard(
             seed,
             args.shards,
-            args.backend,
+            backend,
             args.workers,
             args.json,
             args.output,
@@ -536,7 +694,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "trace":
         seed = 19 if args.seed is None else args.seed
         report, code = _run_trace(
-            args.output, args.check, seed, args.workers, args.backend
+            args.output, args.check, seed, args.workers, backend
         )
         print(report)
         return code

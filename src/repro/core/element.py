@@ -176,6 +176,25 @@ class ElementId:
                 raise ValueError(f"dimension {m}: level {k} outside [0, {depth}]")
             if not 0 <= j < 2**k:
                 raise ValueError(f"dimension {m}: index {j} outside [0, {2 ** k})")
+        # Planner hot path: one Procedure 3 pricing pass hashes element
+        # ids tens of thousands of times (memo lookups) and reads their
+        # volumes nearly as often.  Both are pure functions of the frozen
+        # fields, so precompute them once; int-tuple hashes do not depend
+        # on PYTHONHASHSEED, so the cached hash survives pickling to the
+        # process-pool workers.
+        object.__setattr__(self, "_hash", hash((self.shape, self.nodes)))
+        object.__setattr__(
+            self,
+            "_volume",
+            reduce(
+                lambda a, b: a * b,
+                (n >> k for n, (k, _) in zip(self.shape.sizes, self.nodes)),
+                1,
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------
     # Classification (Definitions 1-4)
@@ -225,7 +244,7 @@ class ElementId:
     @property
     def volume(self) -> int:
         """Number of cells in the materialized element."""
-        return reduce(lambda a, b: a * b, self.data_shape, 1)
+        return self._volume
 
     @property
     def log2_volume(self) -> int:

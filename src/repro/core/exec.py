@@ -520,8 +520,14 @@ def execute_plan(
     pool: BufferPool | None = None,
     stats: dict | None = None,
     span_attrs: dict | None = None,
+    tuning=None,
 ) -> dict[ElementId, np.ndarray]:
     """Run a :class:`BatchPlan` against the stored ``arrays``.
+
+    ``tuning`` (a :class:`repro.tuning.TuningConfig`) supplies the default
+    dispatch/process thresholds and the executor pool's floor/bound when
+    the explicit arguments are ``None``; without it the module constants
+    apply, so existing call sites are byte-for-byte unchanged.
 
     ``span_attrs`` adds caller attributes to the ``exec.execute`` span —
     the shard layer tags each scatter leg with its shard index so one
@@ -556,14 +562,25 @@ def execute_plan(
         raise ValueError(f"unknown backend {backend!r}")
     own = counter if counter is not None else OpCounter()
     target_keys = set(plan.targets)
-    threshold = (
-        DISPATCH_THRESHOLD if dispatch_threshold is None else dispatch_threshold
-    )
-    proc_threshold = (
-        PROCESS_THRESHOLD if process_threshold is None else process_threshold
-    )
+    if dispatch_threshold is None:
+        dispatch_threshold = (
+            DISPATCH_THRESHOLD if tuning is None else tuning.dispatch_threshold
+        )
+    threshold = dispatch_threshold
+    if process_threshold is None:
+        process_threshold = (
+            PROCESS_THRESHOLD if tuning is None else tuning.process_threshold
+        )
+    proc_threshold = process_threshold
     if pool is None:
-        pool = BufferPool(min_cells=POOL_MIN_CELLS)
+        pool = (
+            BufferPool(min_cells=POOL_MIN_CELLS)
+            if tuning is None
+            else BufferPool(
+                max_cells=tuning.pool_max_cells,
+                min_cells=tuning.pool_min_cells,
+            )
+        )
     largest = max((node.cost for node in plan.nodes.values()), default=0)
     requested = max_workers
     demoted = False

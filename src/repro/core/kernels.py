@@ -49,6 +49,7 @@ from .operators import OpCounter, _normalize_axis, _require_even, synthesize
 
 __all__ = [
     "POOL_MIN_CELLS",
+    "POOL_MAX_CELLS",
     "BufferPool",
     "canonical_steps",
     "fused_cascade",
@@ -69,6 +70,11 @@ Step = tuple[int, bool]
 #: pool's own unit tests exercise exact recycling on tiny arrays.
 POOL_MIN_CELLS = 1 << 12
 
+#: Default retention bound of a :class:`BufferPool` (total cells held
+#: across all shapes).  Named so :class:`repro.tuning.TuningConfig` can
+#: carry it as a tunable knob without restating the literal.
+POOL_MAX_CELLS = 1 << 22
+
 
 class BufferPool:
     """Refcount-aware recycling of executor temporaries.
@@ -87,7 +93,7 @@ class BufferPool:
     one pool may serve the scheduler thread and its workers concurrently.
     """
 
-    def __init__(self, max_cells: int = 1 << 22, min_cells: int = 0):
+    def __init__(self, max_cells: int = POOL_MAX_CELLS, min_cells: int = 0):
         self.max_cells = int(max_cells)
         self.min_cells = int(min_cells)
         self._free: dict[tuple, list[np.ndarray]] = {}

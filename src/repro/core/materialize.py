@@ -110,14 +110,37 @@ class MaterializedSet:
     #: when :meth:`store` changes the element set.
     _PLAN_CACHE_ENTRIES = 32
 
-    def __init__(self, shape: CubeShape):
+    def __init__(self, shape: CubeShape, tuning=None):
         self.shape = shape
+        #: Optional :class:`repro.tuning.TuningConfig` supplying the pool
+        #: floor/bound, plan-cache size, and executor threshold defaults;
+        #: ``None`` keeps the module-constant behaviour exactly.
+        self._tuning = tuning
         self._arrays: dict[ElementId, np.ndarray] = {}
         self._plan_cache: dict[tuple[ElementId, ...], "BatchPlan"] = {}
+        self._plan_cache_entries = (
+            self._PLAN_CACHE_ENTRIES
+            if tuning is None
+            else tuning.plan_cache_entries
+        )
+        #: Procedure 3 generation costs, memoized across *every* plan this
+        #: set prices.  Costs depend only on the stored element-id set, so
+        #: the memo shares the plan cache's lifecycle (cleared when an
+        #: element is stored or quarantined) but not its key: a batch of
+        #: never-before-seen targets still reuses every previously priced
+        #: sub-element, which turns cold planning into a route walk.
+        self._cost_memo: dict[ElementId, float] = {}
         #: Buffer pool shared by every assembly this set serves: interior
         #: temporaries of one query become the ``out=`` buffers of the
         #: next, so steady-state serving allocates almost nothing.
-        self._pool = BufferPool(min_cells=POOL_MIN_CELLS)
+        self._pool = (
+            BufferPool(min_cells=POOL_MIN_CELLS)
+            if tuning is None
+            else BufferPool(
+                max_cells=tuning.pool_max_cells,
+                min_cells=tuning.pool_min_cells,
+            )
+        )
         #: Integrity state: every stored array is *sealed* with a CRC-32 at
         #: store time and verified on first use; a failed verification
         #: quarantines the element, and assembly transparently re-routes
@@ -196,6 +219,7 @@ class MaterializedSet:
             raise ValueError("element belongs to a different cube shape")
         if element not in self._arrays:
             self._plan_cache.clear()
+            self._cost_memo.clear()
         self._arrays[element] = values
         with self._integrity_lock:
             self._quarantined.pop(element, None)
@@ -247,6 +271,7 @@ class MaterializedSet:
             self._verified.discard(element)
             self._quarantined[element] = reason
             self._plan_cache.clear()
+            self._cost_memo.clear()
         current_registry().counter(
             "integrity_failures_total",
             "stored elements quarantined by checksum verification",
@@ -390,13 +415,19 @@ class MaterializedSet:
             self._verify_unverified()
             own = counter if counter is not None else OpCounter()
             ops_before = own.total
-            cost_memo: dict = {}
+            cost_memo = self._cost_memo
             # Consistent snapshot: routing and reads use one view of the
             # stored set, so a concurrent store/quarantine cannot strand
             # the recursion between route choice and array access.
             arrays = dict(self._arrays)
             stored = tuple(arrays)
             cost = generation_cost(target, stored, _memo=cost_memo)
+            if cost == float("inf"):
+                # A plan racing a store can re-insert stale prices from the
+                # pre-store element set after the clear; an infeasibility
+                # verdict is only trusted from a fresh memo.
+                cost_memo = {}
+                cost = generation_cost(target, stored, _memo=cost_memo)
             if cost == float("inf"):
                 raise IncompleteSetError(
                     f"stored set is not complete with respect to {target!r}"
@@ -505,8 +536,9 @@ class MaterializedSet:
         dispatch tier without monkeypatching).  Results
         are bit-identical to per-target :meth:`assemble` calls and never
         cost more scalar operations; the total is usually strictly lower.
-        ``cost_memo`` optionally reuses Procedure 3 prices across batches
-        of the same stored set.
+        Procedure 3 prices are reused across batches through the set's
+        persistent cost memo (valid until the stored element set changes);
+        pass ``cost_memo`` explicitly to substitute an external one.
 
         Returns ``{target: values}`` (duplicates deduplicated).  Raises
         :class:`ValueError` when the stored set cannot produce some target.
@@ -534,8 +566,19 @@ class MaterializedSet:
                 # cache clear; never execute against missing arrays.
                 plan = None
             if plan is None:
-                plan = plan_batch(targets, tuple(arrays), cost_memo=cost_memo)
-                if len(self._plan_cache) >= self._PLAN_CACHE_ENTRIES:
+                if cost_memo is None:
+                    cost_memo = self._cost_memo
+                try:
+                    plan = plan_batch(
+                        targets, tuple(arrays), cost_memo=cost_memo
+                    )
+                except IncompleteSetError:
+                    # A plan racing a store can re-insert stale prices from
+                    # the pre-store element set after the clear; retry the
+                    # infeasibility verdict on a fresh memo before trusting
+                    # it.
+                    plan = plan_batch(targets, tuple(arrays), cost_memo={})
+                if len(self._plan_cache) >= self._plan_cache_entries:
                     self._plan_cache.clear()
                 self._plan_cache[cache_key] = plan
             exec_stats: dict = {}
@@ -549,6 +592,7 @@ class MaterializedSet:
                 process_threshold=process_threshold,
                 pool=self._pool,
                 stats=exec_stats,
+                tuning=self._tuning,
             )
             ops = own.total - ops_before
             registry = current_registry()

@@ -90,13 +90,29 @@ def _generation_cost(
     ancestor_vol = _min_selected_ancestor_volume(element, selected)
     if ancestor_vol < _INF:
         best = ancestor_vol - element.volume
-    # Synthesis from children (strictly deeper, so the recursion terminates).
-    for dim in element.splittable_dims():
-        p_cost = _generation_cost(element.partial_child(dim), selected, memo)
-        r_cost = _generation_cost(element.residual_child(dim), selected, memo)
-        candidate = element.volume + p_cost + r_cost
-        if candidate < best:
-            best = candidate
+    # Synthesis from children (strictly deeper, so the recursion
+    # terminates).  Every generation cost is non-negative and a synthesis
+    # candidate is ``volume + p_cost + r_cost``, so ``volume`` (and then
+    # ``volume + p_cost``) lower-bound every candidate along a dimension:
+    # once a bound reaches ``best`` the branch is provably non-winning
+    # (ties already favor ``best``) and the recursion below it is pruned.
+    # Exact minima are unchanged; without the pruning a single partially
+    # aggregated target on a deep shape walks its entire descendant
+    # lattice.
+    volume = element.volume
+    if volume < best:
+        for dim in element.splittable_dims():
+            p_cost = _generation_cost(
+                element.partial_child(dim), selected, memo
+            )
+            partial_bound = volume + p_cost
+            if partial_bound >= best:
+                continue
+            candidate = partial_bound + _generation_cost(
+                element.residual_child(dim), selected, memo
+            )
+            if candidate < best:
+                best = candidate
     memo[element] = best
     return best
 

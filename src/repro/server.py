@@ -110,6 +110,7 @@ from .resilience.deadline import (
 from .resilience.faults import fault_point
 from .shard.partition import CubePartition
 from .shard.sets import ShardedSet
+from .tuning import DEFAULT_TUNING, TuningConfig
 
 __all__ = ["OLAPServer", "ServerStats"]
 
@@ -155,19 +156,23 @@ class OLAPServer:
         storage_budget: int | None = None,
         decay: float = 0.98,
         smoothing: float = 0.01,
-        cache_entries: int = 128,
+        cache_entries: int | None = None,
         cache_cells: int | None = None,
         observability: Observability | None = None,
         max_in_flight: int | None = None,
         admission_wait_ms: float = 0.0,
         default_deadline_ms: float | None = None,
-        max_retries: int = 2,
-        retry_backoff_ms: float = 5.0,
+        max_retries: int | None = None,
+        retry_backoff_ms: float | None = None,
         degrade_to_base: bool = True,
         shards: int = 1,
         shard_axis: int | None = None,
         update_policy: str = "patch",
         durability: DurabilityConfig | str | Path | None = None,
+        tuning: TuningConfig | None = None,
+        cache_capacity: int | None = None,
+        pool_min_cells: int | None = None,
+        pool_max_cells: int | None = None,
     ):
         """``storage_budget`` (cells) enables Algorithm 2 redundancy when it
         exceeds the cube volume; ``decay``/``smoothing`` configure workload
@@ -175,6 +180,17 @@ class OLAPServer:
         result cache (entries and total cached cells); ``observability``
         supplies a shared metrics registry + tracer (one is created
         otherwise).
+
+        ``tuning`` is a :class:`repro.tuning.TuningConfig` profile — the
+        single source of truth for every performance knob (executor
+        thresholds, buffer-pool floor/bound, cache capacity, default
+        batch workers, retry budget).  The explicit keyword arguments
+        override their tuning counterparts: ``cache_capacity`` (alias of
+        ``cache_entries``), ``cache_cells``, ``pool_min_cells``,
+        ``pool_max_cells``, ``max_retries``, ``retry_backoff_ms``.  With
+        neither, the historical defaults apply unchanged.  The effective
+        profile is ``self.tuning`` and appears in :meth:`health` so a
+        tuned deployment is auditable.
 
         Resilience knobs: ``max_in_flight`` bounds admitted queries
         (``None`` = unbounded) with ``admission_wait_ms`` of bounded wait
@@ -207,6 +223,31 @@ class OLAPServer:
         snapshot so recovery is possible from the first update, and an
         existing lineage must be reopened through :meth:`restore`
         instead."""
+        if cache_capacity is not None and cache_entries is not None:
+            raise ValueError(
+                "pass cache_capacity or cache_entries, not both "
+                "(they name the same result-cache bound)"
+            )
+        base_tuning = tuning if tuning is not None else DEFAULT_TUNING
+        overrides: dict = {}
+        if cache_capacity is not None:
+            overrides["cache_entries"] = int(cache_capacity)
+        elif cache_entries is not None:
+            overrides["cache_entries"] = int(cache_entries)
+        if cache_cells is not None:
+            overrides["cache_cells"] = int(cache_cells)
+        if pool_min_cells is not None:
+            overrides["pool_min_cells"] = int(pool_min_cells)
+        if pool_max_cells is not None:
+            overrides["pool_max_cells"] = int(pool_max_cells)
+        if max_retries is not None:
+            overrides["max_retries"] = int(max_retries)
+        if retry_backoff_ms is not None:
+            overrides["retry_backoff_ms"] = float(retry_backoff_ms)
+        #: The effective knob profile every subsystem below reads.
+        self.tuning = (
+            base_tuning.replace(**overrides) if overrides else base_tuning
+        )
         self.cube = cube
         self.shape = cube.shape_id
         self.storage_budget = storage_budget
@@ -225,8 +266,8 @@ class OLAPServer:
         self.max_in_flight = max_in_flight
         self.admission_wait_ms = admission_wait_ms
         self.default_deadline_ms = default_deadline_ms
-        self.max_retries = max_retries
-        self.retry_backoff_ms = retry_backoff_ms
+        self.max_retries = self.tuning.max_retries
+        self.retry_backoff_ms = self.tuning.retry_backoff_ms
         self.degrade_to_base = degrade_to_base
         if update_policy not in ("patch", "clear"):
             raise ValueError(
@@ -238,8 +279,8 @@ class OLAPServer:
             if max_in_flight is not None
             else None
         )
-        self._cache_entries = cache_entries
-        self._cache_cells = cache_cells
+        self._cache_entries = self.tuning.cache_entries
+        self._cache_cells = self.tuning.cache_cells
         self.metrics.gauge(
             "server_epoch", "current selection epoch of the result cache"
         ).set(0)
@@ -286,12 +327,13 @@ class OLAPServer:
     def _new_materialized(self):
         """A fresh storage backend: monolithic, or sharded slabs."""
         if self._partition is None:
-            return MaterializedSet(self.shape)
+            return MaterializedSet(self.shape, tuning=self.tuning)
         return ShardedSet(
             self._partition,
             base_values=self.cube.values,
             max_retries=self.max_retries,
             retry_backoff_ms=self.retry_backoff_ms,
+            tuning=self.tuning,
         )
 
     # ------------------------------------------------------------------
@@ -569,7 +611,7 @@ class OLAPServer:
     def query_batch(
         self,
         requests: Sequence[Iterable[str]],
-        max_workers: int = 4,
+        max_workers: int | None = None,
         deadline_ms: float | None = None,
         backend: str = "thread",
         dispatch_threshold: int | None = None,
@@ -586,8 +628,9 @@ class OLAPServer:
         :meth:`view` calls, and land in the result cache.  The whole batch
         holds one admission slot and shares one deadline.
 
-        ``max_workers`` defaults to 4 — safe for any batch size, because
-        the executor's cost-aware dispatch demotes itself to serial unless
+        ``max_workers`` defaults to the tuning profile's ``max_workers``
+        (4 out of the box) — safe for any batch size, because the
+        executor's cost-aware dispatch demotes itself to serial unless
         some DAG node is actually worth a thread round-trip.
         ``backend``/``dispatch_threshold``/``process_threshold`` pass
         straight through to the DAG executor (see
@@ -607,7 +650,7 @@ class OLAPServer:
     def rollup_batch(
         self,
         levels_list: Sequence[Mapping[str, str | int]],
-        max_workers: int = 4,
+        max_workers: int | None = None,
         deadline_ms: float | None = None,
         backend: str = "thread",
         dispatch_threshold: int | None = None,
@@ -679,7 +722,7 @@ class OLAPServer:
         self,
         elements: Sequence[ElementId],
         kind: str,
-        max_workers: int,
+        max_workers: int | None,
         deadline_ms: float | None = None,
         backend: str = "thread",
         dispatch_threshold: int | None = None,
@@ -691,6 +734,8 @@ class OLAPServer:
         stored targets cost the plan nothing), so only genuinely missing
         work reaches the executor.
         """
+        if max_workers is None:
+            max_workers = self.tuning.max_workers
         with self.obs.activate(), self._serving(kind, deadline_ms), span(
             "server.query_batch", kind=kind, requests=len(elements)
         ) as sp:
@@ -1279,6 +1324,7 @@ class OLAPServer:
             "integrity_failures": _total("integrity_failures_total"),
             "faults_injected": _total("faults_injected_total"),
             "buffer_pool": state.materialized.pool_stats(),
+            "tuning": self.tuning.to_dict(),
             "slo": slo,
         }
         if self._partition is not None:

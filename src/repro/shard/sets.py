@@ -71,14 +71,21 @@ class ShardedSet:
         *,
         max_retries: int = 2,
         retry_backoff_ms: float = 5.0,
+        tuning=None,
     ):
         self.partition = partition
         self.shape: CubeShape = partition.shape
         self.max_retries = int(max_retries)
         self.retry_backoff_ms = float(retry_backoff_ms)
+        #: Optional :class:`repro.tuning.TuningConfig`: the pool floor and
+        #: bound, plan-cache size, and executor thresholds of every shard
+        #: — and of the gather pool — come from one profile, so sharded
+        #: and monolithic serving tune identically.
+        self._tuning = tuning
         s = partition.num_shards
         self._shards = [
-            MaterializedSet(partition.local_shape) for _ in range(s)
+            MaterializedSet(partition.local_shape, tuning=tuning)
+            for _ in range(s)
         ]
         # Views, not copies: the server mutates the base cube in place on
         # update(), and the degraded path must see those writes.
@@ -88,9 +95,25 @@ class ShardedSet:
             else [None] * s
         )
         self._epochs = [0] * s
-        self._pool = BufferPool(min_cells=POOL_MIN_CELLS)
+        self._pool = (
+            BufferPool(min_cells=POOL_MIN_CELLS)
+            if tuning is None
+            else BufferPool(
+                max_cells=tuning.pool_max_cells,
+                min_cells=tuning.pool_min_cells,
+            )
+        )
+        self._plan_cache_entries = (
+            _PLAN_CACHE_ENTRIES if tuning is None else tuning.plan_cache_entries
+        )
         self._stored: dict[ElementId, None] = {}
         self._plan_cache: dict = {}
+        #: Per-storage-signature Procedure 3 cost memos shared across plan
+        #: calls: prices depend only on a shard's stored element-id set, so
+        #: new target combinations against an already-seen signature reuse
+        #: every priced sub-element instead of re-walking the lattice.
+        #: Cleared with the plan cache whenever shard storage changes.
+        self._cost_memos: dict[frozenset, dict] = {}
         self._plan_lock = threading.Lock()
         self.last_scatter_stats: dict = {}
 
@@ -211,6 +234,7 @@ class ShardedSet:
         self._stored[element] = None
         with self._plan_lock:
             self._plan_cache.clear()
+            self._cost_memos.clear()
 
     def apply_update(
         self,
@@ -401,12 +425,17 @@ class ShardedSet:
                 stored = tuple(
                     sorted(sig, key=lambda e: (e.depth, e.nodes))
                 )
+                # The memo is keyed by the storage signature, so its
+                # prices can only ever have been computed against this
+                # exact stored tuple — no staleness to guard against.
+                with self._plan_lock:
+                    memo = self._cost_memos.setdefault(sig, {})
                 try:
-                    plan = plan_batch(key_targets, stored)
+                    plan = plan_batch(key_targets, stored, cost_memo=memo)
                 except IncompleteSetError:
                     plan = None
                 with self._plan_lock:
-                    if len(self._plan_cache) >= _PLAN_CACHE_ENTRIES:
+                    if len(self._plan_cache) >= self._plan_cache_entries:
                         self._plan_cache.clear()
                     self._plan_cache[cache_key] = plan
             for s in shard_ids:
@@ -457,6 +486,7 @@ class ShardedSet:
                             process_threshold=process_threshold,
                             pool=self._shards[s].pool,
                             span_attrs={"shard": s},
+                            tuning=self._tuning,
                         )
                         counter.merge(scratch)
                         return results
@@ -566,6 +596,7 @@ class ShardedSet:
         self._stored = dict.fromkeys(ordered)
         with self._plan_lock:
             self._plan_cache.clear()
+            self._cost_memos.clear()
 
     # ------------------------------------------------------------------
     # Durability
@@ -609,6 +640,7 @@ class ShardedSet:
         )
         with self._plan_lock:
             self._plan_cache.clear()
+            self._cost_memos.clear()
 
     def _local_assemble_resilient(
         self, source: "ShardedSet", s: int, local: ElementId, counter: OpCounter

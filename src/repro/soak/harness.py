@@ -1,0 +1,493 @@
+"""Replay drifting soak traces against a live server and measure SLOs.
+
+:func:`run_soak` drives one :class:`~repro.server.OLAPServer` through a
+:func:`~repro.soak.workload.generate_soak_trace` trace, recording every
+batch's wall time and reading p50/p95/p99 per query kind from the
+server's own ``server_latency_ms`` SLO histogram (the same numbers
+``health()`` and ``python -m repro stats`` render — the soak harness adds
+no second latency bookkeeping).  On top of raw latency it measures
+**adaptation lag**: after each ``drift`` marker, how many batches until
+latency falls back under 1.5x the pre-drift median.
+
+:class:`AdaptationLoop` closes the cost-model feedback loop during the
+soak: every batch's planned-vs-measured profile
+(:meth:`OLAPServer.query_profile`) feeds a
+:class:`~repro.core.adaptive.CostModelMonitor`, and a tripped monitor
+triggers ``server.reconfigure()`` — the paper's dynamic re-selection,
+now driven by live execution telemetry instead of a synthetic schedule.
+
+:func:`run_soak_check` is the correctness gate (``python -m repro soak
+--check``): the full drifting replay — ingest bursts, online threshold
+nudges, mid-run re-selections and all — while a plain ndarray replica is
+maintained on the side and **every** answer is compared byte for byte
+against recomputation from scratch (:mod:`repro.streaming` idiom).
+Tuning must never change answers, only their latency.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.adaptive import CostModelMonitor
+from ..core.materialize import compute_element
+from ..core.range_query import range_sum_direct
+from ..cube.datacube import DataCube
+from ..cube.dimensions import Dimension
+from ..cube.hierarchy import rollup_element
+from ..obs.events import log_event
+from .workload import SoakConfig, generate_soak_trace
+
+if TYPE_CHECKING:  # pragma: no cover - lazy import at runtime
+    from ..server import OLAPServer
+    from ..tuning import TuningConfig
+
+__all__ = [
+    "AdaptationLoop",
+    "build_soak_server",
+    "run_soak",
+    "run_soak_check",
+    "render_soak_report",
+    "render_check_report",
+]
+
+#: A post-drift batch counts as "recovered" once its wall time is back
+#: under this multiple of the pre-drift median.
+LAG_RECOVERY_FACTOR = 1.5
+#: How many pre-drift batch walls the recovery baseline medians over.
+LAG_BASELINE_WINDOW = 5
+
+
+class AdaptationLoop:
+    """Cost-model feedback: profiles in, re-selections out.
+
+    Wraps a server and a :class:`CostModelMonitor`; feed it each batch's
+    ``query_profile()`` via :meth:`observe`.  When the decayed
+    planned-vs-measured divergence trips the monitor's tolerance, the
+    loop calls ``server.reconfigure()`` (epoch bump, fresh result cache)
+    and restarts the monitor so the new configuration is judged on its
+    own telemetry.  Deterministic and injectable: tests drive it with
+    synthetic profiles, the soak harness with live ones.
+    """
+
+    def __init__(
+        self,
+        server: "OLAPServer",
+        tolerance: float = 0.25,
+        decay: float = 0.9,
+    ):
+        self.server = server
+        self.tolerance = tolerance
+        self.decay = decay
+        self.monitor = CostModelMonitor(tolerance=tolerance, decay=decay)
+        self.divergences: list[float] = []
+        self.reconfigurations: list[dict] = []
+
+    def observe(self, profile: dict) -> bool:
+        """Fold one profile in; returns True when it tripped re-selection."""
+        self.monitor.ingest(profile)
+        divergence = self.monitor.divergence
+        self.divergences.append(divergence)
+        if not self.monitor.should_reconfigure():
+            return False
+        storage, expected = self.server.reconfigure()
+        self.reconfigurations.append(
+            {
+                "epoch": self.server.epoch,
+                "divergence": round(divergence, 4),
+                "storage": int(storage),
+                "expected_cost": float(expected),
+            }
+        )
+        # Fresh monitor: the old divergence described the superseded
+        # configuration and must not immediately re-trip the new one.
+        self.monitor = CostModelMonitor(
+            tolerance=self.tolerance, decay=self.decay
+        )
+        return True
+
+
+def build_soak_server(
+    config: SoakConfig,
+    tuning: "TuningConfig | None" = None,
+    **kwargs,
+) -> "OLAPServer":
+    """A seeded integer-valued server for soak runs (replayable)."""
+    # Imported lazily: repro.server pulls in the shard layer.
+    from ..server import OLAPServer
+
+    rng = np.random.default_rng(config.seed)
+    values = rng.integers(0, 100, size=config.sizes).astype(np.float64)
+    dims = [
+        Dimension(f"d{i}", list(range(n))) for i, n in enumerate(config.sizes)
+    ]
+    return OLAPServer(
+        DataCube(values, dims, measure="amount"), tuning=tuning, **kwargs
+    )
+
+
+def _quantile(walls: list[float], q: float) -> float:
+    if not walls:
+        return 0.0
+    ordered = sorted(walls)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_soak(
+    config: SoakConfig | None = None,
+    tuning: "TuningConfig | None" = None,
+    trace: list[dict] | None = None,
+    check_answers: bool = False,
+    online_tuner=None,
+    adaptation: bool = True,
+    server_kwargs: dict | None = None,
+    keep_walls: bool = False,
+) -> dict:
+    """Replay one drifting trace; report SLO quantiles and adaptation lag.
+
+    ``tuning`` is the profile under test (``None`` = shipped defaults).
+    ``online_tuner`` is an :class:`~repro.soak.autotune.OnlineTuner`; its
+    between-batch threshold overrides are passed to every batch call and
+    each accepted nudge is recorded as a ``tuning_nudge`` event plus the
+    ``tuning_nudges_total`` counter.  ``check_answers`` maintains an
+    ndarray replica and byte-compares every answer (slow; the gate path).
+    ``keep_walls`` adds the raw per-batch assembly wall series to the
+    report — the autotuner's noise-robust A/B estimator pairs these
+    batch-by-batch across repeated replays of the same trace.
+    """
+    config = config or SoakConfig()
+    if trace is None:
+        trace = generate_soak_trace(config)
+    server_kwargs = dict(server_kwargs or {})
+    server = build_soak_server(config, tuning=tuning, **server_kwargs)
+    replica = server.cube.values.copy() if check_answers else None
+    names = [f"d{i}" for i in range(len(config.sizes))]
+    loop = AdaptationLoop(server) if adaptation else None
+
+    compared = 0
+    mismatches: list[int] = []
+
+    def element_for(dims: list[str]):
+        aggregated = [
+            i for i, name in enumerate(names) if name not in set(dims)
+        ]
+        return server.shape.aggregated_view(aggregated)
+
+    def compare(i: int, got: bytes, want: bytes) -> None:
+        nonlocal compared
+        compared += 1
+        if got != want:
+            mismatches.append(i)
+
+    walls: list[float] = []  # timed (query/rollup/range) batch walls, ms
+    wall_kinds: list[str] = []  # parallel to walls
+    drift_points: list[dict] = []  # {"phase", "at"(index into walls)}
+    nudges: list[dict] = []
+    queries = 0
+
+    for i, op in enumerate(trace):
+        kind = op["op"]
+        if kind == "drift":
+            drift_points.append({"phase": op["phase"], "at": len(walls)})
+            continue
+        if kind == "ingest":
+            coords = np.asarray(op["coords"], dtype=np.int64)
+            deltas = np.asarray(op["deltas"], dtype=np.float64)
+            server.update_many(coords, deltas)
+            if replica is not None:
+                np.add.at(replica, tuple(coords.T), deltas)
+            continue
+
+        overrides = online_tuner.overrides() if online_tuner else {}
+        start = time.perf_counter()
+        if kind == "query_batch":
+            answers = server.query_batch(
+                [list(r) for r in op["requests"]],
+                max_workers=config.workers,
+                backend=config.backend,
+                **overrides,
+            )
+            wall_ms = (time.perf_counter() - start) * 1e3
+            queries += len(answers)
+            if replica is not None:
+                for request, answer in zip(op["requests"], answers):
+                    compare(
+                        i,
+                        answer.tobytes(),
+                        compute_element(
+                            replica, element_for(list(request))
+                        ).tobytes(),
+                    )
+        elif kind == "rollup_batch":
+            answers = server.rollup_batch(
+                [dict(levels) for levels in op["levels_list"]],
+                max_workers=config.workers,
+                backend=config.backend,
+                **overrides,
+            )
+            wall_ms = (time.perf_counter() - start) * 1e3
+            queries += len(answers)
+            if replica is not None:
+                for levels, answer in zip(op["levels_list"], answers):
+                    element = rollup_element(server.cube, dict(levels))
+                    compare(
+                        i,
+                        answer.tobytes(),
+                        compute_element(replica, element).tobytes(),
+                    )
+        elif kind == "range":
+            ranges = tuple((lo, hi) for lo, hi in op["ranges"])
+            value = server.range_sum(ranges)
+            wall_ms = (time.perf_counter() - start) * 1e3
+            queries += 1
+            if replica is not None:
+                compare(
+                    i,
+                    np.float64(value).tobytes(),
+                    np.float64(range_sum_direct(replica, ranges)).tobytes(),
+                )
+        else:
+            raise ValueError(f"unknown soak op {op['op']!r} at index {i}")
+        walls.append(wall_ms)
+        wall_kinds.append(kind)
+
+        if loop is not None and kind in ("query_batch", "rollup_batch"):
+            loop.observe(server.query_profile())
+        if online_tuner is not None:
+            nudge = online_tuner.observe(wall_ms)
+            if nudge is not None:
+                nudges.append(nudge)
+                with server.obs.activate():
+                    log_event("tuning_nudge", **nudge)
+                    server.metrics.counter(
+                        "tuning_nudges_total",
+                        "online tuner threshold nudges applied",
+                    ).inc()
+
+    health = server.health()
+    latency = health["slo"]["latency_ms"]
+    # Headline p99: the dominant batch kind, falling back across kinds.
+    headline = 0.0
+    for kind in ("view", "rollup", "range"):
+        if kind in latency:
+            headline = max(headline, float(latency[kind]["p99_ms"]))
+    total_wall_s = sum(walls) / 1e3
+    lags = _adaptation_lags(walls, drift_points)
+    # Assembly batches (view/roll-up) are the walls the executor knobs
+    # can actually move; range sums never touch the batch executor, so
+    # tuning objectives read this series rather than the mixed one.
+    assembly_walls = [
+        wall
+        for wall, kind in zip(walls, wall_kinds)
+        if kind in ("query_batch", "rollup_batch")
+    ]
+
+    report = {
+        "config": config.to_dict(),
+        "tuning": tuning.to_dict() if tuning is not None else None,
+        "effective_tuning": server.tuning.to_dict(),
+        "trace_ops": len(trace),
+        "timed_batches": len(walls),
+        "queries": queries,
+        "qps": round(queries / total_wall_s, 1) if total_wall_s else 0.0,
+        "wall_ms_total": round(sum(walls), 3),
+        "batch_ms": {
+            "p50": round(_quantile(walls, 0.50), 3),
+            "p95": round(_quantile(walls, 0.95), 3),
+            "p99": round(_quantile(walls, 0.99), 3),
+        },
+        "assembly_ms": {
+            "count": len(assembly_walls),
+            "p50": round(_quantile(assembly_walls, 0.50), 3),
+            "p95": round(_quantile(assembly_walls, 0.95), 3),
+            "p99": round(_quantile(assembly_walls, 0.99), 3),
+        },
+        "latency_ms": latency,
+        "p99_ms": round(headline, 3),
+        "drift": lags,
+        "adaptation": {
+            "reconfigurations": loop.reconfigurations if loop else [],
+            "final_divergence": (
+                round(loop.divergences[-1], 4)
+                if loop and loop.divergences
+                else None
+            ),
+        },
+        "online": {
+            "enabled": online_tuner is not None,
+            "nudges": nudges,
+            "final_overrides": (
+                online_tuner.overrides() if online_tuner else {}
+            ),
+        },
+        "cache_hit_rate": round(server._view_cache.hit_rate, 4),
+        "epoch": server.epoch,
+    }
+    if keep_walls:
+        report["assembly_walls"] = [round(w, 4) for w in assembly_walls]
+    if check_answers:
+        # Quiescent sweep: the soaked server must agree with a from-
+        # scratch recomputation on the final cube state.
+        compare(len(trace), server.cube.values.tobytes(), replica.tobytes())
+        for dims in ([], [names[0]], names[:2], list(names)):
+            compare(
+                len(trace),
+                server.view(list(dims)).tobytes(),
+                compute_element(replica, element_for(list(dims))).tobytes(),
+            )
+        report["compared"] = compared
+        report["mismatches"] = mismatches
+        report["bit_identical"] = not mismatches
+    return report
+
+
+def _adaptation_lags(walls: list[float], drift_points: list[dict]) -> list[dict]:
+    """Batches-to-recover after each drift (skips the phase-0 marker)."""
+    lags: list[dict] = []
+    for point in drift_points:
+        at = point["at"]
+        if point["phase"] == 0 or at == 0:
+            continue
+        baseline_walls = walls[max(0, at - LAG_BASELINE_WINDOW) : at]
+        if not baseline_walls:
+            continue
+        baseline = statistics.median(baseline_walls)
+        threshold = baseline * LAG_RECOVERY_FACTOR
+        lag = None
+        for offset, wall in enumerate(walls[at:]):
+            if wall <= threshold:
+                lag = offset
+                break
+        lags.append(
+            {
+                "phase": point["phase"],
+                "baseline_ms": round(baseline, 3),
+                "lag_batches": lag if lag is not None else len(walls) - at,
+                "recovered": lag is not None,
+            }
+        )
+    return lags
+
+
+def run_soak_check(
+    config: SoakConfig | None = None,
+    backends: tuple[str, ...] = ("thread", "process"),
+    tuning: "TuningConfig | None" = None,
+) -> dict:
+    """The soak gate: drifting replay stays bit-identical per backend.
+
+    Runs the full loop — ingest bursts, online threshold nudges, live
+    cost-model adaptation — with an ndarray replica checking every
+    answer byte for byte.  A tuner is *supposed* to change latency and
+    forbidden from changing answers; any divergence fails the gate.
+    """
+    from .autotune import OnlineTuner  # circular-safe: autotune imports us
+
+    config = config or SoakConfig(
+        sizes=(16, 16, 8), batches=18, phase_batches=6, batch_size=6,
+        burst_every=4, burst_cells=16,
+    )
+    runs = []
+    ok = True
+    for backend in backends:
+        run_config = SoakConfig(**{**config.to_dict(), "backend": backend,
+                                   "sizes": tuple(config.sizes)})
+        tuner = OnlineTuner(window=4)
+        run = run_soak(
+            run_config,
+            tuning=tuning,
+            check_answers=True,
+            online_tuner=tuner,
+        )
+        run_ok = (
+            run["bit_identical"]
+            and run["compared"] > 0
+            and sum(k["count"] for k in run["latency_ms"].values()) > 0
+        )
+        runs.append(
+            {
+                "backend": backend,
+                "ok": run_ok,
+                "compared": run["compared"],
+                "mismatches": run["mismatches"],
+                "bit_identical": run["bit_identical"],
+                "nudges": len(run["online"]["nudges"]),
+                "reconfigurations": len(
+                    run["adaptation"]["reconfigurations"]
+                ),
+                "p99_ms": run["p99_ms"],
+                "qps": run["qps"],
+            }
+        )
+        ok = ok and run_ok
+    return {
+        "config": config.to_dict(),
+        "backends": list(backends),
+        "runs": runs,
+        "ok": ok,
+    }
+
+
+def render_soak_report(report: dict) -> str:
+    config = report["config"]
+    lines = [
+        f"soak: sizes={tuple(config['sizes'])} batches={config['batches']} "
+        f"backend={config['backend']} seed={config['seed']}",
+        f"  {report['queries']} queries over {report['timed_batches']} timed "
+        f"batches, {report['wall_ms_total']:.1f} ms wall "
+        f"({report['qps']:.0f} qps), cache hit rate "
+        f"{report['cache_hit_rate']:.2f}, epoch {report['epoch']}",
+        f"  batch wall ms: p50={report['batch_ms']['p50']} "
+        f"p95={report['batch_ms']['p95']} p99={report['batch_ms']['p99']}",
+        f"  assembly wall ms ({report['assembly_ms']['count']} batches): "
+        f"p50={report['assembly_ms']['p50']} "
+        f"p95={report['assembly_ms']['p95']} "
+        f"p99={report['assembly_ms']['p99']}",
+    ]
+    for kind, stats in sorted(report["latency_ms"].items()):
+        lines.append(
+            f"  slo[{kind}]: n={stats['count']} p50={stats['p50_ms']}ms "
+            f"p95={stats['p95_ms']}ms p99={stats['p99_ms']}ms"
+        )
+    for lag in report["drift"]:
+        status = "recovered" if lag["recovered"] else "NOT RECOVERED"
+        lines.append(
+            f"  drift phase {lag['phase']}: lag={lag['lag_batches']} "
+            f"batches ({status}, baseline {lag['baseline_ms']}ms)"
+        )
+    reconfs = report["adaptation"]["reconfigurations"]
+    if reconfs:
+        lines.append(f"  adaptation: {len(reconfs)} re-selection(s)")
+    if report["online"]["enabled"]:
+        lines.append(
+            f"  online tuner: {len(report['online']['nudges'])} nudge(s), "
+            f"final overrides {report['online']['final_overrides']}"
+        )
+    if "bit_identical" in report:
+        lines.append(
+            f"  differential: compared={report['compared']} "
+            f"mismatches={len(report['mismatches'])} "
+            f"bit_identical={report['bit_identical']}"
+        )
+    return "\n".join(lines)
+
+
+def render_check_report(report: dict) -> str:
+    lines = [
+        f"soak gate: sizes={tuple(report['config']['sizes'])} "
+        f"batches={report['config']['batches']} "
+        f"backends={','.join(report['backends'])}"
+    ]
+    for run in report["runs"]:
+        lines.append(
+            f"  [{run['backend']}] compared={run['compared']} "
+            f"bit_identical={run['bit_identical']} nudges={run['nudges']} "
+            f"reconfigs={run['reconfigurations']} p99={run['p99_ms']}ms "
+            f"-> {'ok' if run['ok'] else 'FAIL'}"
+        )
+    lines.append("PASS" if report["ok"] else "FAIL")
+    return "\n".join(lines)
