@@ -275,6 +275,37 @@ def _run_chaos(seed: int, json_output: bool, output: str | None) -> int:
     return 0 if report["ok"] else 1
 
 
+def _run_diag(
+    seed: int, check: bool, json_output: bool, output: str | None
+) -> int:
+    """Run the SLO-triage gate; with --check exit non-zero unless it holds.
+
+    With ``--output DIR`` the auto-dumped diagnostic bundles (healthy and
+    faulted runs) are kept under that directory for inspection/upload.
+    """
+    import dataclasses
+    import json
+
+    from .resilience.triage import (
+        TriageConfig,
+        render_triage_report,
+        run_triage,
+    )
+
+    config = TriageConfig()
+    if seed != config.seed:
+        config = dataclasses.replace(config, seed=seed)
+    report = run_triage(config, directory=output)
+    print(
+        json.dumps(report, indent=2)
+        if json_output
+        else render_triage_report(report)
+    )
+    if check:
+        return 0 if report["ok"] else 1
+    return 0
+
+
 def _run_shard(
     seed: int,
     shards_spec: str,
@@ -403,11 +434,47 @@ def _run_tune(
     if speedup is not None:
         report["speedup"] = speedup
     path = best.save(output)
+    # Key the tuned profile by the workload fingerprint it won on, so a
+    # serving process given the library can recognize "I look like this
+    # regime" and surface the profile in health() (see repro.obs.
+    # fingerprint.ProfileLibrary).
+    from pathlib import Path
+
+    from .obs.fingerprint import ProfileLibrary, fingerprint_of_trace
+    from .soak import generate_soak_trace
+
+    library_path = Path(path).parent / "profiles.json"
+    library = (
+        ProfileLibrary.load(library_path)
+        if library_path.exists()
+        else ProfileLibrary()
+    )
+    entry = library.add(
+        fingerprint_of_trace(generate_soak_trace(config)),
+        best.to_dict(),
+        label=f"soak-seed{seed}",
+        meta={
+            "source": "repro tune",
+            "soak": config.to_dict(),
+            "speedup": speedup,
+        },
+    )
+    library.save(library_path)
+    report["profile_library"] = {
+        "path": str(library_path),
+        "label": entry["label"],
+        "fingerprint": entry["fingerprint"],
+        "profiles": len(library.entries),
+    }
     if json_output:
         print(json.dumps(report, indent=2))
     else:
         print(render_tune_report(report, speedup))
         print(f"  tuned profile written to {path}")
+        print(
+            f"  fingerprint-keyed profile '{entry['label']}' added to "
+            f"{library_path} ({len(library.entries)} profiles)"
+        )
     return 0
 
 
@@ -499,6 +566,7 @@ def main(argv: list[str] | None = None) -> int:
             "recover",
             "tune",
             "soak",
+            "diag",
         ],
         help="which experiment to regenerate ('stats' runs the "
         "instrumented server demo; 'chaos' runs the seeded "
@@ -512,7 +580,9 @@ def main(argv: list[str] | None = None) -> int:
         "TuningConfig knobs on the drifting soak workload and writes "
         "tuned.json; 'soak' replays the drifting workload — with "
         "--check it gates bit-identity and SLO coverage on both "
-        "executor backends)",
+        "executor backends; 'diag' runs the deterministic SLO-triage "
+        "gate — seeded faults must fire the burn-rate alert on the "
+        "predicted query and auto-dump a valid diagnostic bundle)",
     )
     parser.add_argument(
         "--trials",
@@ -540,7 +610,8 @@ def main(argv: list[str] | None = None) -> int:
         "--output",
         default=None,
         help="with 'chaos'/'trace': also write the JSON report / Chrome "
-        "trace to this path",
+        "trace to this path; with 'diag': keep the dumped diagnostic "
+        "bundles under this directory",
     )
     parser.add_argument(
         "--queries",
@@ -564,7 +635,8 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         action="store_true",
         help="with 'trace': exit non-zero unless the batch yields one "
-        "connected trace with measured ops equal to the plan",
+        "connected trace with measured ops equal to the plan; with "
+        "'diag': exit non-zero unless the triage gate holds",
     )
     parser.add_argument(
         "--workers",
@@ -691,6 +763,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "chaos":
         seed = 7 if args.seed is None else args.seed
         return _run_chaos(seed, args.json, args.output)
+    if args.experiment == "diag":
+        seed = 7 if args.seed is None else args.seed
+        return _run_diag(seed, args.check, args.json, args.output)
     if args.experiment == "trace":
         seed = 19 if args.seed is None else args.seed
         report, code = _run_trace(

@@ -35,10 +35,26 @@ from __future__ import annotations
 
 from contextlib import ExitStack, contextmanager
 
+from .alerts import AlertEngine, BurnRateRule, ManualClock, default_rules
 from .cache import LRUCache
 from .events import EventLog, current_event_log, log_event
+from .fingerprint import (
+    FingerprintTracker,
+    ProfileLibrary,
+    SiteProfiler,
+    WorkloadFingerprint,
+    fingerprint_of_trace,
+)
+from .flight import (
+    FlightRecorder,
+    KeptTrace,
+    load_bundle,
+    validate_bundle,
+    write_bundle,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
+    MAX_LABEL_SETS,
     Counter,
     Gauge,
     Histogram,
@@ -58,26 +74,41 @@ from .tracing import (
 )
 
 __all__ = [
+    "AlertEngine",
+    "BurnRateRule",
     "Counter",
     "DEFAULT_BUCKETS",
     "EventLog",
+    "FingerprintTracker",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "KeptTrace",
     "LRUCache",
+    "MAX_LABEL_SETS",
+    "ManualClock",
     "MetricsRegistry",
     "Observability",
+    "ProfileLibrary",
+    "SiteProfiler",
     "Span",
     "Tracer",
+    "WorkloadFingerprint",
     "add_span_event",
     "current_event_log",
     "current_registry",
     "current_span",
     "current_tracer",
     "default_registry",
+    "default_rules",
+    "fingerprint_of_trace",
+    "load_bundle",
     "log_event",
     "span",
     "span_context",
     "tracing_active",
+    "validate_bundle",
+    "write_bundle",
 ]
 
 

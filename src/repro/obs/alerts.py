@@ -1,0 +1,373 @@
+"""Multi-window SLO burn-rate alerting over the serving outcome stream.
+
+The server already *measures* its SLOs (``server_latency_ms``,
+timeout/rejection/degraded rates); this module decides when those
+measurements constitute an incident.  It implements the standard
+multi-window **burn-rate** scheme: for each rule, outcomes are bucketed
+into fixed-width time buckets and the *burn rate*
+
+    burn = (bad / total) / objective
+
+is evaluated over a **fast** window (catches sharp regressions quickly)
+and a **slow** window (filters one-off blips).  A rule fires only when
+*both* windows burn at or above the rule's threshold — a sustained
+failure looks bad in both, a transient spike only in the fast window,
+and a long-recovered incident only in the slow one.
+
+Determinism is a design requirement (the triage gate predicts the exact
+query index an alert fires on): the engine takes an injectable ``clock``
+(:class:`ManualClock` in tests, ``time.monotonic`` in production) and
+evaluates on record counts, never on wall-clock timers or threads.
+
+Alert lifecycle is transition-based: one ``firing`` event when a rule
+crosses its threshold, one ``resolved`` event when it drops back, with
+``on_fire``/``on_resolve`` callbacks (the server hooks flight-recorder
+bundle dumps onto ``on_fire``) and a bounded history for ``health()``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AlertEngine",
+    "BurnRateRule",
+    "ManualClock",
+    "default_rules",
+]
+
+
+class ManualClock:
+    """A hand-advanced clock for deterministic alert tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += float(seconds)
+        return self.now
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One SLO rule: what counts as *bad* and how fast the budget may burn.
+
+    ``objective`` is the acceptable bad fraction (the error budget): with
+    ``objective=0.02`` and ``burn_threshold=1.0`` the rule fires when more
+    than 2% of recent outcomes are bad — in both windows.  ``min_samples``
+    applies to the slow window, so a rule cannot fire off a handful of
+    queries at startup.
+    """
+
+    name: str
+    objective: float
+    burn_threshold: float = 1.0
+    fast_window_s: float = 60.0
+    slow_window_s: float = 600.0
+    min_samples: int = 64
+    bad_outcomes: tuple = ()
+    latency_over_ms: float | None = None
+    bad_if_degraded: bool = False
+    description: str = ""
+
+    def __post_init__(self):
+        if self.objective <= 0:
+            raise ValueError("objective must be positive")
+        if self.fast_window_s <= 0 or self.slow_window_s < self.fast_window_s:
+            raise ValueError(
+                "windows must satisfy 0 < fast_window_s <= slow_window_s"
+            )
+
+    def is_bad(self, outcome: str, latency_ms: float, degraded: bool) -> bool:
+        if outcome in self.bad_outcomes:
+            return True
+        if self.bad_if_degraded and degraded:
+            return True
+        return (
+            self.latency_over_ms is not None
+            and latency_ms >= self.latency_over_ms
+        )
+
+
+def default_rules(
+    fast_window_s: float = 60.0, slow_window_s: float = 600.0
+) -> tuple[BurnRateRule, ...]:
+    """The stock rule set over the outcomes ``_serving`` already labels."""
+    return (
+        BurnRateRule(
+            name="failures",
+            objective=0.05,
+            bad_outcomes=("timeout", "error"),
+            fast_window_s=fast_window_s,
+            slow_window_s=slow_window_s,
+            description="timed-out or failed queries burning >5% budget",
+        ),
+        BurnRateRule(
+            name="rejections",
+            objective=0.05,
+            bad_outcomes=("rejected",),
+            fast_window_s=fast_window_s,
+            slow_window_s=slow_window_s,
+            description="admission-control rejections burning >5% budget",
+        ),
+        BurnRateRule(
+            name="degraded",
+            objective=0.10,
+            bad_if_degraded=True,
+            fast_window_s=fast_window_s,
+            slow_window_s=slow_window_s,
+            description="degraded (fallback) answers burning >10% budget",
+        ),
+    )
+
+
+#: Buckets per fast window — the bucket width is ``fast_window_s / 6``,
+#: the usual granularity trade-off (fine enough that the fast window
+#: reacts within ~1/6 of its span, coarse enough to stay O(slow/fast)
+#: buckets per rule).
+FAST_BUCKETS = 6
+
+
+class _RuleState:
+    """Bucketed (total, bad) counts for one rule (engine lock held)."""
+
+    __slots__ = (
+        "rule",
+        "width",
+        "keep",
+        "buckets",
+        "firing",
+        "fired_at",
+        "firing_event",
+    )
+
+    def __init__(self, rule: BurnRateRule):
+        self.rule = rule
+        self.width = rule.fast_window_s / FAST_BUCKETS
+        self.keep = int(math.ceil(rule.slow_window_s / self.width))
+        self.buckets: deque = deque()  # (bucket_index, total, bad)
+        self.firing = False
+        self.fired_at: float | None = None
+        self.firing_event: dict | None = None
+
+    def add(self, now: float, bad: bool) -> None:
+        index = int(now // self.width)
+        if self.buckets and self.buckets[-1][0] == index:
+            b, total, bad_count = self.buckets[-1]
+            self.buckets[-1] = (b, total + 1, bad_count + bad)
+        else:
+            self.buckets.append((index, 1, int(bad)))
+        horizon = index - self.keep
+        while self.buckets and self.buckets[0][0] <= horizon:
+            self.buckets.popleft()
+
+    def window_counts(self, now: float) -> tuple[int, int, int, int]:
+        """(fast_total, fast_bad, slow_total, slow_bad) as of ``now``."""
+        index = int(now // self.width)
+        fast_floor = index - FAST_BUCKETS
+        fast_total = fast_bad = slow_total = slow_bad = 0
+        for b, total, bad in self.buckets:
+            slow_total += total
+            slow_bad += bad
+            if b > fast_floor:
+                fast_total += total
+                fast_bad += bad
+        return fast_total, fast_bad, slow_total, slow_bad
+
+
+class AlertEngine:
+    """Evaluates burn-rate rules over a stream of serving outcomes.
+
+    ``record()`` is called once per finished query (the server does this
+    in its ``_serving`` bookkeeping) and is O(rules); full evaluation runs
+    every ``evaluate_every`` records.  Thread-safe; fire/resolve callbacks
+    run outside the lock and are exception-isolated.
+    """
+
+    def __init__(
+        self,
+        rules: tuple[BurnRateRule, ...] | None = None,
+        clock=time.monotonic,
+        evaluate_every: int = 1,
+        max_history: int = 128,
+    ):
+        self.rules = tuple(rules) if rules is not None else default_rules()
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.clock = clock
+        self.evaluate_every = max(1, int(evaluate_every))
+        self.on_fire: list = []
+        self.on_resolve: list = []
+        self._lock = threading.Lock()
+        self._states = {rule.name: _RuleState(rule) for rule in self.rules}
+        self._history: deque = deque(maxlen=max_history)
+        self._records = 0
+        self._evaluations = 0
+        self._fired_total = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+
+    def record(
+        self,
+        outcome: str,
+        latency_ms: float = 0.0,
+        degraded: bool = False,
+    ) -> list[dict]:
+        """Account one finished query; returns any fire/resolve events."""
+        transitions: list[dict] = []
+        with self._lock:
+            now = self.clock()
+            self._records += 1
+            for rule in self.rules:
+                self._states[rule.name].add(
+                    now, rule.is_bad(outcome, latency_ms, degraded)
+                )
+            if self._records % self.evaluate_every == 0:
+                transitions = self._evaluate_locked(now)
+        self._notify(transitions)
+        return transitions
+
+    def evaluate(self) -> list[dict]:
+        """Force an evaluation pass (e.g. on a health() poll)."""
+        with self._lock:
+            transitions = self._evaluate_locked(self.clock())
+        self._notify(transitions)
+        return transitions
+
+    def _evaluate_locked(self, now: float) -> list[dict]:
+        self._evaluations += 1
+        transitions: list[dict] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            fast_total, fast_bad, slow_total, slow_bad = state.window_counts(
+                now
+            )
+            fast_burn = (
+                (fast_bad / fast_total) / rule.objective if fast_total else 0.0
+            )
+            slow_burn = (
+                (slow_bad / slow_total) / rule.objective if slow_total else 0.0
+            )
+            burning = (
+                slow_total >= rule.min_samples
+                and fast_total > 0
+                and fast_burn >= rule.burn_threshold
+                and slow_burn >= rule.burn_threshold
+            )
+            if burning and not state.firing:
+                state.firing = True
+                state.fired_at = now
+                self._fired_total += 1
+                event = {
+                    "state": "firing",
+                    "rule": rule.name,
+                    "description": rule.description,
+                    "at": now,
+                    "objective": rule.objective,
+                    "burn_threshold": rule.burn_threshold,
+                    "fast_burn": round(fast_burn, 4),
+                    "slow_burn": round(slow_burn, 4),
+                    "fast": {"total": fast_total, "bad": fast_bad},
+                    "slow": {"total": slow_total, "bad": slow_bad},
+                    "records": self._records,
+                }
+                state.firing_event = event
+                self._history.append(event)
+                transitions.append(event)
+            elif state.firing and not burning:
+                state.firing = False
+                state.firing_event = None
+                event = {
+                    "state": "resolved",
+                    "rule": rule.name,
+                    "at": now,
+                    "fired_at": state.fired_at,
+                    "duration_s": (
+                        now - state.fired_at
+                        if state.fired_at is not None
+                        else 0.0
+                    ),
+                    "records": self._records,
+                }
+                state.fired_at = None
+                self._history.append(event)
+                transitions.append(event)
+        return transitions
+
+    def _notify(self, transitions: list[dict]) -> None:
+        for event in transitions:
+            callbacks = (
+                self.on_fire if event["state"] == "firing" else self.on_resolve
+            )
+            for callback in list(callbacks):
+                try:
+                    callback(event)
+                except Exception:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Reading
+
+    def active(self) -> tuple[dict, ...]:
+        """Currently-firing alerts (their original firing events)."""
+        with self._lock:
+            return tuple(
+                state.firing_event
+                for state in self._states.values()
+                if state.firing and state.firing_event is not None
+            )
+
+    def history(self) -> tuple[dict, ...]:
+        with self._lock:
+            return tuple(self._history)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly engine state for ``health()`` and diag bundles."""
+        with self._lock:
+            now = self.clock()
+            rules = {}
+            for rule in self.rules:
+                state = self._states[rule.name]
+                fast_total, fast_bad, slow_total, slow_bad = (
+                    state.window_counts(now)
+                )
+                rules[rule.name] = {
+                    "firing": state.firing,
+                    "objective": rule.objective,
+                    "burn_threshold": rule.burn_threshold,
+                    "fast_burn": round(
+                        (fast_bad / fast_total) / rule.objective
+                        if fast_total
+                        else 0.0,
+                        4,
+                    ),
+                    "slow_burn": round(
+                        (slow_bad / slow_total) / rule.objective
+                        if slow_total
+                        else 0.0,
+                        4,
+                    ),
+                    "fast": {"total": fast_total, "bad": fast_bad},
+                    "slow": {"total": slow_total, "bad": slow_bad},
+                }
+            return {
+                "records": self._records,
+                "evaluations": self._evaluations,
+                "fired_total": self._fired_total,
+                "firing_now": sorted(
+                    name
+                    for name, state in self._states.items()
+                    if state.firing
+                ),
+                "rules": rules,
+                "history": [dict(event) for event in self._history][-16:],
+            }

@@ -24,7 +24,12 @@ import re
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracing import Span, Tracer
 
-__all__ = ["chrome_trace", "render_chrome_trace", "prometheus_text"]
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_from_spans",
+    "render_chrome_trace",
+    "prometheus_text",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -45,6 +50,16 @@ def chrome_trace(tracer: Tracer, trace_id: int | None = None) -> dict:
     workers, and shared-memory process workers render as separate rows.
     """
     spans = tracer.spans() if trace_id is None else tracer.trace(trace_id)
+    return chrome_trace_from_spans(spans)
+
+
+def chrome_trace_from_spans(spans) -> dict:
+    """A Chrome trace-event document for an explicit span collection.
+
+    Same format as :func:`chrome_trace`, but the caller supplies the spans
+    — the flight recorder uses this to render a kept trace long after the
+    tracer's ring has moved on.
+    """
     events: list[dict] = []
     seen_lanes: set[tuple[int, int]] = set()
     for span in sorted(spans, key=lambda s: s.start):

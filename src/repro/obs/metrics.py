@@ -22,6 +22,14 @@ The model is deliberately Prometheus-shaped but dependency-free:
 Metrics accept optional ``**labels``; each distinct label combination is an
 independent time series.  All mutation goes through one registry lock, so
 concurrent query threads can share a server registry safely.
+
+Per-metric label cardinality is bounded (``MetricsRegistry(max_label_sets=
+...)``): once a metric holds that many distinct label combinations, writes
+carrying *new* combinations fold into a single ``{overflow="true"}`` series
+and each folded write increments ``metrics_dropped_series_total`` (labelled
+by metric), so a high-cardinality star schema — per-element or per-shard
+labels gone wild — degrades into one visible overflow bucket instead of an
+unbounded registry.
 """
 
 from __future__ import annotations
@@ -36,13 +44,22 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "MAX_LABEL_SETS",
     "MetricsRegistry",
+    "OVERFLOW_KEY",
     "current_registry",
     "default_registry",
 ]
 
 #: Label sets are stored as sorted ``(key, value)`` tuples.
 LabelKey = tuple[tuple[str, str], ...]
+
+#: Default per-metric bound on distinct label combinations; the overflow
+#: series does not count against it.
+MAX_LABEL_SETS = 256
+
+#: Where writes land once a metric's label cardinality bound is hit.
+OVERFLOW_KEY: LabelKey = (("overflow", "true"),)
 
 
 def _label_key(labels: dict) -> LabelKey:
@@ -58,11 +75,38 @@ class _Metric:
 
     kind = "metric"
 
-    def __init__(self, name: str, description: str, lock: threading.RLock):
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        lock: threading.RLock,
+        max_series: int | None = None,
+        on_overflow=None,
+    ):
         self.name = name
         self.description = description
         self._lock = lock
         self._series: dict[LabelKey, float | dict] = {}
+        self._max_series = max_series
+        self._on_overflow = on_overflow
+
+    def _admit(self, key: LabelKey) -> LabelKey:
+        """Cardinality guard (lock held): the key the write may use.
+
+        Existing series always pass; a *new* combination past the bound is
+        folded into :data:`OVERFLOW_KEY` and reported to the registry's
+        overflow hook (which feeds ``metrics_dropped_series_total``).
+        """
+        if (
+            self._max_series is None
+            or key in self._series
+            or len(self._series) < self._max_series
+            or key == OVERFLOW_KEY
+        ):
+            return key
+        if self._on_overflow is not None:
+            self._on_overflow(self.name)
+        return OVERFLOW_KEY
 
     def labelsets(self) -> tuple[LabelKey, ...]:
         """All label combinations observed so far."""
@@ -101,6 +145,7 @@ class Counter(_Metric):
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
         key = _label_key(labels)
         with self._lock:
+            key = self._admit(key)
             self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
@@ -121,13 +166,15 @@ class Gauge(_Metric):
 
     def set(self, value: float, **labels) -> None:
         """Set the labelled series to ``value``."""
+        key = _label_key(labels)
         with self._lock:
-            self._series[_label_key(labels)] = float(value)
+            self._series[self._admit(key)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         """Adjust the labelled series by ``amount`` (may be negative)."""
         key = _label_key(labels)
         with self._lock:
+            key = self._admit(key)
             self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
@@ -157,8 +204,16 @@ class Histogram(_Metric):
         description: str,
         lock: threading.RLock,
         buckets: tuple[float, ...] | None = None,
+        max_series: int | None = None,
+        on_overflow=None,
     ):
-        super().__init__(name, description, lock)
+        super().__init__(
+            name,
+            description,
+            lock,
+            max_series=max_series,
+            on_overflow=on_overflow,
+        )
         bounds = DEFAULT_BUCKETS if buckets is None else tuple(
             sorted(float(b) for b in buckets)
         )
@@ -172,6 +227,7 @@ class Histogram(_Metric):
         key = _label_key(labels)
         index = bisect_right(self.bounds, value)
         with self._lock:
+            key = self._admit(key)
             stats = self._series.get(key)
             if stats is None:
                 stats = {
@@ -280,15 +336,48 @@ class MetricsRegistry:
     when the name is already registered as a different kind).
     """
 
-    def __init__(self):
+    def __init__(self, max_label_sets: int | None = MAX_LABEL_SETS):
         self._lock = threading.RLock()
         self._metrics: dict[str, _Metric] = {}
+        #: Per-metric bound on distinct label combinations (``None`` =
+        #: unbounded, the pre-guard behaviour).
+        self.max_label_sets = max_label_sets
+
+    def _note_series_overflow(self, metric_name: str) -> None:
+        """One write folded into an overflow series (guard hook).
+
+        Called with the registry lock held (it is re-entrant); the drop
+        counter itself is created unguarded so accounting the overflow can
+        never overflow.
+        """
+        counter = self._metrics.get("metrics_dropped_series_total")
+        if counter is None:
+            counter = Counter(
+                "metrics_dropped_series_total",
+                "metric writes folded into an overflow series by the "
+                "label-cardinality guard",
+                self._lock,
+            )
+            self._metrics["metrics_dropped_series_total"] = counter
+        counter.inc(metric=metric_name)
+
+    def dropped_series_total(self) -> float:
+        """Writes the cardinality guard folded, across all metrics."""
+        with self._lock:
+            counter = self._metrics.get("metrics_dropped_series_total")
+        return float(counter.total()) if counter is not None else 0.0
 
     def _get_or_create(self, cls, name: str, description: str) -> _Metric:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
-                metric = cls(name, description, self._lock)
+                metric = cls(
+                    name,
+                    description,
+                    self._lock,
+                    max_series=self.max_label_sets,
+                    on_overflow=self._note_series_overflow,
+                )
                 self._metrics[name] = metric
             elif not isinstance(metric, cls):
                 raise TypeError(
@@ -318,7 +407,14 @@ class MetricsRegistry:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
-                metric = Histogram(name, description, self._lock, buckets)
+                metric = Histogram(
+                    name,
+                    description,
+                    self._lock,
+                    buckets,
+                    max_series=self.max_label_sets,
+                    on_overflow=self._note_series_overflow,
+                )
                 self._metrics[name] = metric
             elif not isinstance(metric, Histogram):
                 raise TypeError(

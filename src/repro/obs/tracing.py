@@ -145,9 +145,32 @@ class Tracer:
         self._ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
         self._lock = threading.Lock()
+        #: Finish listeners (flight recorder, site profiler), stored as an
+        #: immutable tuple so the hot path reads it without the lock.
+        self._listeners: tuple = ()
 
     # ------------------------------------------------------------------
     # Recording
+
+    def add_listener(self, listener) -> None:
+        """Call ``listener(span)`` for every span this tracer finishes.
+
+        Listeners run on whatever thread finished the span (pool workers
+        included) and outside the tracer lock; they must be fast and are
+        isolated — a raising listener is dropped from the notification,
+        never propagated into the instrumented call.
+        """
+        with self._lock:
+            self._listeners = self._listeners + (listener,)
+
+    def remove_listener(self, listener) -> None:
+        """Detach a listener added with :meth:`add_listener` (idempotent)."""
+        with self._lock:
+            # Equality, not identity: each ``obj.method`` access builds a
+            # fresh bound-method object, so identity would never match.
+            self._listeners = tuple(
+                fn for fn in self._listeners if fn != listener
+            )
 
     def _finish(self, span: Span) -> None:
         with self._lock:
@@ -160,6 +183,7 @@ class Tracer:
             else:
                 dropped = False
             self.finished.append(span)
+            listeners = self._listeners
         if dropped:
             # Local import to avoid a metrics<->tracing import cycle.
             from .metrics import current_registry
@@ -168,6 +192,11 @@ class Tracer:
                 "tracer_dropped_spans",
                 "finished spans evicted from the tracer ring buffer",
             ).inc()
+        for listener in listeners:
+            try:
+                listener(span)
+            except Exception:
+                pass
 
     @contextmanager
     def span(self, name: str, **attributes):
@@ -193,6 +222,13 @@ class Tracer:
         token = _ACTIVE_SPAN.set(current)
         try:
             yield current
+        except BaseException as exc:
+            # Self-recorded failure: a span that ended in an exception
+            # carries the exception type, so tail-biased consumers (the
+            # flight recorder) can keep failed traces without the serving
+            # code annotating every error path by hand.
+            current.attributes.setdefault("error", type(exc).__name__)
+            raise
         finally:
             current.end = time.perf_counter()
             _ACTIVE_SPAN.reset(token)

@@ -68,6 +68,7 @@ import threading
 import time
 from collections.abc import Iterable, Mapping, Sequence
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -99,7 +100,15 @@ from .errors import (
     TransientFault,
 )
 from .obs import LRUCache, Observability, add_span_event, log_event, span
+from .obs.alerts import AlertEngine, default_rules
 from .obs.export import prometheus_text
+from .obs.fingerprint import (
+    FingerprintTracker,
+    ProfileLibrary,
+    SiteProfiler,
+    WorkloadFingerprint,
+)
+from .obs.flight import BUNDLE_FORMAT, FlightRecorder, write_bundle
 from .obs.http import TelemetryServer
 from .obs.profile import query_profile
 from .resilience.deadline import (
@@ -113,6 +122,13 @@ from .shard.sets import ShardedSet
 from .tuning import DEFAULT_TUNING, TuningConfig
 
 __all__ = ["OLAPServer", "ServerStats"]
+
+#: Per-query flag bucket for the serving context: ``_serving`` installs a
+#: fresh dict, resilience paths mark it (``degraded``), and the alert feed
+#: reads it — without threading a handle through every serve method.
+_SERVING_FLAGS: ContextVar[dict | None] = ContextVar(
+    "repro_serving_flags", default=None
+)
 
 
 @dataclass
@@ -173,6 +189,10 @@ class OLAPServer:
         cache_capacity: int | None = None,
         pool_min_cells: int | None = None,
         pool_max_cells: int | None = None,
+        alerts: AlertEngine | bool = True,
+        flight: bool = True,
+        diagnostics_dir: str | Path | None = None,
+        profile_library: ProfileLibrary | str | Path | None = None,
     ):
         """``storage_budget`` (cells) enables Algorithm 2 redundancy when it
         exceeds the cube volume; ``decay``/``smoothing`` configure workload
@@ -222,7 +242,18 @@ class OLAPServer:
         directory must be *fresh* — construction bootstraps an initial
         snapshot so recovery is possible from the first update, and an
         existing lineage must be reopened through :meth:`restore`
-        instead."""
+        instead.
+
+        Incident observability: ``alerts`` enables the multi-window SLO
+        burn-rate engine (pass an :class:`~repro.obs.alerts.AlertEngine`
+        to control rules/clock, ``False`` to disable); ``flight`` attaches
+        the always-on flight recorder + continuous site profiler when the
+        observability triple traces; ``diagnostics_dir`` lets firing
+        alerts auto-dump diagnostic bundles (without it, only
+        :meth:`dump_diagnostics` writes, explicitly); ``profile_library``
+        (object or ``profiles.json`` path from ``repro tune``) lets
+        :meth:`health` report the tuned profile nearest the live workload
+        fingerprint."""
         if cache_capacity is not None and cache_entries is not None:
             raise ValueError(
                 "pass cache_capacity or cache_entries, not both "
@@ -263,6 +294,43 @@ class OLAPServer:
         self.obs = observability if observability is not None else Observability()
         self.metrics = self.obs.registry
         self.tracer = self.obs.tracer
+        # Incident observability: flight recorder + site profiler ride the
+        # tracer's finish-listener stream, so they attach only when this
+        # server actually traces (the telemetry-off baseline pays nothing).
+        self.flight: FlightRecorder | None = None
+        self.profiler: SiteProfiler | None = None
+        if flight and self.obs.tracing and self.tuning.flight_max_traces > 0:
+            self.flight = FlightRecorder(
+                self.tracer,
+                registry=self.metrics,
+                max_traces=self.tuning.flight_max_traces,
+                head_sample=self.tuning.flight_head_sample,
+            )
+            self.profiler = SiteProfiler(self.tracer)
+        self.fingerprints = FingerprintTracker()
+        if isinstance(profile_library, (str, Path)):
+            profile_library = ProfileLibrary.load(profile_library)
+        self.profile_library = profile_library
+        if isinstance(alerts, AlertEngine):
+            self.alerts: AlertEngine | None = alerts
+        elif alerts:
+            self.alerts = AlertEngine(
+                rules=default_rules(
+                    fast_window_s=self.tuning.alert_fast_window_s,
+                    slow_window_s=self.tuning.alert_slow_window_s,
+                )
+            )
+        else:
+            self.alerts = None
+        self.diagnostics_dir = (
+            Path(diagnostics_dir) if diagnostics_dir is not None else None
+        )
+        self.max_auto_dumps = 8
+        self._dump_lock = threading.Lock()
+        self._dump_count = 0
+        if self.alerts is not None:
+            self.alerts.on_fire.append(self._on_alert_fire)
+            self.alerts.on_resolve.append(self._on_alert_resolve)
         self.max_in_flight = max_in_flight
         self.admission_wait_ms = admission_wait_ms
         self.default_deadline_ms = default_deadline_ms
@@ -433,6 +501,8 @@ class OLAPServer:
         """
         start = time.perf_counter()
         outcome = "ok"
+        flags = {"degraded": False}
+        token = _SERVING_FLAGS.set(flags)
         try:
             with self._admit(kind), deadline_scope(
                 self._deadline_for(deadline_ms)
@@ -445,17 +515,22 @@ class OLAPServer:
             ).inc(kind=kind)
             log_event("deadline_missed", kind=kind, deadline_ms=deadline_ms)
             raise
+        except AdmissionRejected:
+            outcome = "rejected"
+            raise
         except BaseException:
             outcome = "error"
             raise
         finally:
+            _SERVING_FLAGS.reset(token)
+            latency_ms = (time.perf_counter() - start) * 1e3
             self.metrics.histogram(
                 "server_latency_ms", "wall milliseconds per served call"
-            ).observe(
-                (time.perf_counter() - start) * 1e3,
-                kind=kind,
-                outcome=outcome,
-            )
+            ).observe(latency_ms, kind=kind, outcome=outcome)
+            if self.alerts is not None:
+                self.alerts.record(
+                    outcome, latency_ms, degraded=flags["degraded"]
+                )
 
     def _backoff(self, attempt: int) -> None:
         """Exponential backoff bounded by the remaining deadline."""
@@ -487,6 +562,9 @@ class OLAPServer:
         ).inc()
         add_span_event("fallback", target="base_cube")
         log_event("fallback", target="base_cube")
+        flags = _SERVING_FLAGS.get()
+        if flags is not None:
+            flags["degraded"] = True
 
     def _assemble_resilient(
         self,
@@ -702,6 +780,7 @@ class OLAPServer:
             self.metrics.counter(
                 "server_queries_total", "queries served, by kind"
             ).inc(kind=kind)
+            self.fingerprints.note_query(kind, (kind, element))
             state = self._state
             key = (element, state.epoch)
             cached = self._cache_get(state, key)
@@ -742,6 +821,8 @@ class OLAPServer:
             self.metrics.counter(
                 "server_queries_total", "queries served, by kind"
             ).inc(len(elements), kind=kind)
+            for element in elements:
+                self.fingerprints.note_query(kind, (kind, element))
             state = self._state
             answers: dict[ElementId, np.ndarray] = {}
             missing: list[ElementId] = []
@@ -796,6 +877,7 @@ class OLAPServer:
             ).inc(kind="range")
             state = self._state
             ranges = tuple((int(lo), int(hi)) for lo, hi in ranges)
+            self.fingerprints.note_query("range", ("range", ranges))
             attempt = 0
             while True:
                 counter = OpCounter()
@@ -1239,6 +1321,10 @@ class OLAPServer:
         if thread is not None:
             thread.join(timeout=5.0)
             self._snapshot_thread = None
+        if self.flight is not None:
+            self.flight.close()
+        if self.profiler is not None:
+            self.profiler.close()
         if self._wal is not None:
             self._wal.close()
 
@@ -1300,6 +1386,7 @@ class OLAPServer:
             "degraded_rate": _total("server_degraded_total") / denominator,
             "tracer_dropped_spans": self.tracer.dropped_spans,
             "events_dropped": self.obs.events.dropped_events,
+            "telemetry_loss": self._telemetry_loss(),
         }
         payload = {
             "status": "degraded" if quarantined else "ok",
@@ -1327,6 +1414,25 @@ class OLAPServer:
             "tuning": self.tuning.to_dict(),
             "slo": slo,
         }
+        if self.alerts is not None:
+            payload["alerts"] = self.alerts.snapshot()
+        fingerprint_section = self.fingerprints.snapshot()
+        if self.profile_library is not None and self.profile_library.entries:
+            nearest = self.profile_library.nearest(
+                WorkloadFingerprint.from_dict(
+                    fingerprint_section["fingerprint"]
+                )
+            )
+            if nearest is not None:
+                entry, distance = nearest
+                fingerprint_section["nearest_profile"] = {
+                    "label": entry["label"],
+                    "distance": round(distance, 4),
+                    "tuning": entry["tuning"],
+                }
+        payload["fingerprint"] = fingerprint_section
+        if self.flight is not None:
+            payload["flight"] = self.flight.snapshot()
         if self._partition is not None:
             payload["shards"] = {
                 **state.materialized.shards_health(),
@@ -1355,6 +1461,26 @@ class OLAPServer:
                 "replay_lag": self._applied_seq - self._snapshot_seq,
                 "replayed_records": self._replayed_records,
             }
+        if self.flight is not None:
+            # Each health poll leaves a compact SLO snapshot in the
+            # recorder's bounded ring, so a diag bundle shows how the
+            # scalar rates evolved up to the incident, not just the
+            # instant of the dump.
+            self.flight.note_health(
+                {
+                    "epoch": self.epoch,
+                    "queries": queries,
+                    "timeout_rate": slo["timeout_rate"],
+                    "rejection_rate": slo["rejection_rate"],
+                    "retry_rate": slo["retry_rate"],
+                    "degraded_rate": slo["degraded_rate"],
+                    "firing": (
+                        payload["alerts"]["firing_now"]
+                        if self.alerts is not None
+                        else []
+                    ),
+                }
+            )
         return payload
 
     # ------------------------------------------------------------------
@@ -1383,6 +1509,141 @@ class OLAPServer:
         tracer — see :func:`repro.obs.profile.query_profile`.
         """
         return query_profile(self.tracer, trace_id)
+
+    def note_divergence(self, divergence: float) -> None:
+        """Feed a planned-vs-measured cost divergence observation.
+
+        The adaptation loop / online tuner calls this with its measured
+        cost-model divergence; it becomes the fingerprint's
+        ``divergence_norm`` coordinate.
+        """
+        self.fingerprints.note_divergence(divergence)
+
+    def _telemetry_loss(self) -> dict:
+        """Every bounded-telemetry shed, so evidence is self-describing."""
+        loss = {
+            "tracer_dropped_spans": self.tracer.dropped_spans,
+            "events_dropped": self.obs.events.dropped_events,
+            "metrics_dropped_series": self.metrics.dropped_series_total(),
+        }
+        if self.flight is not None:
+            loss["flight"] = self.flight.loss()
+        return loss
+
+    def _on_alert_fire(self, event: dict) -> None:
+        """Burn-rate alert fired: count, log, and auto-dump a bundle."""
+        self.metrics.counter(
+            "server_alerts_total", "burn-rate alerts fired, by rule"
+        ).inc(rule=event["rule"])
+        with self.obs.activate():
+            log_event(
+                "alert_firing",
+                rule=event["rule"],
+                fast_burn=event["fast_burn"],
+                slow_burn=event["slow_burn"],
+            )
+        if self.diagnostics_dir is None:
+            return
+        with self._dump_lock:
+            if self._dump_count >= self.max_auto_dumps:
+                return
+            self._dump_count += 1
+            count = self._dump_count
+        path = self.diagnostics_dir / f"diag-{event['rule']}-{count:03d}.json"
+        try:
+            self.dump_diagnostics(path, trigger=event)
+        except Exception:
+            self.metrics.counter(
+                "server_diag_dump_failures_total",
+                "diagnostic bundle dumps that raised",
+            ).inc()
+
+    def _on_alert_resolve(self, event: dict) -> None:
+        with self.obs.activate():
+            log_event(
+                "alert_resolved",
+                rule=event["rule"],
+                duration_s=round(event.get("duration_s", 0.0), 3),
+            )
+
+    def dump_diagnostics(
+        self,
+        path: str | Path | None = None,
+        trigger: dict | None = None,
+        events_tail: int = 64,
+        exemplars: int = 8,
+    ) -> Path:
+        """Write a self-contained diagnostic bundle and return its path.
+
+        The bundle (see :mod:`repro.obs.flight`) holds the triggering
+        event, exemplar Chrome traces the flight recorder kept, metrics /
+        health / tuning snapshots, the recent event-log tail, telemetry
+        loss, and WAL/snapshot sequence state.  ``path`` ending in
+        ``.json`` writes one file; any other path writes a directory
+        layout.  With no ``path``, a numbered file lands in
+        ``diagnostics_dir``.
+        """
+        if path is None:
+            if self.diagnostics_dir is None:
+                raise ValueError(
+                    "no path given and the server has no diagnostics_dir"
+                )
+            with self._dump_lock:
+                self._dump_count += 1
+                count = self._dump_count
+            path = self.diagnostics_dir / f"diag-manual-{count:03d}.json"
+        health = self.health()
+        kept = (
+            self.flight.exemplars(limit=exemplars)
+            if self.flight is not None
+            else ()
+        )
+        flight_section = None
+        if self.flight is not None:
+            flight_section = self.flight.snapshot()
+            # The ring of recent health() polls: how the SLO rates
+            # evolved *up to* the incident, not just at dump time.
+            flight_section["health_ring"] = list(
+                self.flight.health_snapshots()
+            )
+        durability = health.get("durability")
+        bundle = {
+            "trigger": dict(trigger) if trigger is not None else {
+                "kind": "manual"
+            },
+            "health": health,
+            "tuning": self.tuning.to_dict(),
+            "metrics": self.metrics.snapshot(),
+            "events_tail": [
+                dict(e) for e in self.obs.events.events()[-events_tail:]
+            ],
+            "telemetry_loss": self._telemetry_loss(),
+            "exemplar_traces": [t.to_dict() for t in kept],
+            "flight": flight_section,
+            "alerts": (
+                self.alerts.snapshot() if self.alerts is not None else None
+            ),
+            "fingerprint": self.fingerprints.snapshot(),
+            "profiler": (
+                self.profiler.snapshot() if self.profiler is not None else None
+            ),
+            "durability": durability,
+        }
+        bundle["manifest"] = {
+            "bundle_format": BUNDLE_FORMAT,
+            "created_unix": time.time(),
+            "trigger": bundle["trigger"].get("rule")
+            or bundle["trigger"].get("kind", "manual"),
+            "contents": sorted((*bundle, "manifest")),
+        }
+        with self.obs.activate():
+            log_event(
+                "diag_bundle",
+                path=str(path),
+                trigger=bundle["manifest"]["trigger"],
+                exemplars=len(bundle["exemplar_traces"]),
+            )
+        return write_bundle(bundle, path)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -1487,6 +1748,7 @@ class OLAPServer:
                 # snapshot claim (and prune) a record the state never
                 # absorbed if apply_updates raised above.
                 self._applied_seq = seq
+            self.fingerprints.note_ingest(len(deltas))
             self.metrics.counter(
                 "server_updates_total", "incremental cell updates applied"
             ).inc(len(deltas))

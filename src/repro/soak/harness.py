@@ -91,6 +91,11 @@ class AdaptationLoop:
         self.monitor.ingest(profile)
         divergence = self.monitor.divergence
         self.divergences.append(divergence)
+        # Feed the live workload fingerprint: cost-model divergence is one
+        # of its axes (tests drive the loop with bare fakes, hence getattr).
+        note = getattr(self.server, "note_divergence", None)
+        if note is not None:
+            note(divergence)
         if not self.monitor.should_reconfigure():
             return False
         storage, expected = self.server.reconfigure()
@@ -326,6 +331,7 @@ def run_soak(
         },
         "cache_hit_rate": round(server._view_cache.hit_rate, 4),
         "epoch": server.epoch,
+        "fingerprint": health.get("fingerprint"),
     }
     if keep_walls:
         report["assembly_walls"] = [round(w, 4) for w in assembly_walls]

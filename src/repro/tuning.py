@@ -39,6 +39,10 @@ MAX_WORKERS = 4
 MAX_RETRIES = 2
 RETRY_BACKOFF_MS = 5.0
 PLAN_CACHE_ENTRIES = 32
+FLIGHT_MAX_TRACES = 64
+FLIGHT_HEAD_SAMPLE = 64
+ALERT_FAST_WINDOW_S = 60.0
+ALERT_SLOW_WINDOW_S = 600.0
 
 #: The knob catalogue: ``(field, default, subsystem, effect)``.  The
 #: subsystem names the layer that *reads* the knob; ``describe_knobs``
@@ -111,6 +115,34 @@ KNOBS: tuple[tuple[str, object, str, str], ...] = (
         "core.materialize.MaterializedSet / shard.ShardedSet",
         "batch plans retained per stored set (prepared-statement cache)",
     ),
+    (
+        "flight_max_traces",
+        FLIGHT_MAX_TRACES,
+        "obs.flight.FlightRecorder",
+        "full traces the flight recorder retains (tail-biased ring of "
+        "error/event/slow/head exemplars); 0 keeps only counters",
+    ),
+    (
+        "flight_head_sample",
+        FLIGHT_HEAD_SAMPLE,
+        "obs.flight.FlightRecorder",
+        "healthy fast-path head-sampling rate (keep 1 in N roots per "
+        "(name, kind)); 0 disables head sampling entirely",
+    ),
+    (
+        "alert_fast_window_s",
+        ALERT_FAST_WINDOW_S,
+        "obs.alerts.AlertEngine",
+        "fast burn-rate window in seconds (bucket width is 1/6 of this); "
+        "the window that catches sharp SLO regressions",
+    ),
+    (
+        "alert_slow_window_s",
+        ALERT_SLOW_WINDOW_S,
+        "obs.alerts.AlertEngine",
+        "slow burn-rate window in seconds; the window that filters "
+        "one-off blips (must be >= the fast window)",
+    ),
 )
 
 
@@ -135,6 +167,10 @@ class TuningConfig:
     max_retries: int = MAX_RETRIES
     retry_backoff_ms: float = RETRY_BACKOFF_MS
     plan_cache_entries: int = PLAN_CACHE_ENTRIES
+    flight_max_traces: int = FLIGHT_MAX_TRACES
+    flight_head_sample: int = FLIGHT_HEAD_SAMPLE
+    alert_fast_window_s: float = ALERT_FAST_WINDOW_S
+    alert_slow_window_s: float = ALERT_SLOW_WINDOW_S
 
     def __post_init__(self) -> None:
         for name in (
@@ -144,6 +180,8 @@ class TuningConfig:
             "pool_max_cells",
             "cache_entries",
             "plan_cache_entries",
+            "flight_max_traces",
+            "flight_head_sample",
         ):
             value = getattr(self, name)
             if not isinstance(value, int) or value < 0:
@@ -168,6 +206,14 @@ class TuningConfig:
             raise ValueError(
                 f"retry_backoff_ms must be non-negative, got "
                 f"{self.retry_backoff_ms!r}"
+            )
+        if self.alert_fast_window_s <= 0 or (
+            self.alert_slow_window_s < self.alert_fast_window_s
+        ):
+            raise ValueError(
+                "alert windows must satisfy 0 < alert_fast_window_s <= "
+                f"alert_slow_window_s, got {self.alert_fast_window_s!r} / "
+                f"{self.alert_slow_window_s!r}"
             )
 
     # ------------------------------------------------------------------

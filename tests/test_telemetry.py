@@ -439,3 +439,71 @@ class TestConcurrentTraces:
         assert len(trace_ids) == 3
         for trace_id in trace_ids:
             _assert_connected(server.tracer.trace(trace_id))
+
+
+class TestCardinalityGuard:
+    def test_overflow_folds_and_counts(self):
+        registry = MetricsRegistry(max_label_sets=4)
+        counter = registry.counter("hot_keys_total", "per-key hits")
+        for i in range(10):
+            counter.inc(key=f"k{i}")
+        # Four real series survive; six writes folded into the overflow
+        # bucket and were accounted.
+        assert counter.value(overflow="true") == 6
+        assert registry.dropped_series_total() == 6
+        assert (
+            registry.counter("metrics_dropped_series_total").value(
+                metric="hot_keys_total"
+            )
+            == 6
+        )
+        # Established series keep counting normally under overflow.
+        counter.inc(key="k0")
+        assert counter.value(key="k0") == 2
+        assert registry.dropped_series_total() == 6
+
+    def test_overflow_series_visible_in_exposition(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        counter = registry.counter("wild_total", "wild labels")
+        for i in range(5):
+            counter.inc(key=f"k{i}")
+        text = prometheus_text(registry)
+        assert 'wild_total{overflow="true"} 3' in text
+        assert "metrics_dropped_series_total" in text
+
+    def test_server_surfaces_drops_in_health(self):
+        server = _make_server()
+        counter = server.metrics.counter("custom_total", "test series")
+        for i in range(server.metrics.max_label_sets + 5):
+            counter.inc(key=f"k{i}")
+        server.view(["d0"])
+        loss = server.health()["slo"]["telemetry_loss"]
+        assert loss["metrics_dropped_series"] == 5
+        server.close()
+
+
+class TestTelemetryLoss:
+    def test_loss_sections_present_and_zero_when_healthy(self):
+        server = _make_server()
+        server.view(["d0"])
+        loss = server.health()["slo"]["telemetry_loss"]
+        assert loss["tracer_dropped_spans"] == 0
+        assert loss["events_dropped"] == 0
+        assert loss["metrics_dropped_series"] == 0
+        assert loss["flight"] == {
+            "pending_traces_dropped": 0,
+            "trace_spans_dropped": 0,
+            "kept_traces_evicted": 0,
+        }
+        server.close()
+
+    def test_event_ring_drops_are_accounted(self):
+        server = _make_server(observability=Observability(max_events=4))
+        with server.obs.activate():
+            for i in range(10):
+                log_event("noise", i=i)
+        loss = server.health()["slo"]["telemetry_loss"]
+        assert loss["events_dropped"] == 6
+        # The flat key dashboards already scrape stays in lockstep.
+        assert server.health()["slo"]["events_dropped"] == 6
+        server.close()
